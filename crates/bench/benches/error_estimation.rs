@@ -1,0 +1,55 @@
+//! Error-estimation overhead microbenches: closed forms vs the bootstrap
+//! (Fig. 7's "Error Estimation Overhead" at the single-machine scale),
+//! plus the K sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use aqp_stats::bootstrap::bootstrap_ci;
+use aqp_stats::closed_form::closed_form_ci;
+use aqp_stats::dist::sample_lognormal;
+use aqp_stats::estimator::{Aggregate, SampleContext};
+use aqp_stats::rng::rng_from_seed;
+
+fn sample(n: usize) -> Vec<f64> {
+    let mut rng = rng_from_seed(1);
+    (0..n).map(|_| sample_lognormal(&mut rng, 1.0, 0.6)).collect()
+}
+
+fn bench_closed_form_vs_bootstrap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("error_estimation");
+    for n in [10_000usize, 100_000] {
+        let values = sample(n);
+        let ctx = SampleContext::new(n, n * 100);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("closed_form_avg", n), &n, |b, _| {
+            b.iter(|| black_box(closed_form_ci(&Aggregate::Avg, &values, &ctx, 0.95)))
+        });
+        group.bench_with_input(BenchmarkId::new("bootstrap_k100_avg", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = rng_from_seed(2);
+                black_box(bootstrap_ci(&mut rng, &values, &ctx, &Aggregate::Avg, 100, 0.95))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bootstrap_k_sweep(c: &mut Criterion) {
+    let n = 50_000;
+    let values = sample(n);
+    let ctx = SampleContext::new(n, n * 100);
+    let mut group = c.benchmark_group("bootstrap_k_sweep_50k");
+    for k in [25usize, 50, 100, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut rng = rng_from_seed(3);
+                black_box(bootstrap_ci(&mut rng, &values, &ctx, &Aggregate::Sum, k, 0.95))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_closed_form_vs_bootstrap, bench_bootstrap_k_sweep);
+criterion_main!(benches);

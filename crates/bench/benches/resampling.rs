@@ -1,0 +1,79 @@
+//! §5.1 microbenches: Poissonized vs exact resampling.
+//!
+//! The paper cites Pol & Jermaine's finding that exact with-replacement
+//! resampling (Tuple Augmentation) ran 8–9× slower than the
+//! non-bootstrapped query, while Poissonized resampling is "extremely
+//! fast, embarrassingly parallel, and requires no extra memory".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use aqp_stats::dist::Poisson1;
+use aqp_stats::resample::{exact_resample_counts, poisson_weights};
+use aqp_stats::rng::rng_from_seed;
+
+fn bench_poisson1_draws(c: &mut Criterion) {
+    let p1 = Poisson1::new();
+    let mut group = c.benchmark_group("poisson1_draw");
+    group.throughput(Throughput::Elements(1_000_000));
+    group.bench_function("1M_draws", |b| {
+        b.iter(|| {
+            let mut rng = rng_from_seed(1);
+            let mut acc = 0u64;
+            for _ in 0..1_000_000 {
+                acc += p1.sample(&mut rng) as u64;
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_poissonized_vs_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resample_generation");
+    for n in [10_000usize, 100_000, 1_000_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("poissonized", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = rng_from_seed(2);
+                black_box(poisson_weights(&mut rng, n))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("exact_multinomial", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = rng_from_seed(2);
+                black_box(exact_resample_counts(&mut rng, n))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scan_consolidated_weights(c: &mut Criterion) {
+    // Cost of the full §5.3.1 weight complement per tuple: K=100 bootstrap
+    // + 3×100 diagnostic weights, streamed row-at-a-time.
+    let p1 = Poisson1::new();
+    let mut group = c.benchmark_group("scan_consolidation");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("400_weights_per_row_10k_rows", |b| {
+        b.iter(|| {
+            let mut rng = rng_from_seed(3);
+            let mut acc = 0u64;
+            for _row in 0..10_000 {
+                for _w in 0..400 {
+                    acc += p1.sample(&mut rng) as u64;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_poisson1_draws,
+    bench_poissonized_vs_exact,
+    bench_scan_consolidated_weights
+);
+criterion_main!(benches);

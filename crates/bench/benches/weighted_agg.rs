@@ -1,0 +1,65 @@
+//! §5.3.1 microbenches: aggregates operating directly on weighted tuples
+//! vs physically duplicating rows ("alleviates the need for duplicating
+//! the tuples before they were streamed into the aggregates").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use aqp_stats::estimator::{Aggregate, QueryEstimator, SampleContext, Udf};
+use aqp_stats::resample::poisson_weights;
+use aqp_stats::rng::rng_from_seed;
+
+fn data(n: usize) -> (Vec<f64>, Vec<u32>) {
+    let mut rng = rng_from_seed(1);
+    let values: Vec<f64> =
+        (0..n).map(|i| ((i * 2_654_435_761) % 1_000) as f64 / 10.0).collect();
+    let weights = poisson_weights(&mut rng, n);
+    (values, weights)
+}
+
+fn bench_weighted_vs_duplicated(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weighted_avg_vs_duplication");
+    for n in [10_000usize, 100_000] {
+        let (values, weights) = data(n);
+        let ctx = SampleContext::new(n, n * 100);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("weighted", n), &n, |b, _| {
+            b.iter(|| black_box(Aggregate::Avg.estimate_weighted(&values, &weights, &ctx)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("duplicate_then_aggregate", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let expanded = Udf::expand(&values, &weights);
+                    black_box(Aggregate::Avg.estimate(&expanded, &ctx))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_all_weighted_aggregates(c: &mut Criterion) {
+    let n = 100_000;
+    let (values, weights) = data(n);
+    let ctx = SampleContext::new(n, n * 100);
+    let mut group = c.benchmark_group("weighted_aggregates_100k");
+    group.throughput(Throughput::Elements(n as u64));
+    for agg in [
+        Aggregate::Avg,
+        Aggregate::Sum,
+        Aggregate::Count,
+        Aggregate::Variance,
+        Aggregate::Max,
+        Aggregate::Percentile(0.95),
+    ] {
+        group.bench_function(agg.name(), |b| {
+            b.iter(|| black_box(agg.estimate_weighted(&values, &weights, &ctx)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_weighted_vs_duplicated, bench_all_weighted_aggregates);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Fig. 7(a)/(b) — the naive (§5.2) per-query latency decomposition on
+//! the simulated 100-node cluster: query execution time, error-estimation
+//! overhead, diagnostics overhead.
+//!
+//! Paper's shape: QSet-1 (closed forms) lands in the tens of seconds,
+//! dominated by the diagnostics overhead; QSet-2 (bootstrap-only) in the
+//! hundreds of seconds, with both error estimation (100 full-sample
+//! subqueries) and diagnostics (30,000 subqueries) huge.
+
+use aqp_bench::{bar, mean, percentile, section, tsv_row, Args};
+use aqp_cluster::{simulate_query, ClusterConfig, PhysicalTuning, PlanMode};
+use aqp_workload::{qset1, qset2};
+
+fn main() {
+    let args = Args::parse();
+    let n_queries: usize = args.get("queries").unwrap_or(100);
+    let seed: u64 = args.get("seed").unwrap_or(1);
+    let cfg = ClusterConfig::default();
+    let tuning = PhysicalTuning::untuned(&cfg);
+
+    for (name, queries, paper_scale) in [
+        ("Fig. 7(a) — QSet-1 (closed-form queries), naive plan", qset1(n_queries, seed), "tens of seconds"),
+        ("Fig. 7(b) — QSet-2 (bootstrap-only queries), naive plan", qset2(n_queries, seed), "hundreds of seconds"),
+    ] {
+        println!("{}", section(name));
+        println!("paper scale: {paper_scale}; bars below are log-scaled");
+        println!("TSV: query_id\tquery_s\terror_s\tdiag_s\ttotal_s");
+        let mut totals = Vec::new();
+        let mut queries_s = Vec::new();
+        let mut errors_s = Vec::new();
+        let mut diags_s = Vec::new();
+        let mut rows = Vec::new();
+        for q in &queries {
+            let t = simulate_query(&q.profile, PlanMode::Naive, &tuning, &cfg, seed ^ q.id as u64);
+            rows.push((q.id, t));
+            totals.push(t.total());
+            queries_s.push(t.query_s);
+            errors_s.push(t.error_s);
+            diags_s.push(t.diag_s);
+        }
+        for (id, t) in &rows {
+            println!(
+                "{}",
+                tsv_row(&[
+                    id.to_string(),
+                    format!("{:.2}", t.query_s),
+                    format!("{:.2}", t.error_s),
+                    format!("{:.2}", t.diag_s),
+                    format!("{:.2}", t.total()),
+                ])
+            );
+        }
+        println!(
+            "\nsummary: total mean {:.1}s  median {:.1}s  p99 {:.1}s",
+            mean(&totals),
+            percentile(&totals, 0.5),
+            percentile(&totals, 0.99)
+        );
+        println!(
+            "phase means: query {:.2}s, error estimation {:.2}s, diagnostics {:.2}s",
+            mean(&queries_s),
+            mean(&errors_s),
+            mean(&diags_s)
+        );
+        // ASCII chart of the first 20 queries (log scale).
+        let max_log = totals.iter().map(|t| t.log10()).fold(f64::MIN, f64::max);
+        println!("\nfirst 20 queries (log-scale total time):");
+        for (id, t) in rows.iter().take(20) {
+            println!(
+                "  q{id:<3} {:>8.1}s |{}|",
+                t.total(),
+                bar(t.total().log10().max(0.0), max_log, 40)
+            );
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Fig. 8 — the optimization study:
+//!
+//! * (a)/(b) CDFs of the speedup from the §5.3 plan optimizations (scan
+//!   consolidation + operator pushdown) for error estimation and
+//!   diagnostics, per query set. Paper bands: QSet-1 error 1–2×,
+//!   diagnostics 5–20×; QSet-2 error 20–60×, diagnostics 20–100×.
+//! * (c) latency of (bootstrap error estimation + diagnostics) vs the
+//!   degree of parallelism — most efficient around 20 machines.
+//! * (d) end-to-end latency vs the fraction of samples cached — best at
+//!   30–40%.
+//! * (e)/(f) CDFs of the further speedup from physical tuning
+//!   (parallelism bound, cache fraction, straggler clones) over the
+//!   §5.3-optimized baseline.
+//!
+//! `--part plan|parallelism|cache|physical|all` selects sections.
+
+use aqp_bench::{bar, cdf_rows, mean, section, tsv_row, Args};
+use aqp_cluster::{simulate_query, ClusterConfig, PhysicalTuning, PlanMode, QueryProfile};
+use aqp_workload::{qset1, qset2, TraceQuery};
+
+fn plan_speedups(queries: &[TraceQuery], cfg: &ClusterConfig, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let untuned = PhysicalTuning::untuned(cfg);
+    let mut err = Vec::new();
+    let mut diag = Vec::new();
+    for q in queries {
+        let naive = simulate_query(&q.profile, PlanMode::Naive, &untuned, cfg, seed ^ q.id as u64);
+        let opt =
+            simulate_query(&q.profile, PlanMode::Optimized, &untuned, cfg, seed ^ q.id as u64);
+        if opt.error_s > 0.0 {
+            err.push(naive.error_s / opt.error_s);
+        }
+        if opt.diag_s > 0.0 {
+            diag.push(naive.diag_s / opt.diag_s);
+        }
+    }
+    (err, diag)
+}
+
+fn print_cdf(label: &str, speedups: &[f64]) {
+    println!("\n{label} speedup CDF (TSV: speedup\tfraction<=):");
+    for (v, f) in cdf_rows(speedups, 10) {
+        println!("{}", tsv_row(&[format!("{v:.1}"), format!("{f:.1}")]));
+    }
+    println!(
+        "  range {:.1}x – {:.1}x, mean {:.1}x",
+        speedups.iter().copied().fold(f64::MAX, f64::min),
+        speedups.iter().copied().fold(f64::MIN, f64::max),
+        mean(speedups)
+    );
+}
+
+fn main() {
+    let args = Args::parse();
+    let part: String = args.get("part").unwrap_or_else(|| "all".to_string());
+    let n_queries: usize = args.get("queries").unwrap_or(100);
+    let seed: u64 = args.get("seed").unwrap_or(1);
+    let cfg = ClusterConfig::default();
+
+    if part == "all" || part == "plan" {
+        println!("{}", section("Fig. 8(a) — plan-optimization speedups, QSet-1"));
+        let (err, diag) = plan_speedups(&qset1(n_queries, seed), &cfg, seed);
+        print_cdf("error estimation (paper: 1-2x)", &err);
+        print_cdf("diagnostics (paper: 5-20x)", &diag);
+
+        println!("{}", section("Fig. 8(b) — plan-optimization speedups, QSet-2"));
+        let (err, diag) = plan_speedups(&qset2(n_queries, seed), &cfg, seed);
+        print_cdf("error estimation (paper: 20-60x)", &err);
+        print_cdf("diagnostics (paper: 20-100x)", &diag);
+    }
+
+    if part == "all" || part == "parallelism" {
+        println!("{}", section(
+            "Fig. 8(c) — bootstrap error estimation + diagnostics latency vs #machines",
+        ));
+        println!("TSV: machines\tmean_latency_s\tq01\tq99");
+        let queries = qset2(n_queries.min(50), seed);
+        let mut best = (0usize, f64::MAX);
+        let mut results = Vec::new();
+        for m in [1usize, 2, 5, 10, 20, 30, 40, 60, 80, 100] {
+            let tuning =
+                PhysicalTuning { parallelism: m, cache_fraction: 0.35, straggler_mitigation: false };
+            let lats: Vec<f64> = queries
+                .iter()
+                .map(|q| {
+                    let t = simulate_query(
+                        &q.profile,
+                        PlanMode::Optimized,
+                        &tuning,
+                        &cfg,
+                        seed ^ q.id as u64,
+                    );
+                    t.error_s + t.diag_s
+                })
+                .collect();
+            let mu = mean(&lats);
+            if mu < best.1 {
+                best = (m, mu);
+            }
+            results.push((m, mu, aqp_bench::percentile(&lats, 0.01), aqp_bench::percentile(&lats, 0.99)));
+        }
+        let max = results.iter().map(|r| r.1).fold(f64::MIN, f64::max);
+        for (m, mu, q01, q99) in &results {
+            println!(
+                "{}\t|{}|",
+                tsv_row(&[
+                    m.to_string(),
+                    format!("{mu:.2}"),
+                    format!("{q01:.2}"),
+                    format!("{q99:.2}"),
+                ]),
+                bar(*mu, max, 30)
+            );
+        }
+        println!(
+            "\nsweet spot: {} machines (paper: \"most efficient when executed on up to 20 machines\")",
+            best.0
+        );
+    }
+
+    if part == "all" || part == "cache" {
+        println!("{}", section("Fig. 8(d) — end-to-end latency vs fraction of samples cached"));
+        println!("TSV: cache_fraction\tmean_total_s");
+        let queries: Vec<_> =
+            qset1(n_queries / 2, seed).into_iter().chain(qset2(n_queries / 2, seed)).collect();
+        let mut best = (0.0f64, f64::MAX);
+        let mut results = Vec::new();
+        for step in 0..=10 {
+            let frac = step as f64 / 10.0;
+            let tuning = PhysicalTuning {
+                parallelism: 20,
+                cache_fraction: frac,
+                straggler_mitigation: false,
+            };
+            let lats: Vec<f64> = queries
+                .iter()
+                .enumerate()
+                .map(|(i, q)| {
+                    simulate_query(
+                        &q.profile,
+                        PlanMode::Optimized,
+                        &tuning,
+                        &cfg,
+                        seed ^ i as u64,
+                    )
+                    .total()
+                })
+                .collect();
+            let mu = mean(&lats);
+            if mu < best.1 {
+                best = (frac, mu);
+            }
+            results.push((frac, mu));
+        }
+        let max = results.iter().map(|r| r.1).fold(f64::MIN, f64::max);
+        for (frac, mu) in &results {
+            println!("{}\t|{}|", tsv_row(&[format!("{frac:.1}"), format!("{mu:.2}")]), bar(*mu, max, 30));
+        }
+        println!(
+            "\noptimum: {:.0}% cached (paper: best at 30-40%, ~180-240 GB of RAM)",
+            best.0 * 100.0
+        );
+    }
+
+    if part == "all" || part == "physical" {
+        for (name, queries, label) in [
+            ("Fig. 8(e) — physical-tuning speedups, QSet-1", qset1(n_queries, seed), "QSet-1"),
+            ("Fig. 8(f) — physical-tuning speedups, QSet-2", qset2(n_queries, seed), "QSet-2"),
+        ] {
+            println!("{}", section(name));
+            let untuned = PhysicalTuning::untuned(&cfg);
+            let tuned = PhysicalTuning::tuned();
+            let mut speedups = Vec::new();
+            for q in &queries {
+                let base = simulate_query(
+                    &q.profile,
+                    PlanMode::Optimized,
+                    &untuned,
+                    &cfg,
+                    seed ^ q.id as u64,
+                );
+                let fast = simulate_query(
+                    &q.profile,
+                    PlanMode::Optimized,
+                    &tuned,
+                    &cfg,
+                    seed ^ q.id as u64,
+                );
+                speedups.push(base.total() / fast.total());
+            }
+            print_cdf(&format!("{label} end-to-end (tuned vs untuned optimized plan)"), &speedups);
+
+            // Straggler-mitigation ablation (§7.3: "speeds up queries by
+            // hundreds of milliseconds").
+            let mut with_clone = tuned;
+            with_clone.straggler_mitigation = true;
+            let mut without_clone = tuned;
+            without_clone.straggler_mitigation = false;
+            let deltas: Vec<f64> = queries
+                .iter()
+                .map(|q| {
+                    let a = simulate_query(
+                        &q.profile,
+                        PlanMode::Optimized,
+                        &without_clone,
+                        &cfg,
+                        seed ^ q.id as u64,
+                    );
+                    let b = simulate_query(
+                        &q.profile,
+                        PlanMode::Optimized,
+                        &with_clone,
+                        &cfg,
+                        seed ^ q.id as u64,
+                    );
+                    (a.total() - b.total()) * 1000.0
+                })
+                .collect();
+            println!(
+                "  straggler-mitigation ablation: mean saving {:.0} ms/query (paper: hundreds of ms)",
+                mean(&deltas)
+            );
+        }
+    }
+
+    // A tiny self-check so CI catches calibration drift.
+    let p1 = QueryProfile::qset1_default();
+    let p2 = QueryProfile::qset2_default();
+    let untuned = PhysicalTuning::untuned(&cfg);
+    let n1 = simulate_query(&p1, PlanMode::Naive, &untuned, &cfg, 7);
+    let o1 = simulate_query(&p1, PlanMode::Optimized, &untuned, &cfg, 7);
+    let n2 = simulate_query(&p2, PlanMode::Naive, &untuned, &cfg, 7);
+    let o2 = simulate_query(&p2, PlanMode::Optimized, &untuned, &cfg, 7);
+    assert!(n1.diag_s / o1.diag_s > 3.0, "QSet-1 diag speedup degenerated");
+    assert!(n2.error_s / o2.error_s > 10.0, "QSet-2 error speedup degenerated");
+}

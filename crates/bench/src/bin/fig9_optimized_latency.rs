@@ -1,0 +1,75 @@
+//! Fig. 9(a)/(b) — the fully-optimized per-query latency decomposition:
+//! §5.3 plan optimizations + §6 physical tuning (20 machines, 35% cache,
+//! straggler mitigation).
+//!
+//! Paper's shape: end-to-end responses of a couple of seconds for both
+//! query sets — interactive speed — with error estimation and diagnostics
+//! reduced to sub-second overheads.
+
+use aqp_bench::{bar, mean, percentile, section, tsv_row, Args};
+use aqp_cluster::{simulate_query, ClusterConfig, PhysicalTuning, PlanMode};
+use aqp_workload::{qset1, qset2};
+
+fn main() {
+    let args = Args::parse();
+    let n_queries: usize = args.get("queries").unwrap_or(100);
+    let seed: u64 = args.get("seed").unwrap_or(1);
+    let cfg = ClusterConfig::default();
+    let tuning = PhysicalTuning::tuned();
+
+    for (name, queries) in [
+        ("Fig. 9(a) — QSet-1 (closed-form queries), optimized + tuned", qset1(n_queries, seed)),
+        ("Fig. 9(b) — QSet-2 (bootstrap-only queries), optimized + tuned", qset2(n_queries, seed)),
+    ] {
+        println!("{}", section(name));
+        println!("TSV: query_id\tquery_s\terror_s\tdiag_s\ttotal_s");
+        let mut totals = Vec::new();
+        let mut queries_s = Vec::new();
+        let mut errors_s = Vec::new();
+        let mut diags_s = Vec::new();
+        let mut rows = Vec::new();
+        for q in &queries {
+            let t =
+                simulate_query(&q.profile, PlanMode::Optimized, &tuning, &cfg, seed ^ q.id as u64);
+            rows.push((q.id, t));
+            totals.push(t.total());
+            queries_s.push(t.query_s);
+            errors_s.push(t.error_s);
+            diags_s.push(t.diag_s);
+        }
+        for (id, t) in &rows {
+            println!(
+                "{}",
+                tsv_row(&[
+                    id.to_string(),
+                    format!("{:.3}", t.query_s),
+                    format!("{:.3}", t.error_s),
+                    format!("{:.3}", t.diag_s),
+                    format!("{:.3}", t.total()),
+                ])
+            );
+        }
+        println!(
+            "\nsummary: total mean {:.2}s  median {:.2}s  p99 {:.2}s  (paper: a couple of seconds)",
+            mean(&totals),
+            percentile(&totals, 0.5),
+            percentile(&totals, 0.99)
+        );
+        println!(
+            "phase means: query {:.2}s, error estimation {:.2}s, diagnostics {:.2}s",
+            mean(&queries_s),
+            mean(&errors_s),
+            mean(&diags_s)
+        );
+        let max = totals.iter().copied().fold(f64::MIN, f64::max);
+        println!("\nfirst 20 queries (linear-scale total time):");
+        for (id, t) in rows.iter().take(20) {
+            println!("  q{id:<3} {:>6.2}s |{}|", t.total(), bar(t.total(), max, 40));
+        }
+        assert!(
+            mean(&totals) < 15.0,
+            "optimized+tuned should be interactive; got mean {:.1}s",
+            mean(&totals)
+        );
+    }
+}

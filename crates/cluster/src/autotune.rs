@@ -1,0 +1,140 @@
+//! Automatic physical tuning — the paper's stated future work
+//! ("Choosing the degree of parallelism automatically is a topic of
+//! future work", §7.3) plus the cache-fraction knob.
+//!
+//! The simulator makes this a search problem: evaluate the latency model
+//! over the knob grid and take the argmin. Deterministic (expected-value
+//! simulation seeds) and cheap — the same idea a production system would
+//! implement with its own cost model.
+
+use crate::config::{ClusterConfig, PhysicalTuning};
+use crate::query_model::{simulate_query, PlanMode, QueryProfile};
+
+/// Candidate machine counts evaluated by the tuner.
+const PARALLELISM_GRID: &[usize] = &[1, 2, 5, 10, 15, 20, 30, 40, 60, 80, 100];
+/// Candidate cache fractions.
+const CACHE_GRID: &[f64] = &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 1.0];
+
+/// Latency of a profile under a tuning, averaged over a few seeds.
+fn expected_latency(
+    profile: &QueryProfile,
+    tuning: &PhysicalTuning,
+    cfg: &ClusterConfig,
+    seeds: &[u64],
+) -> f64 {
+    seeds
+        .iter()
+        .map(|&s| simulate_query(profile, PlanMode::Optimized, tuning, cfg, s).total())
+        .sum::<f64>()
+        / seeds.len() as f64
+}
+
+/// Pick the degree of parallelism minimizing expected latency for this
+/// query profile at the given cache fraction.
+pub fn auto_tune_parallelism(
+    profile: &QueryProfile,
+    cache_fraction: f64,
+    cfg: &ClusterConfig,
+) -> usize {
+    let seeds: Vec<u64> = (0..5).collect();
+    let mut best = (cfg.machines, f64::MAX);
+    for &m in PARALLELISM_GRID {
+        if m > cfg.machines {
+            continue;
+        }
+        let tuning = PhysicalTuning {
+            parallelism: m,
+            cache_fraction,
+            straggler_mitigation: true,
+        };
+        let lat = expected_latency(profile, &tuning, cfg, &seeds);
+        if lat < best.1 {
+            best = (m, lat);
+        }
+    }
+    best.0
+}
+
+/// Jointly tune parallelism and cache fraction for a *workload* (a set
+/// of profiles): the cache is a cluster-wide setting, so it is chosen to
+/// minimize the workload's mean latency, then per-query parallelism is
+/// tuned under it.
+pub fn auto_tune_workload(
+    profiles: &[QueryProfile],
+    cfg: &ClusterConfig,
+) -> (f64, Vec<usize>) {
+    let seeds: Vec<u64> = (0..3).collect();
+    let mut best_cache = (0.35, f64::MAX);
+    for &f in CACHE_GRID {
+        let mut total = 0.0;
+        for p in profiles {
+            // Evaluate at a representative mid parallelism.
+            let tuning =
+                PhysicalTuning { parallelism: 20, cache_fraction: f, straggler_mitigation: true };
+            total += expected_latency(p, &tuning, cfg, &seeds);
+        }
+        if total < best_cache.1 {
+            best_cache = (f, total);
+        }
+    }
+    let per_query = profiles
+        .iter()
+        .map(|p| auto_tune_parallelism(p, best_cache.0, cfg))
+        .collect();
+    (best_cache.0, per_query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuner_avoids_both_extremes_for_bootstrap_queries() {
+        let cfg = ClusterConfig::default();
+        let p = QueryProfile::qset2_default();
+        let m = auto_tune_parallelism(&p, 0.35, &cfg);
+        assert!(m > 1, "one machine can't be optimal for 20 GB scans");
+        assert!(m < 100, "full cluster pays the many-to-one penalty, got {m}");
+    }
+
+    #[test]
+    fn tuned_latency_beats_fixed_extremes() {
+        let cfg = ClusterConfig::default();
+        let p = QueryProfile::qset2_default();
+        let m = auto_tune_parallelism(&p, 0.35, &cfg);
+        let lat_at = |machines: usize| {
+            let tuning = PhysicalTuning {
+                parallelism: machines,
+                cache_fraction: 0.35,
+                straggler_mitigation: true,
+            };
+            (0..5)
+                .map(|s| simulate_query(&p, PlanMode::Optimized, &tuning, &cfg, s).total())
+                .sum::<f64>()
+                / 5.0
+        };
+        assert!(lat_at(m) <= lat_at(1));
+        assert!(lat_at(m) <= lat_at(100) * 1.001);
+    }
+
+    #[test]
+    fn workload_tuning_picks_moderate_cache() {
+        let cfg = ClusterConfig::default();
+        let profiles = vec![QueryProfile::qset1_default(), QueryProfile::qset2_default()];
+        let (cache, per_query) = auto_tune_workload(&profiles, &cfg);
+        // Fig. 8(d): the optimum is an interior point, not 0% or 100%.
+        assert!(cache > 0.0 && cache < 1.0, "cache {cache}");
+        assert_eq!(per_query.len(), 2);
+        assert!(per_query.iter().all(|&m| (2..=100).contains(&m)));
+    }
+
+    #[test]
+    fn tuner_is_deterministic() {
+        let cfg = ClusterConfig::default();
+        let p = QueryProfile::qset1_default();
+        assert_eq!(
+            auto_tune_parallelism(&p, 0.35, &cfg),
+            auto_tune_parallelism(&p, 0.35, &cfg)
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! Cluster and tuning parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Static cluster parameters, calibrated to the paper's deployment
+/// (100 × EC2 m1.large — 2 cores, 7.5 GB RAM — with 600 GB of aggregate
+/// RAM cache over a multi-hundred-GB collection of stored samples, §7).
+///
+/// Calibration targets the *shapes* of Figs. 7–9 (speedup bands, the
+/// ~20-machine parallelism sweet spot, the 30–40% cache optimum), not
+/// absolute EC2 seconds; see DESIGN.md.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Machines in the cluster.
+    pub machines: usize,
+    /// Task slots per machine (cores).
+    pub slots_per_machine: usize,
+    /// Effective cold-scan bandwidth per slot (striped disks), MB/s.
+    pub disk_mb_s: f64,
+    /// In-memory scan bandwidth per slot, MB/s.
+    pub mem_mb_s: f64,
+    /// RAM usable per machine for caching + working memory, MB.
+    pub ram_mb_per_machine: f64,
+    /// Total size of the stored-sample collection eligible for caching,
+    /// MB (the x-axis of Fig. 8(d) is the fraction of this that is
+    /// cached).
+    pub total_input_mb: f64,
+    /// Execution (shuffle/aggregation-buffer/GC) memory demand per
+    /// machine under the concurrent workload, MB. When input caching
+    /// squeezes available RAM below this, execution spills (§6.2).
+    pub exec_mem_demand_mb: f64,
+    /// Fixed per-task launch overhead (JVM/task setup), ms.
+    pub task_overhead_ms: f64,
+    /// Serial scheduler dispatch cost per task, ms (the §5.2 contention
+    /// term: thousands of subquery tasks serialize here).
+    pub dispatch_ms_per_task: f64,
+    /// Serial driver-side result-handling cost per task, ms (task results
+    /// funnel through one driver).
+    pub driver_result_ms_per_task: f64,
+    /// Many-to-one aggregation cost per task result, ms.
+    pub reduce_ms_per_task: f64,
+    /// Fixed reduce phase base cost, ms.
+    pub reduce_base_ms: f64,
+    /// Per-(machine × result-stream) many-to-one communication cost, ms
+    /// (§6.1: "increased many-to-one communication overhead during the
+    /// final aggregation phase" — grows with the degree of parallelism).
+    pub stream_result_ms: f64,
+    /// Probability a task straggles (§6.3).
+    pub straggler_prob: f64,
+    /// Mean slowdown multiplier of a straggler (lognormal-distributed).
+    pub straggler_mean_mult: f64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            machines: 100,
+            slots_per_machine: 2,
+            disk_mb_s: 300.0,
+            mem_mb_s: 3_000.0,
+            ram_mb_per_machine: 6_000.0,
+            total_input_mb: 600_000.0,
+            exec_mem_demand_mb: 3_600.0,
+            task_overhead_ms: 35.0,
+            dispatch_ms_per_task: 0.2,
+            driver_result_ms_per_task: 2.0,
+            reduce_ms_per_task: 0.1,
+            reduce_base_ms: 50.0,
+            stream_result_ms: 0.1,
+            straggler_prob: 0.03,
+            straggler_mean_mult: 3.0,
+        }
+    }
+}
+
+/// The §6 physical knobs swept in Fig. 8(c)–(f).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhysicalTuning {
+    /// Degree of parallelism: machines actually used (≤ config.machines).
+    pub parallelism: usize,
+    /// Fraction of the stored samples kept in the RAM cache (0–1). RAM
+    /// not used for input caching is working memory for execution.
+    pub cache_fraction: f64,
+    /// Spawn 10% clone tasks and skip the slowest stragglers (§6.3).
+    pub straggler_mitigation: bool,
+}
+
+impl PhysicalTuning {
+    /// The untuned default the §5.3 experiments run with: all machines,
+    /// everything cached, no mitigation.
+    pub fn untuned(cfg: &ClusterConfig) -> Self {
+        PhysicalTuning {
+            parallelism: cfg.machines,
+            cache_fraction: 1.0,
+            straggler_mitigation: false,
+        }
+    }
+
+    /// The §7.3 tuned settings: ~20 machines, 35% input cache, straggler
+    /// clones on.
+    pub fn tuned() -> Self {
+        PhysicalTuning { parallelism: 20, cache_fraction: 0.35, straggler_mitigation: true }
+    }
+}
+
+impl ClusterConfig {
+    /// Total task slots at a given parallelism.
+    pub fn slots(&self, parallelism: usize) -> usize {
+        parallelism.min(self.machines).max(1) * self.slots_per_machine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_deployment() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.machines, 100);
+        assert_eq!(c.slots_per_machine, 2);
+        assert!(c.mem_mb_s > c.disk_mb_s);
+        // Aggregate RAM ≈ 600 GB as in §7.
+        assert!((c.ram_mb_per_machine * c.machines as f64 - 600_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn slots_respect_bounds() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.slots(20), 40);
+        assert_eq!(c.slots(1_000), 200); // capped at cluster size
+        assert_eq!(c.slots(0), 2); // at least one machine
+    }
+
+    #[test]
+    fn tuned_settings() {
+        let t = PhysicalTuning::tuned();
+        assert_eq!(t.parallelism, 20);
+        assert!(t.cache_fraction > 0.3 && t.cache_fraction < 0.4);
+        assert!(t.straggler_mitigation);
+    }
+}

@@ -1,0 +1,382 @@
+//! Maps a query's statistical profile to the jobs each execution
+//! strategy runs, and simulates them.
+//!
+//! The two strategies mirror the paper's evaluation setup:
+//!
+//! * **Naive** (§5.2): the UNION-ALL rewrite. Bootstrap error estimation
+//!   executes K full-sample subqueries; the diagnostic executes p·k
+//!   subsample-extraction subqueries plus (for bootstrap ξ) K resample
+//!   subqueries per subsample — 30,000 subqueries at the paper's
+//!   parameters, serialized through scheduler dispatch and the driver.
+//! * **Optimized** (§5.3): scan consolidation + operator pushdown. One
+//!   scan computes the answer; error estimation and diagnostics are
+//!   *piggyback* CPU passes over the post-filter data (weights streamed,
+//!   no tuple duplication), paying only their compute waves and their
+//!   many-to-one reduce of K (resp. p·k) result streams.
+//!
+//! Physical tuning (§6) — parallelism bound, cache fraction, straggler
+//! mitigation — applies to either through [`PhysicalTuning`].
+
+use serde::{Deserialize, Serialize};
+
+use aqp_stats::rng::SeedStream;
+
+use crate::config::{ClusterConfig, PhysicalTuning};
+use crate::sim::{simulate_job, simulate_jobs};
+use crate::task::Job;
+
+/// Execution strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlanMode {
+    /// The §5.2 query-rewrite baseline.
+    Naive,
+    /// The §5.3 consolidated/pushed-down plan.
+    Optimized,
+}
+
+/// The statistical/cost profile of one query (what Fig. 7–9 vary across
+/// their 100-query sets).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryProfile {
+    /// Sample size scanned, MB (§7: cached samples of up to 20 GB).
+    pub sample_mb: f64,
+    /// Fraction of rows surviving filters.
+    pub selectivity: f64,
+    /// CPU cost of scan/filter/project per input MB, ms.
+    pub scan_cpu_ms_per_mb: f64,
+    /// CPU cost of aggregation per post-filter MB, ms (higher for
+    /// UDFs/nested aggregates).
+    pub agg_cpu_ms_per_mb: f64,
+    /// Whether closed-form error estimation applies (QSet-1 vs QSet-2).
+    pub closed_form: bool,
+    /// Bootstrap resamples K.
+    pub bootstrap_k: usize,
+    /// Diagnostic subsamples per size (p).
+    pub diag_p: usize,
+    /// Diagnostic subsample sizes, MB (pre-filter).
+    pub diag_subsample_mb: Vec<f64>,
+}
+
+impl QueryProfile {
+    /// A representative QSet-1 query (closed-form-amenable).
+    pub fn qset1_default() -> Self {
+        QueryProfile {
+            sample_mb: 20_000.0,
+            selectivity: 0.02,
+            scan_cpu_ms_per_mb: 0.5,
+            agg_cpu_ms_per_mb: 1.0,
+            closed_form: true,
+            bootstrap_k: 100,
+            diag_p: 100,
+            diag_subsample_mb: vec![50.0, 100.0, 200.0],
+        }
+    }
+
+    /// A representative QSet-2 query (bootstrap-only: UDFs, nested
+    /// subqueries, multiple aggregates).
+    pub fn qset2_default() -> Self {
+        QueryProfile {
+            agg_cpu_ms_per_mb: 2.0,
+            closed_form: false,
+            ..QueryProfile::qset1_default()
+        }
+    }
+
+    /// Post-filter data volume, MB.
+    pub fn post_mb(&self) -> f64 {
+        self.sample_mb * self.selectivity
+    }
+}
+
+/// Simulated per-phase latencies, seconds (the bar decomposition of
+/// Fig. 7/9).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimTimings {
+    /// Query execution on the sample.
+    pub query_s: f64,
+    /// Error-estimation overhead.
+    pub error_s: f64,
+    /// Diagnostics overhead.
+    pub diag_s: f64,
+}
+
+impl SimTimings {
+    /// End-to-end latency.
+    pub fn total(&self) -> f64 {
+        self.query_s + self.error_s + self.diag_s
+    }
+}
+
+/// Scan task granularity (HDFS-block-sized splits).
+const TASK_MB: f64 = 64.0;
+/// Relative cost of a streamed weighted accumulation vs. a full
+/// re-aggregation of the same data.
+const WEIGHTED_AGG_DISCOUNT: f64 = 0.3;
+/// Row-width blowup of carrying the consolidated weight columns
+/// (§5.3.2's "temporarily increases the overall amount of intermediate
+/// data").
+const WEIGHT_COLUMN_BLOWUP: f64 = 16.0;
+
+fn scan_tasks(mb: f64) -> usize {
+    (mb / TASK_MB).ceil().max(1.0) as usize
+}
+
+/// The main query job: scan the sample, filter, aggregate.
+fn query_job(p: &QueryProfile, mode: PlanMode) -> Job {
+    let cpu = p.scan_cpu_ms_per_mb * p.sample_mb + p.agg_cpu_ms_per_mb * p.post_mb();
+    let (cpu, intermediate) = match mode {
+        PlanMode::Naive => (cpu, p.post_mb()),
+        // Consolidation also draws Poisson weights for surviving tuples
+        // (cheap table-inversion draws) and widens the intermediate rows.
+        PlanMode::Optimized => (
+            cpu + 0.05 * p.agg_cpu_ms_per_mb * p.post_mb(),
+            p.post_mb() * WEIGHT_COLUMN_BLOWUP,
+        ),
+    };
+    Job::split(p.sample_mb, cpu, scan_tasks(p.sample_mb), intermediate)
+}
+
+/// Simulate one query under the given strategy and tuning.
+pub fn simulate_query(
+    profile: &QueryProfile,
+    mode: PlanMode,
+    tuning: &PhysicalTuning,
+    cfg: &ClusterConfig,
+    seed: u64,
+) -> SimTimings {
+    let seeds = SeedStream::new(seed);
+    let n_scan_tasks = scan_tasks(profile.sample_mb);
+    let k_levels = profile.diag_subsample_mb.len();
+    let subsample_total_mb: f64 = profile.diag_subsample_mb.iter().sum();
+
+    // Phase 1: the query itself.
+    let query_s = simulate_job(&query_job(profile, mode), tuning, cfg, &mut seeds.rng(0));
+
+    // Phase 2: error estimation.
+    let error_s = match (mode, profile.closed_form) {
+        (PlanMode::Naive, true) => {
+            // A separate small subquery re-aggregating the (cached)
+            // post-filter data to compute the variance statistics.
+            let cpu = profile.agg_cpu_ms_per_mb * profile.post_mb() * 1.5;
+            let job =
+                Job::split(profile.post_mb(), cpu, scan_tasks(profile.post_mb()), 0.0);
+            simulate_jobs(&[job], tuning, cfg, seeds.derive(1))
+        }
+        (PlanMode::Naive, false) => {
+            // K full-sample subqueries (the UNION ALL of §5.2).
+            let one = query_job(profile, PlanMode::Naive);
+            let jobs = vec![one; profile.bootstrap_k];
+            simulate_jobs(&jobs, tuning, cfg, seeds.derive(2))
+        }
+        (PlanMode::Optimized, true) => {
+            // Moment accumulators maintained during the single scan.
+            let cpu = profile.agg_cpu_ms_per_mb * profile.post_mb() * 1.5;
+            let job = Job::cpu_only(cpu, n_scan_tasks).piggyback();
+            simulate_job(&job, tuning, cfg, &mut seeds.rng(3))
+        }
+        (PlanMode::Optimized, false) => {
+            // K weighted accumulations over the post-filter tuples,
+            // streamed in the same pass; K result streams reduce.
+            let cpu = profile.bootstrap_k as f64
+                * profile.agg_cpu_ms_per_mb
+                * profile.post_mb()
+                * WEIGHTED_AGG_DISCOUNT;
+            let job = Job::cpu_only(cpu, n_scan_tasks)
+                .with_streams(profile.bootstrap_k)
+                .with_intermediate(profile.post_mb() * WEIGHT_COLUMN_BLOWUP)
+                .piggyback();
+            simulate_job(&job, tuning, cfg, &mut seeds.rng(4))
+        }
+    };
+
+    // Phase 3: diagnostics.
+    let diag_s = match mode {
+        PlanMode::Naive => {
+            // p·k subsample-extraction subqueries plus per-subsample error
+            // estimation: K single-task resample subqueries (bootstrap) or
+            // one closed-form subquery.
+            let mut jobs = Vec::new();
+            for &b in &profile.diag_subsample_mb {
+                for _ in 0..profile.diag_p {
+                    let cpu = profile.scan_cpu_ms_per_mb * b;
+                    jobs.push(Job::split(b, cpu, scan_tasks(b), 0.0));
+                    let post_b = b * profile.selectivity;
+                    if profile.closed_form {
+                        jobs.push(Job::cpu_only(profile.agg_cpu_ms_per_mb * post_b, 1));
+                    } else {
+                        for _ in 0..profile.bootstrap_k {
+                            jobs.push(Job::cpu_only(
+                                profile.agg_cpu_ms_per_mb * post_b * WEIGHTED_AGG_DISCOUNT,
+                                1,
+                            ));
+                        }
+                    }
+                }
+            }
+            simulate_jobs(&jobs, tuning, cfg, seeds.derive(5))
+        }
+        PlanMode::Optimized => {
+            // All subsample estimates computed from the consolidated scan:
+            // CPU over p · Σbᵢ · selectivity MB of values — once for θ̂ and
+            // (bootstrap ξ) K discounted times for the resample intervals —
+            // with p·k result streams in the diagnostic operator's reduce.
+            let data_mb = profile.diag_p as f64 * subsample_total_mb * profile.selectivity;
+            let reps = if profile.closed_form {
+                1.0
+            } else {
+                profile.bootstrap_k as f64 * WEIGHTED_AGG_DISCOUNT
+            };
+            let cpu = profile.agg_cpu_ms_per_mb * data_mb * (1.0 + reps);
+            let job = Job::cpu_only(cpu, n_scan_tasks)
+                .with_streams(profile.diag_p * k_levels)
+                .with_intermediate(data_mb)
+                .piggyback();
+            simulate_job(&job, tuning, cfg, &mut seeds.rng(6))
+        }
+    };
+
+    SimTimings { query_s, error_s, diag_s }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ClusterConfig {
+        ClusterConfig::default()
+    }
+
+    fn sim(profile: &QueryProfile, mode: PlanMode, tuning: &PhysicalTuning) -> SimTimings {
+        simulate_query(profile, mode, tuning, &cfg(), 42)
+    }
+
+    #[test]
+    fn naive_qset2_takes_minutes_optimized_takes_seconds() {
+        // Fig. 7(b) vs Fig. 9(b).
+        let p = QueryProfile::qset2_default();
+        let untuned = PhysicalTuning::untuned(&cfg());
+        let naive = sim(&p, PlanMode::Naive, &untuned);
+        assert!(naive.total() > 60.0, "naive QSet-2 total {} s", naive.total());
+
+        let tuned = PhysicalTuning::tuned();
+        let opt = sim(&p, PlanMode::Optimized, &tuned);
+        assert!(opt.total() < 10.0, "optimized QSet-2 total {} s", opt.total());
+    }
+
+    #[test]
+    fn naive_qset1_takes_tens_of_seconds() {
+        // Fig. 7(a): QSet-1 baseline totals in the tens of seconds,
+        // dominated by the diagnostics overhead.
+        let p = QueryProfile::qset1_default();
+        let untuned = PhysicalTuning::untuned(&cfg());
+        let naive = sim(&p, PlanMode::Naive, &untuned);
+        assert!(
+            naive.total() > 10.0 && naive.total() < 300.0,
+            "naive QSet-1 total {} s",
+            naive.total()
+        );
+        assert!(naive.diag_s > naive.error_s, "{naive:?}");
+    }
+
+    #[test]
+    fn qset2_plan_speedups_match_paper_bands() {
+        // Fig. 8(b): error estimation 20–60×, diagnostics 20–100×
+        // (slack allowed around the published bands).
+        let p = QueryProfile::qset2_default();
+        let untuned = PhysicalTuning::untuned(&cfg());
+        let naive = sim(&p, PlanMode::Naive, &untuned);
+        let opt = sim(&p, PlanMode::Optimized, &untuned);
+        let err_speedup = naive.error_s / opt.error_s;
+        let diag_speedup = naive.diag_s / opt.diag_s;
+        assert!((15.0..=100.0).contains(&err_speedup), "QSet-2 error speedup {err_speedup}");
+        assert!((15.0..=160.0).contains(&diag_speedup), "QSet-2 diag speedup {diag_speedup}");
+    }
+
+    #[test]
+    fn qset1_plan_speedups_match_paper_bands() {
+        // Fig. 8(a): error estimation 1–2×, diagnostics 5–20×.
+        let p = QueryProfile::qset1_default();
+        let untuned = PhysicalTuning::untuned(&cfg());
+        let naive = sim(&p, PlanMode::Naive, &untuned);
+        let opt = sim(&p, PlanMode::Optimized, &untuned);
+        let err_speedup = naive.error_s / opt.error_s;
+        let diag_speedup = naive.diag_s / opt.diag_s;
+        assert!((0.8..=4.0).contains(&err_speedup), "QSet-1 error speedup {err_speedup}");
+        assert!((4.0..=30.0).contains(&diag_speedup), "QSet-1 diag speedup {diag_speedup}");
+    }
+
+    #[test]
+    fn parallelism_sweet_spot_is_intermediate() {
+        // Fig. 8(c): error estimation + diagnostics are most efficient at
+        // a bounded degree of parallelism (~20 machines), and degrade
+        // toward the full cluster.
+        let p = QueryProfile::qset2_default();
+        let lat_at = |m: usize| {
+            let t = PhysicalTuning {
+                parallelism: m,
+                cache_fraction: 0.35,
+                straggler_mitigation: false,
+            };
+            let s = sim(&p, PlanMode::Optimized, &t);
+            s.error_s + s.diag_s
+        };
+        let l1 = lat_at(1);
+        let l20 = lat_at(20);
+        let l100 = lat_at(100);
+        assert!(l20 < l1, "20 machines {l20} vs 1 machine {l1}");
+        assert!(l100 > l20, "100 machines {l100} vs 20 machines {l20}");
+    }
+
+    #[test]
+    fn optimized_beats_naive_everywhere() {
+        for profile in [QueryProfile::qset1_default(), QueryProfile::qset2_default()] {
+            let t = PhysicalTuning::untuned(&cfg());
+            let naive = sim(&profile, PlanMode::Naive, &t);
+            let opt = sim(&profile, PlanMode::Optimized, &t);
+            assert!(opt.error_s <= naive.error_s * 1.3, "{profile:?}");
+            assert!(opt.diag_s <= naive.diag_s, "{profile:?}");
+        }
+    }
+
+    #[test]
+    fn physical_tuning_improves_optimized_plan() {
+        // Fig. 8(e)/(f): tuning parallelism/cache/stragglers on top of the
+        // plan optimizations yields further speedups.
+        let p = QueryProfile::qset2_default();
+        let c = cfg();
+        let untuned = PhysicalTuning::untuned(&c);
+        let tuned = PhysicalTuning::tuned();
+        let avg = |t: &PhysicalTuning| {
+            (0..20)
+                .map(|s| simulate_query(&p, PlanMode::Optimized, t, &c, 100 + s).total())
+                .sum::<f64>()
+                / 20.0
+        };
+        let u = avg(&untuned);
+        let tu = avg(&tuned);
+        assert!(tu < u, "tuned {tu} vs untuned {u}");
+    }
+
+    #[test]
+    fn selectivity_drives_optimized_bootstrap_cost() {
+        // Operator pushdown's benefit: lower selectivity = cheaper error
+        // estimation (weights only for surviving tuples).
+        let t = PhysicalTuning::tuned();
+        let mut lo = QueryProfile::qset2_default();
+        lo.selectivity = 0.005;
+        let mut hi = QueryProfile::qset2_default();
+        hi.selectivity = 0.3;
+        let e_lo = sim(&lo, PlanMode::Optimized, &t).error_s;
+        let e_hi = sim(&hi, PlanMode::Optimized, &t).error_s;
+        assert!(e_lo < e_hi, "lo {e_lo} vs hi {e_hi}");
+    }
+
+    #[test]
+    fn determinism() {
+        let p = QueryProfile::qset1_default();
+        let t = PhysicalTuning::tuned();
+        let a = simulate_query(&p, PlanMode::Optimized, &t, &cfg(), 7);
+        let b = simulate_query(&p, PlanMode::Optimized, &t, &cfg(), 7);
+        assert_eq!(a, b);
+    }
+}

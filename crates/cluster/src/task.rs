@@ -1,0 +1,113 @@
+//! Jobs and tasks — the simulator's unit of work.
+
+use serde::{Deserialize, Serialize};
+
+/// One task: scans some input and burns some CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Input bytes to scan, MB.
+    pub input_mb: f64,
+    /// Pure compute time at nominal speed, ms.
+    pub cpu_ms: f64,
+}
+
+impl Task {
+    /// A compute-only task.
+    pub fn cpu(cpu_ms: f64) -> Self {
+        Task { input_mb: 0.0, cpu_ms }
+    }
+}
+
+/// A job: a bag of parallel tasks followed by a many-to-one reduce.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// The parallel tasks.
+    pub tasks: Vec<Task>,
+    /// Working-set size of intermediate data during execution, MB
+    /// (drives the §6.2 cache-vs-working-memory trade-off).
+    pub intermediate_mb: f64,
+    /// Independent result streams funneled through the final many-to-one
+    /// aggregation (1 for a plain aggregate; K + p·k for a consolidated
+    /// error-estimation/diagnostic pass — §6.1's communication term).
+    pub result_streams: usize,
+    /// Piggyback jobs ride the tasks of an already-dispatched scan
+    /// (scan consolidation): they pay no dispatch or task-launch
+    /// overhead, only CPU waves and their reduce.
+    pub piggyback: bool,
+}
+
+impl Job {
+    /// Split `input_mb` of scan work plus `cpu_ms_total` of compute into
+    /// `n_tasks` equal tasks.
+    pub fn split(input_mb: f64, cpu_ms_total: f64, n_tasks: usize, intermediate_mb: f64) -> Job {
+        let n = n_tasks.max(1);
+        let t = Task { input_mb: input_mb / n as f64, cpu_ms: cpu_ms_total / n as f64 };
+        Job { tasks: vec![t; n], intermediate_mb, result_streams: 1, piggyback: false }
+    }
+
+    /// A compute-only job of `n_tasks` equal tasks.
+    pub fn cpu_only(cpu_ms_total: f64, n_tasks: usize) -> Job {
+        Job::split(0.0, cpu_ms_total, n_tasks, 0.0)
+    }
+
+    /// Set the number of result streams.
+    pub fn with_streams(mut self, streams: usize) -> Job {
+        self.result_streams = streams.max(1);
+        self
+    }
+
+    /// Set the intermediate working-set size.
+    pub fn with_intermediate(mut self, mb: f64) -> Job {
+        self.intermediate_mb = mb;
+        self
+    }
+
+    /// Mark as a piggyback pass on an already-running scan.
+    pub fn piggyback(mut self) -> Job {
+        self.piggyback = true;
+        self
+    }
+
+    /// Total scan input across tasks, MB.
+    pub fn total_input_mb(&self) -> f64 {
+        self.tasks.iter().map(|t| t.input_mb).sum()
+    }
+
+    /// Number of tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_conserves_work() {
+        let j = Job::split(1000.0, 500.0, 7, 50.0);
+        assert_eq!(j.num_tasks(), 7);
+        assert!((j.total_input_mb() - 1000.0).abs() < 1e-9);
+        let total_cpu: f64 = j.tasks.iter().map(|t| t.cpu_ms).sum();
+        assert!((total_cpu - 500.0).abs() < 1e-9);
+        assert_eq!(j.result_streams, 1);
+        assert!(!j.piggyback);
+    }
+
+    #[test]
+    fn split_handles_zero_tasks() {
+        let j = Job::split(10.0, 10.0, 0, 0.0);
+        assert_eq!(j.num_tasks(), 1);
+    }
+
+    #[test]
+    fn builders() {
+        let j = Job::cpu_only(100.0, 4).with_streams(300).with_intermediate(5.0).piggyback();
+        assert_eq!(j.result_streams, 300);
+        assert_eq!(j.intermediate_mb, 5.0);
+        assert!(j.piggyback);
+        assert_eq!(j.total_input_mb(), 0.0);
+        // Streams floor at 1.
+        assert_eq!(Job::cpu_only(1.0, 1).with_streams(0).result_streams, 1);
+    }
+}

@@ -1,0 +1,140 @@
+//! The answer type returned by [`crate::AqpSession::execute`].
+
+use aqp_exec::result::{GroupResult, PhaseTimings};
+
+/// How the session ultimately answered a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnswerMode {
+    /// Approximate answer with validated error bars.
+    Approximate,
+    /// Approximate answer; the diagnostic was not run (no samples, or
+    /// diagnostics disabled).
+    ApproximateUnchecked,
+    /// The diagnostic rejected the error bars; the system fell back to
+    /// exact execution (§1: "falling back to non-approximate methods to
+    /// answer queries whose errors cannot be accurately estimated").
+    ExactFallback,
+    /// Some per-group/per-aggregate results were approved and kept
+    /// approximate; the rejected ones were replaced with exact values
+    /// (§2.1: "when a query produces multiple results, we treat each
+    /// result as a separate query").
+    PartialFallback,
+    /// Exact execution was requested directly (no error clause, no
+    /// samples).
+    Exact,
+}
+
+/// A complete answer.
+#[derive(Debug, Clone)]
+pub struct AqpAnswer {
+    /// Per-group, per-aggregate results. For exact answers, the CI is
+    /// `None` and estimates are exact values.
+    pub groups: Vec<GroupResult>,
+    /// How the answer was produced.
+    pub mode: AnswerMode,
+    /// Shorthand: did the system fall back to exact execution?
+    pub fell_back: bool,
+    /// Rows of the sample used (0 for exact paths).
+    pub sample_rows: usize,
+    /// Rows of the full table.
+    pub population_rows: usize,
+    /// Phase timings of the approximate attempt (zeroes for direct exact
+    /// execution).
+    pub timings: PhaseTimings,
+    /// The EXPLAIN rendering of the (rewritten) plan that ran.
+    pub plan: String,
+}
+
+impl AqpAnswer {
+    /// The single result of an ungrouped single-aggregate query.
+    pub fn scalar(&self) -> Option<&aqp_exec::result::AggResult> {
+        match self.groups.as_slice() {
+            [g] if g.aggs.len() == 1 => Some(&g.aggs[0]),
+            _ => None,
+        }
+    }
+
+    /// Render a compact human-readable summary.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "mode: {:?}  sample: {}/{} rows  time: {:?}",
+            self.mode,
+            self.sample_rows,
+            self.population_rows,
+            self.timings.total()
+        );
+        for g in &self.groups {
+            for a in &g.aggs {
+                let key = if g.key.is_empty() { String::new() } else { format!("{} | ", g.key) };
+                match &a.ci {
+                    Some(ci) => {
+                        let _ = writeln!(
+                            out,
+                            "{key}{} = {:.4} ± {:.4}  ({:.0}% conf, {:?}{})",
+                            a.name,
+                            a.estimate,
+                            ci.half_width,
+                            ci.confidence * 100.0,
+                            a.method,
+                            match &a.diagnostic {
+                                Some(d) if d.accepted => ", diagnostic: OK",
+                                Some(_) => ", diagnostic: REJECTED",
+                                None => "",
+                            }
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(out, "{key}{} = {:.4}  (exact)", a.name, a.estimate);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqp_exec::result::{AggResult, MethodUsed};
+    use aqp_stats::ci::Ci;
+
+    fn answer() -> AqpAnswer {
+        AqpAnswer {
+            groups: vec![GroupResult {
+                key: String::new(),
+                aggs: vec![AggResult {
+                    name: "AVG(time)".into(),
+                    estimate: 12.5,
+                    ci: Some(Ci::new(12.5, 0.4, 0.95)),
+                    method: MethodUsed::ClosedForm,
+                    diagnostic: None,
+                }],
+            }],
+            mode: AnswerMode::ApproximateUnchecked,
+            fell_back: false,
+            sample_rows: 1_000,
+            population_rows: 100_000,
+            timings: PhaseTimings::default(),
+            plan: String::new(),
+        }
+    }
+
+    #[test]
+    fn scalar_accessor() {
+        let a = answer();
+        assert_eq!(a.scalar().unwrap().estimate, 12.5);
+    }
+
+    #[test]
+    fn summary_mentions_estimate_and_confidence() {
+        let s = answer().summary();
+        assert!(s.contains("AVG(time)"));
+        assert!(s.contains("12.5"));
+        assert!(s.contains("95% conf"));
+        assert!(s.contains("1000/100000"));
+    }
+}

@@ -1,0 +1,212 @@
+//! Progressive execution: grow the sample until the validated error
+//! bound is met.
+//!
+//! §1: "by varying the sample size while estimating the magnitude of the
+//! resulting error bars, the system can make a smooth and controlled
+//! trade-off between accuracy and query time." This module walks the
+//! stored uniform samples smallest-first, re-executing the query (with
+//! its single-scan error estimation + diagnostic) at each size, and
+//! stops at the first answer whose *validated* relative error meets the
+//! target — falling through to exact execution when even the largest
+//! sample cannot (or its error bars cannot be trusted).
+//!
+//! This is the online-aggregation-shaped interface (Hellerstein et al.,
+//! cited as \[21\]) re-built on the paper's machinery: every intermediate
+//! answer a user sees carries diagnosed error bars.
+
+use crate::answer::AqpAnswer;
+use crate::session::AqpSession;
+use crate::Result;
+
+/// One step of a progressive execution.
+#[derive(Debug, Clone)]
+pub struct ProgressiveStep {
+    /// Sample rows used at this step (0 = exact execution).
+    pub sample_rows: usize,
+    /// The answer produced at this step.
+    pub answer: AqpAnswer,
+    /// The worst validated relative half-width across results at this
+    /// step (`None` when some result has no validated interval).
+    pub worst_relative_error: Option<f64>,
+    /// Whether this step met the target.
+    pub satisfied: bool,
+}
+
+/// The full progressive trace.
+#[derive(Debug, Clone)]
+pub struct ProgressiveResult {
+    /// All steps, in execution order; the last one is the served answer.
+    pub steps: Vec<ProgressiveStep>,
+    /// Whether the target was met by an approximate step (false = the
+    /// final answer is exact).
+    pub satisfied_approximately: bool,
+}
+
+impl ProgressiveResult {
+    /// The answer that should be served to the user.
+    pub fn final_answer(&self) -> &AqpAnswer {
+        &self.steps.last().expect("at least one step").answer
+    }
+}
+
+/// Worst validated relative half-width across all results of an answer.
+fn worst_relative_error(answer: &AqpAnswer) -> Option<f64> {
+    let mut worst: f64 = 0.0;
+    for g in &answer.groups {
+        for a in &g.aggs {
+            let ci = a.ci.as_ref()?;
+            if !a.error_bars_reliable() {
+                return None;
+            }
+            let rel = ci.relative_half_width();
+            if !rel.is_finite() {
+                return None;
+            }
+            worst = worst.max(rel);
+        }
+    }
+    Some(worst)
+}
+
+impl AqpSession {
+    /// Execute `sql` progressively over the stored uniform samples until
+    /// the validated relative error is ≤ `target_rel_error`, falling back
+    /// to exact execution if no sample suffices.
+    ///
+    /// The query must not carry its own error clause (the target is given
+    /// here); sample sizes come from the session's sample set.
+    pub fn execute_progressive(
+        &self,
+        sql: &str,
+        target_rel_error: f64,
+    ) -> Result<ProgressiveResult> {
+        let query = aqp_sql::parse_query(sql)?;
+        if query.error_clause.is_some() {
+            return Err(crate::CoreError::Config(
+                "progressive execution takes the error target as an argument; \
+                 remove the WITHIN clause"
+                    .into(),
+            ));
+        }
+        let table_name = match &query.from {
+            aqp_sql::TableRef::Table(t) => t.clone(),
+            aqp_sql::TableRef::Subquery(_) => {
+                return Err(crate::CoreError::Config(
+                    "progressive execution supports single-block queries".into(),
+                ))
+            }
+        };
+        let sizes: Vec<usize> = self
+            .catalog()
+            .with_samples(&table_name, |set| {
+                Ok(set.uniform_samples().map(|s| s.meta.rows).collect())
+            })
+            .unwrap_or_default();
+
+        let mut steps = Vec::new();
+        for rows in sizes {
+            // Route through the ordinary path with a per-size bound: an
+            // error clause demanding this sample size exactly.
+            let answer = self.execute_with_sample_rows(sql, rows)?;
+            let worst = worst_relative_error(&answer);
+            let satisfied = worst.map(|w| w <= target_rel_error).unwrap_or(false)
+                && !answer.fell_back;
+            let step = ProgressiveStep {
+                sample_rows: answer.sample_rows,
+                answer,
+                worst_relative_error: worst,
+                satisfied,
+            };
+            let done = step.satisfied;
+            steps.push(step);
+            if done {
+                return Ok(ProgressiveResult { steps, satisfied_approximately: true });
+            }
+        }
+
+        // No sample satisfied the bound (or error bars were rejected):
+        // exact execution.
+        let exact = self.execute_exact_only(sql)?;
+        steps.push(ProgressiveStep {
+            sample_rows: 0,
+            answer: exact,
+            worst_relative_error: Some(0.0),
+            satisfied: true,
+        });
+        Ok(ProgressiveResult { steps, satisfied_approximately: false })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answer::AnswerMode;
+    use crate::SessionConfig;
+    use aqp_workload::{conviva_sessions_table, facebook_events_table};
+
+    fn session() -> AqpSession {
+        let s = AqpSession::new(SessionConfig { seed: 3, ..Default::default() });
+        s.register_table(conviva_sessions_table(300_000, 8, 2)).unwrap();
+        s.build_samples("sessions", &[3_000, 15_000, 60_000], 5).unwrap();
+        s
+    }
+
+    #[test]
+    fn loose_target_stops_early() {
+        let s = session();
+        let r = s.execute_progressive("SELECT AVG(time) FROM sessions", 0.2).unwrap();
+        assert!(r.satisfied_approximately, "{:?}", r.steps.len());
+        assert!(r.steps.len() <= 2, "took {} steps", r.steps.len());
+        assert!(r.final_answer().sample_rows <= 15_000);
+    }
+
+    #[test]
+    fn tight_target_needs_larger_samples() {
+        let s = session();
+        let loose = s.execute_progressive("SELECT AVG(time) FROM sessions", 0.2).unwrap();
+        let tight = s.execute_progressive("SELECT AVG(time) FROM sessions", 0.005).unwrap();
+        assert!(
+            tight.final_answer().sample_rows >= loose.final_answer().sample_rows
+                || !tight.satisfied_approximately
+        );
+        // Error shrinks monotonically along the trace (up to noise).
+        let errs: Vec<f64> = tight
+            .steps
+            .iter()
+            .filter_map(|st| st.worst_relative_error)
+            .collect();
+        if errs.len() >= 2 {
+            assert!(errs.last().unwrap() <= &(errs[0] * 1.5), "{errs:?}");
+        }
+    }
+
+    #[test]
+    fn impossible_target_falls_through_to_exact() {
+        let s = session();
+        let r = s.execute_progressive("SELECT AVG(time) FROM sessions", 1e-9).unwrap();
+        assert!(!r.satisfied_approximately);
+        let last = r.steps.last().unwrap();
+        assert_eq!(last.sample_rows, 0);
+        assert_eq!(last.answer.mode, AnswerMode::Exact);
+    }
+
+    #[test]
+    fn unreliable_error_bars_never_satisfy() {
+        // MAX on Pareto: every approximate step is rejected; the trace
+        // must end exact.
+        let s = AqpSession::new(SessionConfig { seed: 4, ..Default::default() });
+        s.register_table(facebook_events_table(200_000, 8, 3)).unwrap();
+        s.build_samples("events", &[10_000, 40_000], 7).unwrap();
+        let r = s.execute_progressive("SELECT MAX(payload_kb) FROM events", 0.5).unwrap();
+        assert!(!r.satisfied_approximately, "{:#?}", r.steps.iter().map(|s| s.satisfied).collect::<Vec<_>>());
+        assert_eq!(r.final_answer().mode, AnswerMode::Exact);
+    }
+
+    #[test]
+    fn error_clause_in_sql_is_rejected() {
+        let s = session();
+        assert!(s
+            .execute_progressive("SELECT AVG(time) FROM sessions WITHIN 5% ERROR", 0.05)
+            .is_err());
+    }
+}

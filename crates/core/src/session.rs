@@ -1,0 +1,934 @@
+//! The AQP session: registration, sampling, and reliable execution.
+
+use aqp_diagnostics::DiagnosticConfig;
+use aqp_exec::engine::{execute_approx, execute_exact, ApproxOptions, MethodChoice};
+use aqp_exec::result::PhaseTimings;
+use aqp_exec::udf::UdfRegistry;
+use aqp_sql::logical::{DiagnosticWeights, ErrorMethod, LogicalPlan, ResampleSpec};
+use aqp_sql::rewriter::{rewrite_for_error_estimation, ResamplePlacement};
+use aqp_sql::{parse_query, plan_query, Query};
+use aqp_stats::rng::SeedStream;
+use aqp_stats::sampling::{permutation, with_replacement_indices};
+use aqp_storage::{Catalog, SamplingStrategy, Strata, StratumMeta, Table};
+use parking_lot::Mutex;
+
+use crate::answer::{AnswerMode, AqpAnswer};
+use crate::sample_selection::required_sample_rows;
+use crate::Result;
+
+/// Session-level configuration.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Root seed for sampling, resampling, and diagnostics.
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+    /// Bootstrap resamples K.
+    pub bootstrap_k: usize,
+    /// Diagnostic subsamples per size (p). The paper uses 100; sessions
+    /// on laptop-scale samples may lower it.
+    pub diagnostic_p: usize,
+    /// Run the diagnostic on every approximate query.
+    pub run_diagnostics: bool,
+    /// Confidence when a query has no explicit error clause.
+    pub default_confidence: f64,
+    /// Pilot sample rows used when translating an error clause into a
+    /// sample size.
+    pub pilot_rows: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            seed: 0,
+            threads: aqp_exec::parallel::default_threads(),
+            bootstrap_k: 100,
+            diagnostic_p: 100,
+            run_diagnostics: true,
+            default_confidence: 0.95,
+            pilot_rows: 2_000,
+        }
+    }
+}
+
+/// A reliable-AQP session.
+pub struct AqpSession {
+    catalog: Catalog,
+    registry: Mutex<UdfRegistry>,
+    config: SessionConfig,
+}
+
+impl AqpSession {
+    /// Create a session.
+    pub fn new(config: SessionConfig) -> Self {
+        AqpSession {
+            catalog: Catalog::new(),
+            registry: Mutex::new(UdfRegistry::default()),
+            config,
+        }
+    }
+
+    /// The session's catalog handle.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Register an aggregate UDF.
+    pub fn register_udf(&self, name: &str, udf: aqp_stats::estimator::Udf) {
+        self.registry.lock().register(name, udf);
+    }
+
+    /// Register a table.
+    pub fn register_table(&self, table: Table) -> Result<()> {
+        self.catalog.register_table(table)?;
+        Ok(())
+    }
+
+    /// Build shuffled uniform samples of `table` at the given row counts
+    /// (without replacement, so a sample is also a valid exact subset;
+    /// stored pre-shuffled so any contiguous range is a uniform sample).
+    pub fn build_samples(&self, table: &str, sizes: &[usize], seed: u64) -> Result<()> {
+        let t = self.catalog.table(table)?;
+        let seeds = SeedStream::new(self.config.seed ^ seed);
+        for (i, &n) in sizes.iter().enumerate() {
+            let mut rng = seeds.rng(i as u64);
+            let rows = t.num_rows();
+            let idx = if n <= rows {
+                aqp_stats::sampling::without_replacement_indices(&mut rng, n, rows)
+            } else {
+                with_replacement_indices(&mut rng, n, rows)
+            };
+            let partitions = t.num_partitions().max(1);
+            self.catalog.with_samples_mut(table, |set| {
+                set.add_from_indices(
+                    &t,
+                    &idx,
+                    if n <= rows {
+                        SamplingStrategy::WithoutReplacement
+                    } else {
+                        SamplingStrategy::WithReplacement
+                    },
+                    seeds.seed(i as u64),
+                    partitions,
+                )?;
+                Ok(())
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Build a *stratified* sample on `column`: up to `rows_per_stratum`
+    /// uniformly-sampled rows per distinct value, each stratum with its
+    /// own sampling rate (BlinkDB's mechanism for keeping rare groups
+    /// answerable). GROUP-BY-on-`column` queries automatically use it
+    /// with per-stratum scaling.
+    pub fn build_stratified_sample(
+        &self,
+        table: &str,
+        column: &str,
+        rows_per_stratum: usize,
+        seed: u64,
+    ) -> Result<()> {
+        let t = self.catalog.table(table)?;
+        let full = t.to_batch()?;
+        let col = full.column_by_name(column)?;
+        // Group row indices by rendered key (same rendering the executor's
+        // GROUP BY uses).
+        let mut strata_rows: std::collections::HashMap<String, Vec<usize>> =
+            std::collections::HashMap::new();
+        for i in 0..full.num_rows() {
+            let key = col
+                .value(i)
+                .map(|v| v.to_string())
+                .unwrap_or_else(|_| "?".to_string());
+            strata_rows.entry(key).or_default().push(i);
+        }
+        let seeds = SeedStream::new(self.config.seed ^ seed ^ 0x57A7);
+        let mut keys: Vec<String> = strata_rows.keys().cloned().collect();
+        keys.sort(); // deterministic stratum order
+        let mut indices: Vec<usize> = Vec::new();
+        let mut groups: Vec<StratumMeta> = Vec::with_capacity(keys.len());
+        for (si, key) in keys.iter().enumerate() {
+            let rows = &strata_rows[key];
+            let take = rows_per_stratum.min(rows.len());
+            let mut rng = seeds.rng(si as u64);
+            let picks =
+                aqp_stats::sampling::without_replacement_indices(&mut rng, take, rows.len());
+            indices.extend(picks.into_iter().map(|p| rows[p]));
+            groups.push(StratumMeta {
+                key: key.clone(),
+                sample_rows: take,
+                population_rows: rows.len(),
+            });
+        }
+        // Global shuffle so row ranges stay valid diagnostic subsamples.
+        let mut rng = seeds.rng(0xFFFF);
+        let perm = permutation(&mut rng, indices.len());
+        let shuffled: Vec<usize> = perm.into_iter().map(|i| indices[i]).collect();
+        let strata = Strata { column: column.to_owned(), groups };
+        let partitions = t.num_partitions().max(1);
+        self.catalog.with_samples_mut(table, |set| {
+            set.add_stratified(&t, &shuffled, strata, seeds.seed(1), partitions)?;
+            Ok(())
+        })?;
+        Ok(())
+    }
+
+    /// Rebuild the largest sample as a full shuffle of the table (useful
+    /// for exactness testing).
+    pub fn build_full_shuffle(&self, table: &str, seed: u64) -> Result<()> {
+        let t = self.catalog.table(table)?;
+        let mut rng = SeedStream::new(self.config.seed ^ seed).rng(0xFF);
+        let idx = permutation(&mut rng, t.num_rows());
+        let partitions = t.num_partitions().max(1);
+        self.catalog.with_samples_mut(table, |set| {
+            set.add_from_indices(&t, &idx, SamplingStrategy::WithoutReplacement, seed, partitions)?;
+            Ok(())
+        })?;
+        Ok(())
+    }
+
+    /// Render the rewritten plan an `execute` of this SQL would run,
+    /// without executing it.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let query = parse_query(sql)?;
+        let table_name = leaf_table_name(&query)?;
+        let table = self.catalog.table(&table_name)?;
+        let plan = plan_query(&query, table.schema())?;
+        let has_samples = self
+            .catalog
+            .with_samples(&table_name, |s| Ok(s.uniform_samples().next().is_some()))
+            .unwrap_or(false);
+        if !has_samples {
+            return Ok(plan.explain());
+        }
+        let diag_cfg = self
+            .config
+            .run_diagnostics
+            .then(|| DiagnosticConfig::scaled_to(self.config.pilot_rows.max(1_000), self.config.diagnostic_p));
+        let spec = ResampleSpec {
+            bootstrap_k: self.config.bootstrap_k,
+            diagnostic: diag_cfg.as_ref().map(|c| DiagnosticWeights {
+                subsample_rows: c.subsample_rows.clone(),
+                p: c.p,
+            }),
+            seed: self.config.seed,
+        };
+        let method = if query.closed_form_applicable() {
+            ErrorMethod::ClosedForm
+        } else {
+            ErrorMethod::Bootstrap
+        };
+        Ok(rewrite_for_error_estimation(
+            plan,
+            spec,
+            method,
+            query.error_clause.map(|e| e.confidence).unwrap_or(self.config.default_confidence),
+            ResamplePlacement::PushedDown,
+        )
+        .explain())
+    }
+
+    /// Execute a SQL query, approximately when samples and/or an error
+    /// clause allow, with automatic exact fallback on diagnostic
+    /// rejection.
+    pub fn execute(&self, sql: &str) -> Result<AqpAnswer> {
+        let query = parse_query(sql)?;
+        let table_name = leaf_table_name(&query)?;
+        let table = self.catalog.table(&table_name)?;
+        let plan = plan_query(&query, table.schema())?;
+        let registry = self.registry.lock().clone();
+
+        // --- Stratified fast path: a single-column GROUP BY with a
+        // matching stratified sample uses per-stratum scaling. ---
+        if query.group_by.len() == 1 && !query.is_nested() {
+            let strat = self.catalog.with_samples(&table_name, |set| {
+                Ok(set
+                    .stratified_on(&query.group_by[0])
+                    .map(|s| (s.meta.clone(), s.data.clone())))
+            })?;
+            if let Some((meta, sample_table)) = strat {
+                return self.execute_on_sample(&query, &plan, &table, &registry, meta, sample_table);
+            }
+        }
+
+        let has_samples = self
+            .catalog
+            .with_samples(&table_name, |s| Ok(s.uniform_samples().next().is_some()))
+            .unwrap_or(false);
+        if !has_samples {
+            let answer = self.exact_answer(&plan, &table, &registry, AnswerMode::Exact)?;
+            return apply_having(&query, answer);
+        }
+
+        // --- Sample selection. ---
+        let confidence = query
+            .error_clause
+            .map(|e| e.confidence)
+            .unwrap_or(self.config.default_confidence);
+        let wanted_rows = match query.error_clause {
+            None => usize::MAX, // largest sample
+            Some(e) => self
+                .pilot_required_rows(&plan, &table_name, table.num_rows(), &registry, e.relative_error, confidence)?
+                .unwrap_or(usize::MAX),
+        };
+        let sample = self.catalog.with_samples(&table_name, |set| {
+            let s = match set.best_for(wanted_rows) {
+                Ok(s) => s,
+                Err(_) => set.largest().expect("non-empty sample set"),
+            };
+            Ok((s.meta.clone(), s.data.clone()))
+        })?;
+        let (meta, sample_table) = sample;
+        self.execute_on_sample(&query, &plan, &table, &registry, meta, sample_table)
+    }
+
+
+    /// Run the approximate pipeline on a chosen sample (uniform or
+    /// stratified) with the per-result reliability gate and exact merge.
+    fn execute_on_sample(
+        &self,
+        query: &Query,
+        plan: &LogicalPlan,
+        table: &Table,
+        registry: &UdfRegistry,
+        meta: aqp_storage::SampleMeta,
+        sample_table: Table,
+    ) -> Result<AqpAnswer> {
+        let confidence = query
+            .error_clause
+            .map(|e| e.confidence)
+            .unwrap_or(self.config.default_confidence);
+
+        // --- Plan rewrite (§5.3): consolidated resample, pushed down. ---
+        let diag_cfg = if self.config.run_diagnostics {
+            Some(DiagnosticConfig::scaled_to(meta.rows, self.config.diagnostic_p))
+        } else {
+            None
+        };
+        let method = if query.closed_form_applicable() {
+            ErrorMethod::ClosedForm
+        } else {
+            ErrorMethod::Bootstrap
+        };
+        let spec = ResampleSpec {
+            bootstrap_k: self.config.bootstrap_k,
+            diagnostic: diag_cfg.as_ref().map(|c| DiagnosticWeights {
+                subsample_rows: c.subsample_rows.clone(),
+                p: c.p,
+            }),
+            seed: self.config.seed,
+        };
+        let rewritten = rewrite_for_error_estimation(
+            plan.clone(),
+            spec,
+            method,
+            confidence,
+            ResamplePlacement::PushedDown,
+        );
+
+        // Per-stratum scaling for stratified samples.
+        let group_contexts = meta.strata.as_ref().map(|st| {
+            st.groups
+                .iter()
+                .map(|g| (g.key.clone(), (g.sample_rows, g.population_rows)))
+                .collect::<std::collections::HashMap<_, _>>()
+        });
+
+        // --- Approximate execution. ---
+        let opts = ApproxOptions {
+            method: MethodChoice::Auto,
+            bootstrap_k: self.config.bootstrap_k,
+            alpha: confidence,
+            diagnostic: diag_cfg,
+            seed: self.config.seed,
+            threads: self.config.threads,
+            group_contexts,
+        };
+        let approx = execute_approx(&rewritten, &sample_table, table.num_rows(), registry, &opts)?;
+
+        // --- Reliability gate, per result (§2.1: each group-aggregate is
+        // its own query). Rejected results are replaced with exact values;
+        // approved ones keep their error bars. ---
+        let total_results: usize = approx.groups.iter().map(|g| g.aggs.len()).sum();
+        let rejected: usize = approx
+            .groups
+            .iter()
+            .flat_map(|g| g.aggs.iter())
+            .filter(|a| !a.error_bars_reliable())
+            .count();
+        if rejected == 0 {
+            return apply_having(query, AqpAnswer {
+                groups: approx.groups,
+                mode: if self.config.run_diagnostics {
+                    AnswerMode::Approximate
+                } else {
+                    AnswerMode::ApproximateUnchecked
+                },
+                fell_back: false,
+                sample_rows: approx.sample_rows,
+                population_rows: approx.population_rows,
+                timings: approx.timings,
+                plan: rewritten.explain(),
+            });
+        }
+
+        // Exact execution once; merge per result. The exact run's group
+        // set is authoritative (the sample can miss rare groups entirely).
+        let exact = execute_exact(plan, table, registry, self.config.threads)?;
+        let approx_index: std::collections::HashMap<&str, &aqp_exec::result::GroupResult> =
+            approx.groups.iter().map(|g| (g.key.as_str(), g)).collect();
+        let merged: Vec<aqp_exec::result::GroupResult> = exact
+            .groups
+            .iter()
+            .map(|(key, vals)| aqp_exec::result::GroupResult {
+                key: key.clone(),
+                aggs: vals
+                    .iter()
+                    .enumerate()
+                    .map(|(ai, &exact_v)| {
+                        if let Some(g) = approx_index.get(key.as_str()) {
+                            if let Some(a) = g.aggs.get(ai) {
+                                if a.error_bars_reliable() {
+                                    return a.clone();
+                                }
+                                // Rejected: serve exact, keep the verdict.
+                                return aqp_exec::result::AggResult {
+                                    name: a.name.clone(),
+                                    estimate: exact_v,
+                                    ci: None,
+                                    method: aqp_exec::result::MethodUsed::None,
+                                    diagnostic: a.diagnostic.clone(),
+                                };
+                            }
+                        }
+                        aqp_exec::result::AggResult {
+                            name: format!("agg{ai}"),
+                            estimate: exact_v,
+                            ci: None,
+                            method: aqp_exec::result::MethodUsed::None,
+                            diagnostic: None,
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+        let mode = if rejected == total_results {
+            AnswerMode::ExactFallback
+        } else {
+            AnswerMode::PartialFallback
+        };
+        apply_having(query, AqpAnswer {
+            groups: merged,
+            mode,
+            fell_back: true,
+            sample_rows: approx.sample_rows,
+            population_rows: approx.population_rows,
+            timings: approx.timings,
+            plan: rewritten.explain(),
+        })
+    }
+
+    /// Execute on the specific stored uniform sample of `rows` rows
+    /// (progressive execution's per-step primitive).
+    pub(crate) fn execute_with_sample_rows(&self, sql: &str, rows: usize) -> Result<AqpAnswer> {
+        let query = parse_query(sql)?;
+        let table_name = leaf_table_name(&query)?;
+        let table = self.catalog.table(&table_name)?;
+        let plan = plan_query(&query, table.schema())?;
+        let registry = self.registry.lock().clone();
+        let sample = self.catalog.with_samples(&table_name, |set| {
+            Ok(set
+                .uniform_samples()
+                .find(|s| s.meta.rows == rows)
+                .map(|s| (s.meta.clone(), s.data.clone())))
+        })?;
+        let Some((meta, sample_table)) = sample else {
+            return Err(crate::CoreError::Config(format!(
+                "no stored uniform sample of exactly {rows} rows"
+            )));
+        };
+        self.execute_on_sample(&query, &plan, &table, &registry, meta, sample_table)
+    }
+
+    /// Execute exactly, ignoring samples.
+    pub(crate) fn execute_exact_only(&self, sql: &str) -> Result<AqpAnswer> {
+        let query = parse_query(sql)?;
+        let table_name = leaf_table_name(&query)?;
+        let table = self.catalog.table(&table_name)?;
+        let plan = plan_query(&query, table.schema())?;
+        let registry = self.registry.lock().clone();
+        let answer = self.exact_answer(&plan, &table, &registry, AnswerMode::Exact)?;
+        apply_having(&query, answer)
+    }
+
+    fn exact_answer(
+        &self,
+        plan: &LogicalPlan,
+        table: &Table,
+        registry: &UdfRegistry,
+        mode: AnswerMode,
+    ) -> Result<AqpAnswer> {
+        let exact = execute_exact(plan, table, registry, self.config.threads)?;
+        let groups = exact
+            .groups
+            .iter()
+            .map(|(key, vals)| aqp_exec::result::GroupResult {
+                key: key.clone(),
+                aggs: vals
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| aqp_exec::result::AggResult {
+                        name: format!("agg{i}"),
+                        estimate: v,
+                        ci: None,
+                        method: aqp_exec::result::MethodUsed::None,
+                        diagnostic: None,
+                    })
+                    .collect(),
+            })
+            .collect();
+        Ok(AqpAnswer {
+            groups,
+            mode,
+            fell_back: matches!(mode, AnswerMode::ExactFallback),
+            sample_rows: 0,
+            population_rows: table.num_rows(),
+            timings: PhaseTimings::default(),
+            plan: plan.explain(),
+        })
+    }
+
+    /// Run the pilot to translate an error clause into required rows.
+    fn pilot_required_rows(
+        &self,
+        plan: &LogicalPlan,
+        table_name: &str,
+        population_rows: usize,
+        registry: &UdfRegistry,
+        rel_err: f64,
+        confidence: f64,
+    ) -> Result<Option<usize>> {
+        let pilot = self.catalog.with_samples(table_name, |set| {
+            // The smallest stored uniform sample serves as the pilot.
+            Ok(set
+                .best_for(1)
+                .ok()
+                .or_else(|| set.uniform_samples().next())
+                .cloned())
+        })?;
+        let Some(pilot) = pilot else {
+            return Ok(None);
+        };
+        let opts = ApproxOptions {
+            method: MethodChoice::Auto,
+            bootstrap_k: 50,
+            alpha: confidence,
+            diagnostic: None,
+            seed: self.config.seed ^ 0xB107,
+            threads: self.config.threads,
+            group_contexts: None,
+        };
+        let approx =
+            execute_approx(plan, &pilot.data, population_rows, registry, &opts)?;
+        // Use the widest relative interval across groups/aggregates (the
+        // binding constraint).
+        let mut needed: Option<usize> = None;
+        for g in &approx.groups {
+            for a in &g.aggs {
+                if let Some(ci) = &a.ci {
+                    if let Some(n) = required_sample_rows(ci, approx.sample_rows, rel_err) {
+                        needed = Some(needed.map_or(n, |m: usize| m.max(n)));
+                    }
+                }
+            }
+        }
+        Ok(needed)
+    }
+}
+
+/// Apply a HAVING predicate to an answer's groups: each group becomes a
+/// one-row batch of its GROUP BY keys plus its aggregate estimates
+/// (named by their SELECT aliases, positionally), and groups where the
+/// predicate is not true are dropped.
+fn apply_having(query: &Query, answer: AqpAnswer) -> Result<AqpAnswer> {
+    let answer = apply_having_inner(query, answer)?;
+    Ok(apply_order_limit(query, answer))
+}
+
+/// Sort and truncate output groups per ORDER BY / LIMIT.
+fn apply_order_limit(query: &Query, mut answer: AqpAnswer) -> AqpAnswer {
+    if let Some(o) = &query.order_by {
+        // Positional lookup: group key index or aggregate alias index.
+        let key_idx = query.group_by.iter().position(|g| g == &o.column);
+        let agg_idx = query
+            .select
+            .iter()
+            .filter_map(|item| match item {
+                aqp_sql::ast::SelectItem::Agg(_, alias) => Some(alias.as_deref()),
+                _ => None,
+            })
+            .position(|alias| alias == Some(o.column.as_str()));
+        answer.groups.sort_by(|a, b| {
+            let ord = if let Some(ai) = agg_idx {
+                a.aggs[ai]
+                    .estimate
+                    .partial_cmp(&b.aggs[ai].estimate)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            } else if let Some(ki) = key_idx {
+                let part = |g: &aqp_exec::result::GroupResult| {
+                    g.key.split('\u{1f}').nth(ki).unwrap_or("").to_owned()
+                };
+                let (pa, pb) = (part(a), part(b));
+                match (pa.parse::<f64>(), pb.parse::<f64>()) {
+                    (Ok(x), Ok(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
+                    _ => pa.cmp(&pb),
+                }
+            } else {
+                std::cmp::Ordering::Equal
+            };
+            if o.descending {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+    }
+    if let Some(l) = query.limit {
+        answer.groups.truncate(l);
+    }
+    answer
+}
+
+fn apply_having_inner(query: &Query, mut answer: AqpAnswer) -> Result<AqpAnswer> {
+    let Some(having) = &query.having else {
+        return Ok(answer);
+    };
+    // Positional aliases of the SELECT aggregates.
+    let mut aliases: Vec<Option<String>> = Vec::new();
+    for item in &query.select {
+        if let aqp_sql::ast::SelectItem::Agg(_, alias) = item {
+            aliases.push(alias.clone());
+        }
+    }
+    let keep = |group: &aqp_exec::result::GroupResult| -> Result<bool> {
+        let mut fields = Vec::new();
+        let mut cols = Vec::new();
+        // Group keys: numeric when parseable, string otherwise.
+        let parts: Vec<&str> = if query.group_by.is_empty() {
+            Vec::new()
+        } else {
+            group.key.split('\u{1f}').collect()
+        };
+        for (name, part) in query.group_by.iter().zip(parts) {
+            match part.parse::<f64>() {
+                Ok(v) => {
+                    fields.push(aqp_storage::Field::new(name.clone(), aqp_storage::DataType::Float));
+                    cols.push(aqp_storage::Column::from_f64s(vec![v]));
+                }
+                Err(_) => {
+                    fields.push(aqp_storage::Field::new(name.clone(), aqp_storage::DataType::Str));
+                    cols.push(aqp_storage::Column::from_strs(&[part]));
+                }
+            }
+        }
+        for (alias, agg) in aliases.iter().zip(&group.aggs) {
+            if let Some(alias) = alias {
+                fields.push(aqp_storage::Field::new(alias.clone(), aqp_storage::DataType::Float));
+                cols.push(aqp_storage::Column::from_f64s(vec![agg.estimate]));
+            }
+        }
+        let schema = aqp_storage::Schema::new(fields)?;
+        let batch = aqp_storage::Batch::new(schema, cols)?;
+        let mask = aqp_sql::expr::eval_predicate(having, &batch)?;
+        Ok(mask[0])
+    };
+    let mut kept = Vec::with_capacity(answer.groups.len());
+    for g in answer.groups.drain(..) {
+        if keep(&g)? {
+            kept.push(g);
+        }
+    }
+    answer.groups = kept;
+    Ok(answer)
+}
+
+fn leaf_table_name(query: &Query) -> Result<String> {
+    match &query.from {
+        aqp_sql::TableRef::Table(t) => Ok(t.clone()),
+        aqp_sql::TableRef::Subquery(inner) => leaf_table_name(inner),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqp_workload::{conviva_sessions_table, facebook_events_table};
+
+    fn session_with_sessions(rows: usize, sample_sizes: &[usize]) -> AqpSession {
+        let s = AqpSession::new(SessionConfig { seed: 42, ..Default::default() });
+        s.register_table(conviva_sessions_table(rows, 8, 1)).unwrap();
+        s.build_samples("sessions", sample_sizes, 7).unwrap();
+        s
+    }
+
+    #[test]
+    fn exact_when_no_samples() {
+        let s = AqpSession::new(SessionConfig::default());
+        s.register_table(conviva_sessions_table(10_000, 4, 1)).unwrap();
+        let a = s.execute("SELECT AVG(time) FROM sessions").unwrap();
+        assert_eq!(a.mode, AnswerMode::Exact);
+        assert!(a.scalar().unwrap().ci.is_none());
+    }
+
+    #[test]
+    fn approximate_with_reliable_error_bars() {
+        let s = session_with_sessions(200_000, &[40_000]);
+        let a = s.execute("SELECT AVG(time) FROM sessions").unwrap();
+        assert_eq!(a.mode, AnswerMode::Approximate, "{}", a.summary());
+        assert!(!a.fell_back);
+        let r = a.scalar().unwrap();
+        let ci = r.ci.unwrap();
+        assert!(ci.half_width > 0.0);
+        // Sanity: the estimate is near the exact answer.
+        let exact = {
+            let s2 = AqpSession::new(SessionConfig::default());
+            s2.register_table(conviva_sessions_table(200_000, 8, 1)).unwrap();
+            s2.execute("SELECT AVG(time) FROM sessions").unwrap().scalar().unwrap().estimate
+        };
+        assert!((r.estimate - exact).abs() / exact < 0.05, "{} vs {exact}", r.estimate);
+    }
+
+    #[test]
+    fn error_clause_picks_smaller_sample_when_enough() {
+        let s = session_with_sessions(200_000, &[2_000, 10_000, 50_000]);
+        // A loose 20% bound should not need the 50k sample.
+        let a = s
+            .execute("SELECT AVG(time) FROM sessions WITHIN 20% ERROR AT CONFIDENCE 95%")
+            .unwrap();
+        assert!(a.sample_rows <= 10_000, "used {} rows", a.sample_rows);
+        // A very tight bound should use the largest.
+        let b = s
+            .execute("SELECT AVG(time) FROM sessions WITHIN 0.1% ERROR AT CONFIDENCE 95%")
+            .unwrap();
+        assert!(b.sample_rows >= 50_000 || b.fell_back, "used {} rows", b.sample_rows);
+    }
+
+    #[test]
+    fn falls_back_on_unreliable_extreme_aggregate() {
+        // MAX over Pareto payloads: the diagnostic must reject and the
+        // session must return the exact answer.
+        let s = AqpSession::new(SessionConfig { seed: 3, ..Default::default() });
+        s.register_table(facebook_events_table(200_000, 8, 2)).unwrap();
+        s.build_samples("events", &[40_000], 11).unwrap();
+        let a = s.execute("SELECT MAX(payload_kb) FROM events").unwrap();
+        assert_eq!(a.mode, AnswerMode::ExactFallback, "{}", a.summary());
+        assert!(a.fell_back);
+        // Exact value: the true maximum.
+        let exact = s
+            .catalog()
+            .table("events")
+            .unwrap()
+            .to_batch()
+            .unwrap()
+            .column_by_name("payload_kb")
+            .unwrap()
+            .to_f64_vec()
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(a.scalar().unwrap().estimate, exact);
+    }
+
+    #[test]
+    fn group_by_query_end_to_end() {
+        let s = session_with_sessions(100_000, &[20_000]);
+        let a = s.execute("SELECT city, COUNT(*) FROM sessions GROUP BY city").unwrap();
+        assert!(a.groups.len() >= 8, "groups: {}", a.groups.len());
+        let total: f64 = a.groups.iter().map(|g| g.aggs[0].estimate).sum();
+        assert!((total - 100_000.0).abs() / 100_000.0 < 0.05, "total {total}");
+    }
+
+    #[test]
+    fn udf_query_end_to_end() {
+        let s = session_with_sessions(100_000, &[20_000]);
+        let a = s.execute("SELECT trimmed_mean(time) FROM sessions").unwrap();
+        let r = a.scalar().unwrap();
+        assert!(r.estimate > 0.0);
+        if !a.fell_back {
+            assert_eq!(r.method, aqp_exec::result::MethodUsed::Bootstrap);
+        }
+    }
+
+    #[test]
+    fn custom_udf_registration() {
+        let s = session_with_sessions(50_000, &[10_000]);
+        s.register_udf(
+            "mean_log",
+            aqp_stats::estimator::Udf::new("mean_log", |xs| {
+                xs.iter().filter(|&&x| x > 0.0).map(|x| x.ln()).sum::<f64>()
+                    / xs.iter().filter(|&&x| x > 0.0).count().max(1) as f64
+            }),
+        );
+        let a = s.execute("SELECT mean_log(time) FROM sessions").unwrap();
+        assert!(a.scalar().unwrap().estimate.is_finite());
+    }
+
+    #[test]
+    fn plan_shows_pushed_down_resample() {
+        let s = session_with_sessions(50_000, &[10_000]);
+        let a = s.execute("SELECT AVG(time) FROM sessions WHERE city = 'NYC'").unwrap();
+        let lines: Vec<&str> = a.plan.lines().map(str::trim_start).collect();
+        let resample_idx = lines.iter().position(|l| l.starts_with("Resample")).unwrap();
+        let filter_idx = lines.iter().position(|l| l.starts_with("Filter")).unwrap();
+        assert!(
+            resample_idx < filter_idx,
+            "resample should sit above the filter (pushed down): {}",
+            a.plan
+        );
+    }
+
+    #[test]
+    fn stratified_sample_serves_group_by_with_per_stratum_scaling() {
+        let rows = 120_000;
+        let s = AqpSession::new(SessionConfig { seed: 8, ..Default::default() });
+        s.register_table(conviva_sessions_table(rows, 8, 4)).unwrap();
+        s.build_stratified_sample("sessions", "city", 1_500, 9).unwrap();
+
+        // COUNT per city on a stratified sample must be *exact* per group
+        // (each stratum's count estimate = n_g · N_g/n_g = N_g).
+        let a = s.execute("SELECT city, COUNT(*) FROM sessions GROUP BY city").unwrap();
+        let exact = AqpSession::new(SessionConfig::default());
+        exact.register_table(conviva_sessions_table(rows, 8, 4)).unwrap();
+        let e = exact.execute("SELECT city, COUNT(*) FROM sessions GROUP BY city").unwrap();
+        for (ga, ge) in a.groups.iter().zip(e.groups.iter()) {
+            assert_eq!(ga.key, ge.key);
+            assert!(
+                (ga.aggs[0].estimate - ge.aggs[0].estimate).abs() < 1e-6,
+                "group {}: {} vs {}",
+                ga.key,
+                ga.aggs[0].estimate,
+                ge.aggs[0].estimate
+            );
+        }
+
+        // AVG per city tracks the exact per-group means, including rare
+        // cities a 1.5%-uniform sample would starve.
+        let a = s.execute("SELECT city, AVG(time) FROM sessions GROUP BY city").unwrap();
+        let e = exact.execute("SELECT city, AVG(time) FROM sessions GROUP BY city").unwrap();
+        assert_eq!(a.groups.len(), e.groups.len());
+        for (ga, ge) in a.groups.iter().zip(e.groups.iter()) {
+            let rel = (ga.aggs[0].estimate - ge.aggs[0].estimate).abs() / ge.aggs[0].estimate;
+            assert!(rel < 0.08, "group {}: rel {rel}", ga.key);
+        }
+    }
+
+    #[test]
+    fn stratified_sample_with_where_clause_scales_per_stratum() {
+        let rows = 120_000;
+        let s = AqpSession::new(SessionConfig { seed: 14, ..Default::default() });
+        s.register_table(conviva_sessions_table(rows, 8, 14)).unwrap();
+        s.build_stratified_sample("sessions", "city", 2_000, 15).unwrap();
+        let exact = AqpSession::new(SessionConfig::default());
+        exact.register_table(conviva_sessions_table(rows, 8, 14)).unwrap();
+        let sql = "SELECT city, COUNT(*) FROM sessions WHERE is_mobile = true GROUP BY city";
+        let a = s.execute(sql).unwrap();
+        let e = exact.execute(sql).unwrap();
+        // Filtered per-stratum counts must track the exact values under
+        // per-stratum scaling (within sampling error of the strata).
+        for (ga, ge) in a.groups.iter().zip(e.groups.iter()) {
+            assert_eq!(ga.key, ge.key);
+            let rel = (ga.aggs[0].estimate - ge.aggs[0].estimate).abs()
+                / ge.aggs[0].estimate.max(1.0);
+            assert!(rel < 0.15, "group {}: {} vs {} ({rel})", ga.key, ga.aggs[0].estimate, ge.aggs[0].estimate);
+        }
+    }
+
+    #[test]
+    fn stratified_sample_does_not_leak_into_uniform_queries() {
+        let s = AqpSession::new(SessionConfig { seed: 10, ..Default::default() });
+        s.register_table(conviva_sessions_table(50_000, 8, 6)).unwrap();
+        s.build_stratified_sample("sessions", "city", 500, 11).unwrap();
+        // No uniform samples exist: a non-grouped query must run exactly.
+        let a = s.execute("SELECT AVG(time) FROM sessions").unwrap();
+        assert_eq!(a.mode, AnswerMode::Exact);
+        // GROUP BY on a different column also cannot use the city strata.
+        let a = s.execute("SELECT site, COUNT(*) FROM sessions GROUP BY site").unwrap();
+        assert_eq!(a.mode, AnswerMode::Exact);
+    }
+
+    #[test]
+    fn having_filters_groups_on_both_paths() {
+        let rows = 100_000;
+        // Exact path.
+        let exact = AqpSession::new(SessionConfig::default());
+        exact.register_table(conviva_sessions_table(rows, 8, 12)).unwrap();
+        let all = exact.execute("SELECT city, COUNT(*) AS c FROM sessions GROUP BY city").unwrap();
+        let big = exact
+            .execute("SELECT city, COUNT(*) AS c FROM sessions GROUP BY city HAVING c > 10000")
+            .unwrap();
+        assert!(big.groups.len() < all.groups.len());
+        assert!(big.groups.iter().all(|g| g.aggs[0].estimate > 10_000.0));
+        // NYC (Zipf rank 1) must survive.
+        assert!(big.groups.iter().any(|g| g.key == "NYC"));
+
+        // Approximate path.
+        let s = session_with_sessions(rows, &[20_000]);
+        let approx = s
+            .execute("SELECT city, COUNT(*) AS c FROM sessions GROUP BY city HAVING c > 10000")
+            .unwrap();
+        assert!(!approx.groups.is_empty());
+        assert!(approx.groups.iter().all(|g| g.aggs[0].estimate > 10_000.0));
+    }
+
+    #[test]
+    fn order_by_and_limit_shape_the_output() {
+        let s = AqpSession::new(SessionConfig::default());
+        s.register_table(conviva_sessions_table(60_000, 8, 15)).unwrap();
+        let a = s
+            .execute(
+                "SELECT city, COUNT(*) AS c FROM sessions GROUP BY city ORDER BY c DESC LIMIT 3",
+            )
+            .unwrap();
+        assert_eq!(a.groups.len(), 3);
+        assert_eq!(a.groups[0].key, "NYC"); // Zipf rank 1
+        let counts: Vec<f64> = a.groups.iter().map(|g| g.aggs[0].estimate).collect();
+        assert!(counts.windows(2).all(|w| w[0] >= w[1]), "{counts:?}");
+
+        // ORDER BY a group key ascending.
+        let b = s
+            .execute("SELECT city, AVG(time) AS t FROM sessions GROUP BY city ORDER BY city LIMIT 2")
+            .unwrap();
+        assert!(b.groups[0].key <= b.groups[1].key);
+
+        // Unknown sort column is a plan error.
+        assert!(s
+            .execute("SELECT city, COUNT(*) FROM sessions GROUP BY city ORDER BY nope")
+            .is_err());
+    }
+
+    #[test]
+    fn explain_renders_the_rewritten_plan() {
+        let s = session_with_sessions(50_000, &[10_000]);
+        let plan = s.explain("SELECT AVG(time) FROM sessions WHERE city = 'NYC'").unwrap();
+        assert!(plan.contains("Diagnostic["), "{plan}");
+        assert!(plan.contains("ErrorEstimate[ClosedForm"), "{plan}");
+        assert!(plan.contains("Resample["), "{plan}");
+        // No samples: bare plan, no estimation operators.
+        let bare = AqpSession::new(SessionConfig::default());
+        bare.register_table(conviva_sessions_table(1_000, 2, 99)).unwrap();
+        let plan = bare.explain("SELECT AVG(time) FROM sessions").unwrap();
+        assert!(!plan.contains("Resample"), "{plan}");
+    }
+
+    #[test]
+    fn session_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AqpSession>();
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let s = AqpSession::new(SessionConfig::default());
+        assert!(s.execute("SELECT AVG(x) FROM nope").is_err());
+    }
+}

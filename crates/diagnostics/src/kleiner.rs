@@ -1,0 +1,446 @@
+//! Algorithm 1 of the paper (the Kleiner et al. diagnostic).
+//!
+//! Two layers:
+//!
+//! 1. [`evaluate_from_estimates`] — the pure decision kernel. Takes, for
+//!    each subsample size b_i, the subsample point estimates
+//!    t̂ᵢ₁..t̂ᵢₚ and ξ's interval half-widths x̂ᵢ₁..x̂ᵢₚ, plus θ(S); computes
+//!    xᵢ (the per-size true half-width), the summary statistics Δᵢ, σᵢ,
+//!    πᵢ, and checks the acceptance criteria. The query engine's
+//!    diagnostic *operator* feeds this kernel from a single scan.
+//! 2. [`run_diagnostic`] — a self-contained driver over a values vector,
+//!    used by the stats-level experiments and tests.
+
+use serde::{Deserialize, Serialize};
+
+use aqp_stats::ci::symmetric_half_width;
+use aqp_stats::error_estimator::{ErrorEstimator, Theta};
+use aqp_stats::estimator::SampleContext;
+use aqp_stats::rng::SeedStream;
+
+use crate::config::DiagnosticConfig;
+
+/// Per-subsample-size inputs to the decision kernel.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LevelEstimates {
+    /// Subsample size b_i in pre-filter rows.
+    pub b: usize,
+    /// θ evaluated on each of the p disjoint subsamples.
+    pub theta_hats: Vec<f64>,
+    /// ξ's interval half-width on each subsample (NaN = ξ degenerate
+    /// there).
+    pub xi_half_widths: Vec<f64>,
+}
+
+/// Per-size summary in the report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LevelReport {
+    /// Subsample size b_i.
+    pub b: usize,
+    /// The per-size ground-truth half-width xᵢ (smallest symmetric
+    /// interval around θ(S) covering α·p of the subsample estimates).
+    pub x: f64,
+    /// Δᵢ = |mean(x̂ᵢ·) − xᵢ| / xᵢ — relative deviation of the mean.
+    pub mean_deviation: f64,
+    /// σᵢ = stddev(x̂ᵢ·) / xᵢ — relative spread.
+    pub relative_spread: f64,
+    /// πᵢ — proportion of subsamples with |x̂ᵢⱼ − xᵢ|/xᵢ ≤ c₃.
+    pub close_proportion: f64,
+    /// Whether Δᵢ was acceptable (only meaningful for i ≥ 2).
+    pub deviation_ok: bool,
+    /// Whether σᵢ was acceptable (only meaningful for i ≥ 2).
+    pub spread_ok: bool,
+}
+
+/// The diagnostic's output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiagnosticReport {
+    /// Per-size summaries, smallest b first.
+    pub levels: Vec<LevelReport>,
+    /// π_k ≥ ρ?
+    pub final_proportion_ok: bool,
+    /// The overall verdict: `true` means "confidence-interval estimation
+    /// works well for this query; it is safe to show ξ's error bars".
+    pub accepted: bool,
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// The decision kernel: Algorithm 1 given precomputed estimates.
+///
+/// `theta_s` is θ(S), the full-sample point estimate the per-size true
+/// intervals are centered on. Levels must be ordered by increasing b.
+pub fn evaluate_from_estimates(
+    theta_s: f64,
+    levels: &[LevelEstimates],
+    cfg: &DiagnosticConfig,
+) -> DiagnosticReport {
+    assert!(!levels.is_empty(), "diagnostic needs at least one level");
+
+    let mut reports: Vec<LevelReport> = Vec::with_capacity(levels.len());
+    for level in levels {
+        // Drop degenerate estimates (NaN θ̂ on an empty subsample, or ξ
+        // failures); they count against π implicitly by shrinking the
+        // numerator but not p.
+        let t_hats: Vec<f64> =
+            level.theta_hats.iter().copied().filter(|t| t.is_finite()).collect();
+        let x_hats: Vec<f64> =
+            level.xi_half_widths.iter().copied().filter(|x| x.is_finite()).collect();
+        let p = level.theta_hats.len().max(1);
+
+        if t_hats.is_empty() || x_hats.is_empty() {
+            reports.push(LevelReport {
+                b: level.b,
+                x: f64::NAN,
+                mean_deviation: f64::INFINITY,
+                relative_spread: f64::INFINITY,
+                close_proportion: 0.0,
+                deviation_ok: false,
+                spread_ok: false,
+            });
+            continue;
+        }
+
+        // xᵢ: smallest symmetric interval around θ(S) covering α of the
+        // subsample estimates.
+        let x = symmetric_half_width(theta_s, &t_hats, cfg.alpha);
+
+        let (mean_dev, spread, close) = if x > 0.0 {
+            let d = (mean(&x_hats) - x).abs() / x;
+            let s = stddev(&x_hats) / x;
+            let close = level
+                .xi_half_widths
+                .iter()
+                .filter(|&&xh| xh.is_finite() && ((xh - x) / x).abs() <= cfg.c3)
+                .count() as f64
+                / p as f64;
+            (d, s, close)
+        } else {
+            // Degenerate truth (constant estimator): accept iff ξ also
+            // reports (near-)zero error.
+            let all_zero = x_hats.iter().all(|&xh| xh.abs() < 1e-12);
+            if all_zero {
+                (0.0, 0.0, 1.0)
+            } else {
+                (f64::INFINITY, f64::INFINITY, 0.0)
+            }
+        };
+
+        reports.push(LevelReport {
+            b: level.b,
+            x,
+            mean_deviation: mean_dev,
+            relative_spread: spread,
+            close_proportion: close,
+            deviation_ok: true, // filled below for i ≥ 2
+            spread_ok: true,
+        });
+    }
+
+    // Acceptance criteria: deviations/spreads decreasing or small, final
+    // proportion large.
+    let mut accepted = true;
+    for i in 1..reports.len() {
+        let dev_ok = reports[i].mean_deviation < reports[i - 1].mean_deviation
+            || reports[i].mean_deviation < cfg.c1;
+        let spread_ok = reports[i].relative_spread < reports[i - 1].relative_spread
+            || reports[i].relative_spread < cfg.c2;
+        reports[i].deviation_ok = dev_ok;
+        reports[i].spread_ok = spread_ok;
+        accepted &= dev_ok && spread_ok;
+    }
+    let final_proportion_ok = reports.last().map(|r| r.close_proportion >= cfg.rho).unwrap_or(false);
+    accepted &= final_proportion_ok;
+    // A single-level diagnostic degenerates to the final-proportion check.
+
+    DiagnosticReport { levels: reports, final_proportion_ok, accepted }
+}
+
+/// Self-contained Algorithm 1 over a values vector.
+///
+/// `values` is the (post-filter) aggregation column of the sample S, in
+/// stored order — which, because samples are stored shuffled, makes
+/// consecutive chunks valid disjoint subsamples. `ctx` carries the
+/// pre-filter sample row count n and population size. Subsample sizes are
+/// interpreted in pre-filter rows and mapped to value counts via the
+/// sample's selectivity.
+pub fn run_diagnostic(
+    values: &[f64],
+    ctx: &SampleContext,
+    theta: &Theta<'_>,
+    xi: &dyn ErrorEstimator,
+    cfg: &DiagnosticConfig,
+    seeds: SeedStream,
+) -> DiagnosticReport {
+    cfg.validate(ctx.sample_rows).unwrap_or_else(|e| panic!("invalid diagnostic config: {e}"));
+    let est = theta.as_estimator();
+    let theta_s = est.estimate(values, ctx);
+    let selectivity = values.len() as f64 / ctx.sample_rows as f64;
+
+    let mut levels = Vec::with_capacity(cfg.k());
+    for (li, &b) in cfg.subsample_rows.iter().enumerate() {
+        // m values per subsample ≈ selectivity · b.
+        let m = ((b as f64 * selectivity).round() as usize).min(values.len() / cfg.p.max(1));
+        let sub_ctx = ctx.subsample(b);
+        let mut theta_hats = Vec::with_capacity(cfg.p);
+        let mut xi_half_widths = Vec::with_capacity(cfg.p);
+        for j in 0..cfg.p {
+            let chunk: &[f64] = if m == 0 {
+                &[]
+            } else {
+                let start = j * m;
+                &values[start..(start + m).min(values.len())]
+            };
+            theta_hats.push(est.estimate(chunk, &sub_ctx));
+            let mut rng = seeds.derive(li as u64).rng(j as u64);
+            let hw = xi
+                .confidence_interval(&mut rng, chunk, &sub_ctx, theta, cfg.alpha)
+                .map(|ci| ci.half_width)
+                .unwrap_or(f64::NAN);
+            xi_half_widths.push(hw);
+        }
+        levels.push(LevelEstimates { b, theta_hats, xi_half_widths });
+    }
+
+    evaluate_from_estimates(theta_s, &levels, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqp_stats::dist::{sample_lognormal, sample_pareto};
+    use aqp_stats::error_estimator::EstimationMethod;
+    use aqp_stats::estimator::Aggregate;
+    use aqp_stats::rng::rng_from_seed;
+    use aqp_stats::sampling::{gather, with_replacement_indices};
+
+    fn sample_of(pop: &[f64], n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = rng_from_seed(seed);
+        let idx = with_replacement_indices(&mut rng, n, pop.len());
+        gather(pop, &idx)
+    }
+
+    fn cfg_for(n: usize) -> DiagnosticConfig {
+        DiagnosticConfig::scaled_to(n, 50)
+    }
+
+    #[test]
+    fn accepts_bootstrap_avg_on_benign_data() {
+        let mut rng = rng_from_seed(1);
+        let pop: Vec<f64> =
+            (0..500_000).map(|_| sample_lognormal(&mut rng, 1.0, 0.5)).collect();
+        let n = 40_000;
+        let sample = sample_of(&pop, n, 2);
+        let ctx = SampleContext::new(n, pop.len());
+        let report = run_diagnostic(
+            &sample,
+            &ctx,
+            &Theta::Builtin(Aggregate::Avg),
+            &EstimationMethod::Bootstrap { k: 100 },
+            &cfg_for(n),
+            SeedStream::new(3),
+        );
+        assert!(report.accepted, "{report:#?}");
+        assert!(report.final_proportion_ok);
+        assert_eq!(report.levels.len(), 3);
+    }
+
+    #[test]
+    fn accepts_closed_form_avg_on_benign_data() {
+        let mut rng = rng_from_seed(4);
+        let pop: Vec<f64> =
+            (0..500_000).map(|_| sample_lognormal(&mut rng, 1.0, 0.5)).collect();
+        let n = 40_000;
+        let sample = sample_of(&pop, n, 5);
+        let ctx = SampleContext::new(n, pop.len());
+        let report = run_diagnostic(
+            &sample,
+            &ctx,
+            &Theta::Builtin(Aggregate::Avg),
+            &EstimationMethod::ClosedForm,
+            &cfg_for(n),
+            SeedStream::new(6),
+        );
+        assert!(report.accepted, "{report:#?}");
+    }
+
+    #[test]
+    fn rejects_bootstrap_max_on_heavy_tails() {
+        // MAX on Pareto(1.1): subsample maxima keep growing with b; the
+        // bootstrap's per-subsample intervals can't track the truth.
+        let mut rng = rng_from_seed(7);
+        let pop: Vec<f64> = (0..500_000).map(|_| sample_pareto(&mut rng, 1.0, 1.1)).collect();
+        let n = 40_000;
+        let sample = sample_of(&pop, n, 8);
+        let ctx = SampleContext::new(n, pop.len());
+        let report = run_diagnostic(
+            &sample,
+            &ctx,
+            &Theta::Builtin(Aggregate::Max),
+            &EstimationMethod::Bootstrap { k: 100 },
+            &cfg_for(n),
+            SeedStream::new(9),
+        );
+        assert!(!report.accepted, "{report:#?}");
+    }
+
+    #[test]
+    fn kernel_accepts_perfect_estimates() {
+        // Synthetic: ξ returns exactly the truth at every level.
+        let theta_s = 0.0;
+        let spread = |b: usize| 1.0 / (b as f64).sqrt();
+        let levels: Vec<LevelEstimates> = [100usize, 200, 400]
+            .iter()
+            .map(|&b| {
+                let s = spread(b);
+                // Estimates symmetric around theta_s at ±s: truth x = s.
+                let theta_hats: Vec<f64> =
+                    (0..20).map(|j| if j % 2 == 0 { s } else { -s }).collect();
+                let xi_half_widths = vec![s; 20];
+                LevelEstimates { b, theta_hats, xi_half_widths }
+            })
+            .collect();
+        let cfg = DiagnosticConfig {
+            p: 20,
+            subsample_rows: vec![100, 200, 400],
+            ..DiagnosticConfig::fast()
+        };
+        let r = evaluate_from_estimates(theta_s, &levels, &cfg);
+        assert!(r.accepted, "{r:#?}");
+        for l in &r.levels {
+            assert!(l.mean_deviation < 1e-9);
+            assert_eq!(l.close_proportion, 1.0);
+        }
+    }
+
+    #[test]
+    fn kernel_rejects_growing_deviation() {
+        // ξ's deviation from truth grows with b and exceeds c1.
+        let theta_s = 0.0;
+        let levels: Vec<LevelEstimates> = [(100usize, 1.0), (200, 2.0), (400, 4.0)]
+            .iter()
+            .map(|&(b, factor)| {
+                let theta_hats: Vec<f64> =
+                    (0..20).map(|j| if j % 2 == 0 { 1.0 } else { -1.0 }).collect();
+                // Truth x = 1; ξ reports `factor`, increasingly wrong.
+                LevelEstimates { b, theta_hats, xi_half_widths: vec![factor; 20] }
+            })
+            .collect();
+        let cfg = DiagnosticConfig {
+            p: 20,
+            subsample_rows: vec![100, 200, 400],
+            ..DiagnosticConfig::fast()
+        };
+        let r = evaluate_from_estimates(theta_s, &levels, &cfg);
+        assert!(!r.accepted, "{r:#?}");
+        assert!(!r.final_proportion_ok);
+    }
+
+    #[test]
+    fn kernel_rejects_when_final_proportion_low() {
+        // Deviation/spread fine on average but half the subsamples are way
+        // off at b_k.
+        let theta_s = 0.0;
+        let theta_hats: Vec<f64> = (0..20).map(|j| if j % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let good = LevelEstimates {
+            b: 100,
+            theta_hats: theta_hats.clone(),
+            xi_half_widths: vec![1.0; 20],
+        };
+        let mut mixed_widths = vec![1.0; 10];
+        mixed_widths.extend(vec![10.0; 10]); // 50% far off
+        let bad = LevelEstimates { b: 200, theta_hats, xi_half_widths: mixed_widths };
+        let cfg = DiagnosticConfig {
+            p: 20,
+            subsample_rows: vec![100, 200],
+            c1: 10.0, // disable the mean-deviation gate
+            c2: 10.0,
+            ..DiagnosticConfig::fast()
+        };
+        let r = evaluate_from_estimates(theta_s, &[good, bad], &cfg);
+        assert!(!r.final_proportion_ok);
+        assert!(!r.accepted);
+    }
+
+    #[test]
+    fn degenerate_truth_accepts_zero_error_estimates() {
+        // Constant data: every subsample estimate equals θ(S); truth x = 0.
+        let levels = vec![LevelEstimates {
+            b: 100,
+            theta_hats: vec![5.0; 10],
+            xi_half_widths: vec![0.0; 10],
+        }];
+        let cfg =
+            DiagnosticConfig { p: 10, subsample_rows: vec![100], ..DiagnosticConfig::fast() };
+        let r = evaluate_from_estimates(5.0, &levels, &cfg);
+        assert!(r.accepted, "{r:#?}");
+    }
+
+    #[test]
+    fn nan_estimates_are_degenerate_not_fatal() {
+        let levels = vec![LevelEstimates {
+            b: 100,
+            theta_hats: vec![f64::NAN; 10],
+            xi_half_widths: vec![f64::NAN; 10],
+        }];
+        let cfg =
+            DiagnosticConfig { p: 10, subsample_rows: vec![100], ..DiagnosticConfig::fast() };
+        let r = evaluate_from_estimates(5.0, &levels, &cfg);
+        assert!(!r.accepted);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut rng = rng_from_seed(10);
+        let pop: Vec<f64> = (0..100_000).map(|_| sample_lognormal(&mut rng, 0.0, 0.7)).collect();
+        let n = 20_000;
+        let sample = sample_of(&pop, n, 11);
+        let ctx = SampleContext::new(n, pop.len());
+        let run = || {
+            run_diagnostic(
+                &sample,
+                &ctx,
+                &Theta::Builtin(Aggregate::Sum),
+                &EstimationMethod::Bootstrap { k: 50 },
+                &cfg_for(n),
+                SeedStream::new(12),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.accepted, b.accepted);
+        assert_eq!(
+            a.levels.iter().map(|l| l.x).collect::<Vec<_>>(),
+            b.levels.iter().map(|l| l.x).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid diagnostic config")]
+    fn invalid_config_panics() {
+        let cfg = DiagnosticConfig {
+            p: 100,
+            subsample_rows: vec![1000],
+            ..DiagnosticConfig::fast()
+        };
+        let ctx = SampleContext::new(100, 1000);
+        run_diagnostic(
+            &[1.0; 100],
+            &ctx,
+            &Theta::Builtin(Aggregate::Avg),
+            &EstimationMethod::ClosedForm,
+            &cfg,
+            SeedStream::new(1),
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! # aqp-diagnostics
+//!
+//! The error-estimation diagnostic of Kleiner et al. (KDD 2013),
+//! specialized to query approximation exactly as in Appendix A of
+//! *Knowing When You're Wrong* (SIGMOD 2014), and generalized over the
+//! error-estimation procedure ξ (§4.1: bootstrap *or* closed forms).
+//!
+//! The idea: if S is a simple random sample from D, disjoint partitions of
+//! S are themselves mutually independent simple random samples from D —
+//! so we can afford to run the "ideal" evaluation (does ξ's interval match
+//! the true interval?) at a *sequence of small subsample sizes*
+//! b₁ < … < b_k and extrapolate: if ξ's relative deviation from the truth
+//! shrinks (or is already small) as b grows, and is tight at b_k, we
+//! accept ξ's interval on the full sample.
+//!
+//! * [`config::DiagnosticConfig`] — the parameters (p, k, b₁..b_k, c₁, c₂,
+//!   c₃, ρ), defaulting to the paper's settings.
+//! * [`kleiner`] — Algorithm 1 itself, in two layers: a pure decision
+//!   kernel over precomputed per-subsample estimates (reused by the
+//!   engine's diagnostic operator), and a convenience driver that computes
+//!   those estimates from a values vector.
+//! * [`ground_truth`] — the expensive "ideal diagnostic" used to measure
+//!   the real diagnostic's false-positive/negative rates (Fig. 4).
+
+pub mod config;
+pub mod ground_truth;
+pub mod kleiner;
+
+pub use config::DiagnosticConfig;
+pub use kleiner::{run_diagnostic, DiagnosticReport, LevelEstimates, LevelReport};

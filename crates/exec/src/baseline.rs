@@ -1,0 +1,350 @@
+//! The §5.2 naive baseline executor.
+//!
+//! Implements error estimation and diagnostics the way the UNION-ALL
+//! query rewrite of §5.2 executes them: **every bootstrap subquery
+//! re-scans the sample** (re-applying filters and projections), and every
+//! diagnostic subsample is extracted by yet another scan. This is the
+//! measured baseline that scan consolidation and operator pushdown are
+//! compared against in Fig. 7/8.
+//!
+//! The produced *numbers* are statistically equivalent to the optimized
+//! engine's; only the work wasted to produce them differs.
+
+use std::time::Instant;
+
+use aqp_diagnostics::kleiner::{evaluate_from_estimates, LevelEstimates};
+use aqp_diagnostics::DiagnosticConfig;
+use aqp_sql::logical::LogicalPlan;
+use aqp_stats::ci::ci_from_draws;
+use aqp_stats::estimator::SampleContext;
+use aqp_stats::resample::poisson_weights;
+use aqp_stats::rng::SeedStream;
+use aqp_storage::Table;
+
+use crate::collect::{collect, AggData, NestedData};
+use crate::engine::{ApproxOptions, MethodChoice};
+use crate::result::{AggResult, ApproxResult, GroupResult, MethodUsed, PhaseTimings};
+use crate::theta::{closed_form_ci_prepared, PreparedTheta};
+use crate::udf::UdfRegistry;
+use crate::Result;
+
+fn slice_data(data: &AggData, range: std::ops::Range<usize>) -> AggData {
+    AggData {
+        values: data.values[range.clone()].to_vec(),
+        positions: if data.positions.len() == data.values.len() {
+            data.positions[range.clone()].to_vec()
+        } else {
+            Vec::new()
+        },
+        nested: data
+            .nested
+            .as_ref()
+            .map(|nd| NestedData { codes: nd.codes[range].to_vec(), n_codes: nd.n_codes }),
+    }
+}
+
+/// Execute approximately with the naive §5.2 strategy: one physical
+/// re-scan per bootstrap subquery and per diagnostic subsample.
+///
+/// Stratified per-group contexts (`opts.group_contexts`) are not
+/// supported here — the baseline exists to measure the cost of the §5.2
+/// rewrite on uniform samples.
+pub fn execute_baseline(
+    plan: &LogicalPlan,
+    sample: &Table,
+    population_rows: usize,
+    registry: &UdfRegistry,
+    opts: &ApproxOptions,
+) -> Result<ApproxResult> {
+    let seeds = SeedStream::new(opts.seed);
+
+    // Phase 1 — the query itself (one scan, same as optimized).
+    let t0 = Instant::now();
+    let collected = collect(plan, sample, opts.threads)?;
+    let ctx = SampleContext::new(collected.pre_filter_rows, population_rows);
+    let thetas: Vec<PreparedTheta> = collected
+        .agg_exprs
+        .iter()
+        .map(|a| PreparedTheta::prepare(a, collected.inner_agg.as_ref(), registry))
+        .collect::<Result<Vec<_>>>()?;
+    let estimates: Vec<Vec<f64>> = collected
+        .groups
+        .iter()
+        .map(|g| {
+            g.aggs
+                .iter()
+                .zip(&thetas)
+                .map(|(d, t)| t.estimate(d, &ctx))
+                .collect()
+        })
+        .collect();
+    let query_time = t0.elapsed();
+
+    // Phase 2 — error estimation via repeated subqueries.
+    let t1 = Instant::now();
+    let mut cis: Vec<Vec<(Option<aqp_stats::ci::Ci>, MethodUsed)>> = Vec::new();
+    for (gi, _group) in collected.groups.iter().enumerate() {
+        let mut group_cis = Vec::new();
+        for (ai, theta) in thetas.iter().enumerate() {
+            let use_cf = match opts.method {
+                MethodChoice::Auto => theta.closed_form_applicable(),
+                MethodChoice::ClosedForm => true,
+                MethodChoice::Bootstrap => false,
+            };
+            if use_cf {
+                // Naive closed form: a second full scan to compute the
+                // variance statistics.
+                let re = collect(plan, sample, opts.threads)?;
+                let data = &re.groups[gi].aggs[ai];
+                match closed_form_ci_prepared(theta, data, &ctx, opts.alpha) {
+                    Some(ci) => {
+                        group_cis.push((Some(ci), MethodUsed::ClosedForm));
+                        continue;
+                    }
+                    None if matches!(opts.method, MethodChoice::ClosedForm) => {
+                        group_cis.push((None, MethodUsed::None));
+                        continue;
+                    }
+                    None => {}
+                }
+            }
+            // Naive bootstrap: K subqueries, each a full re-scan of the
+            // sample followed by a weighted aggregation.
+            let mut rng = seeds.derive(0xBA5E).rng((gi * 64 + ai) as u64);
+            let mut replicates = Vec::with_capacity(opts.bootstrap_k);
+            for _ in 0..opts.bootstrap_k {
+                let re = collect(plan, sample, opts.threads)?; // the wasted scan
+                let data = &re.groups[gi].aggs[ai];
+                let weights = poisson_weights(&mut rng, data.values.len());
+                let r = theta.estimate_weighted_range(data, &weights, 0..data.values.len(), &ctx);
+                if !r.is_nan() {
+                    replicates.push(r);
+                }
+            }
+            let center = estimates[gi][ai];
+            if replicates.is_empty() || center.is_nan() {
+                group_cis.push((None, MethodUsed::None));
+            } else {
+                group_cis.push((
+                    Some(ci_from_draws(center, &replicates, opts.alpha)),
+                    MethodUsed::Bootstrap,
+                ));
+            }
+        }
+        cis.push(group_cis);
+    }
+    let error_time = t1.elapsed();
+
+    // Phase 3 — diagnostics via subqueries: every subsample is extracted
+    // by a fresh scan, and (for the bootstrap) resampled K times.
+    let t2 = Instant::now();
+    let mut diags: Vec<Vec<Option<aqp_diagnostics::DiagnosticReport>>> = Vec::new();
+    if let Some(cfg) = &opts.diagnostic {
+        for (gi, _group) in collected.groups.iter().enumerate() {
+            let mut group_diags = Vec::new();
+            for (ai, theta) in thetas.iter().enumerate() {
+                let report = naive_diagnostic(
+                    plan, sample, gi, ai, theta, &collected.groups[gi].aggs[ai], &ctx, cfg, opts,
+                    seeds.derive(0xD1A6).derive((gi * 64 + ai) as u64),
+                )?;
+                group_diags.push(Some(report));
+            }
+            diags.push(group_diags);
+        }
+    } else {
+        diags = collected
+            .groups
+            .iter()
+            .map(|g| vec![None; g.aggs.len()])
+            .collect();
+    }
+    let diag_time = t2.elapsed();
+
+    let groups = collected
+        .groups
+        .iter()
+        .enumerate()
+        .map(|(gi, g)| GroupResult {
+            key: g.key.clone(),
+            aggs: (0..g.aggs.len())
+                .map(|ai| AggResult {
+                    name: collected
+                        .agg_exprs
+                        .get(ai)
+                        .map(|a| a.to_string())
+                        .unwrap_or_else(|| format!("agg{ai}")),
+                    estimate: estimates[gi][ai],
+                    ci: cis[gi][ai].0,
+                    method: cis[gi][ai].1,
+                    diagnostic: diags[gi][ai].clone(),
+                })
+                .collect(),
+        })
+        .collect();
+
+    Ok(ApproxResult {
+        groups,
+        sample_rows: collected.pre_filter_rows,
+        population_rows,
+        timings: PhaseTimings {
+            query: query_time,
+            error_estimation: error_time,
+            diagnostics: diag_time,
+        },
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn naive_diagnostic(
+    plan: &LogicalPlan,
+    sample: &Table,
+    gi: usize,
+    ai: usize,
+    theta: &PreparedTheta,
+    data: &AggData,
+    ctx: &SampleContext,
+    cfg: &DiagnosticConfig,
+    opts: &ApproxOptions,
+    seeds: SeedStream,
+) -> Result<aqp_diagnostics::DiagnosticReport> {
+    let theta_s = theta.estimate(data, ctx);
+    let mut levels = Vec::with_capacity(cfg.subsample_rows.len());
+    for (li, &b) in cfg.subsample_rows.iter().enumerate() {
+        let sub_ctx = ctx.subsample(b);
+        let level_seeds = seeds.derive(li as u64);
+        let mut theta_hats = Vec::with_capacity(cfg.p);
+        let mut xi_half_widths = Vec::with_capacity(cfg.p);
+        for j in 0..cfg.p {
+            // The naive plan re-scans the sample to materialize each
+            // subsample.
+            let re = collect(plan, sample, opts.threads)?;
+            let fresh = &re.groups[gi].aggs[ai];
+            let range = fresh.range_for_rows(j * b, (j + 1) * b, ctx.sample_rows);
+            let chunk = slice_data(fresh, range);
+            theta_hats.push(theta.estimate(&chunk, &sub_ctx));
+
+            let use_cf = match opts.method {
+                MethodChoice::Auto => theta.closed_form_applicable(),
+                MethodChoice::ClosedForm => true,
+                MethodChoice::Bootstrap => false,
+            };
+            let hw = if use_cf {
+                closed_form_ci_prepared(theta, &chunk, &sub_ctx, opts.alpha)
+                    .map(|ci| ci.half_width)
+                    .unwrap_or(f64::NAN)
+            } else {
+                // K resample subqueries over the subsample.
+                let mut rng = level_seeds.rng(j as u64);
+                let center = theta.estimate(&chunk, &sub_ctx);
+                let mut reps = Vec::with_capacity(opts.bootstrap_k);
+                for _ in 0..opts.bootstrap_k {
+                    let weights = poisson_weights(&mut rng, chunk.values.len());
+                    let r = theta.estimate_weighted_range(
+                        &chunk,
+                        &weights,
+                        0..chunk.values.len(),
+                        &sub_ctx,
+                    );
+                    if !r.is_nan() {
+                        reps.push(r);
+                    }
+                }
+                if reps.is_empty() || center.is_nan() {
+                    f64::NAN
+                } else {
+                    ci_from_draws(center, &reps, opts.alpha).half_width
+                }
+            };
+            xi_half_widths.push(hw);
+        }
+        levels.push(LevelEstimates { b, theta_hats, xi_half_widths });
+    }
+    Ok(evaluate_from_estimates(theta_s, &levels, cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::execute_approx;
+    use aqp_sql::{parse_query, plan_query};
+    use aqp_stats::dist::sample_lognormal;
+    use aqp_stats::rng::rng_from_seed;
+    use aqp_stats::sampling::with_replacement_indices;
+    use aqp_storage::{Batch, Column, DataType, Field, Schema};
+
+    fn tiny_setup(rows: usize, n: usize) -> (Table, Table, LogicalPlan, UdfRegistry) {
+        let mut rng = rng_from_seed(1);
+        let time: Vec<f64> = (0..rows).map(|_| sample_lognormal(&mut rng, 1.0, 0.5)).collect();
+        let schema = Schema::new(vec![Field::new("time", DataType::Float)]).unwrap();
+        let batch = Batch::new(schema, vec![Column::from_f64s(time)]).unwrap();
+        let pop = Table::from_batch("t", batch, 2).unwrap();
+        let idx = with_replacement_indices(&mut rng, n, rows);
+        let sbatch = pop.to_batch().unwrap().gather(&idx).unwrap();
+        let sample = Table::from_batch("t_sample", sbatch, 2).unwrap();
+        let q = parse_query("SELECT AVG(time) FROM t").unwrap();
+        let plan = plan_query(&q, pop.schema()).unwrap();
+        (pop, sample, plan, UdfRegistry::default())
+    }
+
+    #[test]
+    fn baseline_and_optimized_agree_statistically() {
+        let (pop, sample, plan, reg) = tiny_setup(20_000, 2_000);
+        let opts = ApproxOptions {
+            seed: 2,
+            method: MethodChoice::Bootstrap,
+            bootstrap_k: 60,
+            threads: 1,
+            ..Default::default()
+        };
+        let base = execute_baseline(&plan, &sample, pop.num_rows(), &reg, &opts).unwrap();
+        let fast = execute_approx(&plan, &sample, pop.num_rows(), &reg, &opts).unwrap();
+        let (b, f) = (base.scalar().unwrap(), fast.scalar().unwrap());
+        assert_eq!(b.estimate, f.estimate);
+        let (bh, fh) = (b.ci.unwrap().half_width, f.ci.unwrap().half_width);
+        assert!(
+            (bh - fh).abs() / fh < 0.5,
+            "baseline hw {bh} vs optimized hw {fh}"
+        );
+    }
+
+    #[test]
+    fn baseline_is_slower_for_bootstrap() {
+        let (pop, sample, plan, reg) = tiny_setup(20_000, 4_000);
+        let opts = ApproxOptions {
+            seed: 3,
+            method: MethodChoice::Bootstrap,
+            bootstrap_k: 40,
+            threads: 1,
+            ..Default::default()
+        };
+        let base = execute_baseline(&plan, &sample, pop.num_rows(), &reg, &opts).unwrap();
+        let fast = execute_approx(&plan, &sample, pop.num_rows(), &reg, &opts).unwrap();
+        // The naive path re-scans the sample K times; it must be
+        // substantially slower than the single-scan path.
+        assert!(
+            base.timings.error_estimation > fast.timings.error_estimation * 3,
+            "baseline {:?} vs optimized {:?}",
+            base.timings.error_estimation,
+            fast.timings.error_estimation
+        );
+    }
+
+    #[test]
+    fn baseline_diagnostic_runs_and_agrees() {
+        let (pop, sample, plan, reg) = tiny_setup(20_000, 3_000);
+        let cfg = DiagnosticConfig::scaled_to(3_000, 10);
+        let opts = ApproxOptions {
+            seed: 4,
+            method: MethodChoice::ClosedForm,
+            diagnostic: Some(cfg),
+            threads: 1,
+            ..Default::default()
+        };
+        let base = execute_baseline(&plan, &sample, pop.num_rows(), &reg, &opts).unwrap();
+        let fast = execute_approx(&plan, &sample, pop.num_rows(), &reg, &opts).unwrap();
+        let bd = base.scalar().unwrap().diagnostic.clone().unwrap();
+        let fd = fast.scalar().unwrap().diagnostic.clone().unwrap();
+        assert_eq!(bd.accepted, fd.accepted);
+        assert!(base.timings.diagnostics >= fast.timings.diagnostics);
+    }
+}

@@ -1,0 +1,645 @@
+//! The scan/filter/project pipeline: plan → per-group aggregation inputs.
+//!
+//! One pass over the table's partitions (in parallel) produces, for every
+//! top-level group and every aggregate in the SELECT list, the dense
+//! `f64` vector the estimators consume. This *is* the scan-consolidation
+//! point: the same vectors feed the point estimate, every bootstrap
+//! replicate, and every diagnostic subsample (§5.3.1).
+
+use std::collections::HashMap;
+
+use aqp_sql::ast::{AggExpr, AggFunc};
+use aqp_sql::expr::{eval, eval_predicate};
+use aqp_sql::logical::LogicalPlan;
+use aqp_storage::{Batch, Table};
+
+use crate::parallel::parallel_map;
+use crate::{ExecError, Result};
+
+/// Inner-group encoding for nested (two-level) aggregates.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NestedData {
+    /// Per-row inner-group code, aligned with the values vector.
+    pub codes: Vec<u32>,
+    /// Number of distinct inner groups.
+    pub n_codes: usize,
+}
+
+/// The aggregation input for one aggregate within one top-level group.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AggData {
+    /// Post-filter aggregate-argument values (NULLs dropped).
+    pub values: Vec<f64>,
+    /// Pre-filter row position (in sample scan order) of each value.
+    /// Sorted ascending. The diagnostic partitions subsamples by *row*
+    /// ranges over these positions so that per-subsample filtered counts
+    /// keep their natural binomial variation (without this, SUM/COUNT
+    /// subsample estimates would be artificially constant and the
+    /// diagnostic would mis-fire). Empty when untracked.
+    pub positions: Vec<u32>,
+    /// Inner grouping, present only for nested plans.
+    pub nested: Option<NestedData>,
+}
+
+impl AggData {
+    /// The value-index range whose positions fall in the pre-filter row
+    /// range `[row_lo, row_hi)`. Falls back to proportional value-count
+    /// chunking when positions are untracked.
+    pub fn range_for_rows(&self, row_lo: usize, row_hi: usize, sample_rows: usize) -> std::ops::Range<usize> {
+        if self.positions.len() == self.values.len() && !self.positions.is_empty() {
+            let lo = self.positions.partition_point(|&p| (p as usize) < row_lo);
+            let hi = self.positions.partition_point(|&p| (p as usize) < row_hi);
+            lo..hi
+        } else {
+            // Proportional fallback.
+            let sel = if sample_rows == 0 { 0.0 } else { self.values.len() as f64 / sample_rows as f64 };
+            let lo = ((row_lo as f64 * sel).round() as usize).min(self.values.len());
+            let hi = ((row_hi as f64 * sel).round() as usize).min(self.values.len());
+            lo..hi.max(lo)
+        }
+    }
+}
+
+/// One top-level group's inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Group {
+    /// Rendered group key (empty string for the global group).
+    pub key: String,
+    /// One entry per aggregate in the SELECT list.
+    pub aggs: Vec<AggData>,
+}
+
+/// Everything one scan produced.
+#[derive(Debug, Clone)]
+pub struct Collected {
+    /// Rows scanned before filtering (the sample size n).
+    pub pre_filter_rows: usize,
+    /// Top-level groups in first-seen order.
+    pub groups: Vec<Group>,
+    /// The aggregate expressions, in SELECT order (shared by all groups).
+    pub agg_exprs: Vec<AggExpr>,
+    /// Whether this came from a nested (two-level) plan.
+    pub nested: bool,
+    /// The inner aggregate of a nested plan.
+    pub inner_agg: Option<AggExpr>,
+}
+
+/// The decomposed plan shape the executor supports.
+struct PlanShape<'a> {
+    /// Pass-through chain from scan upward (scan first), excluding
+    /// aggregate/estimation nodes. `Resample` nodes are recorded but
+    /// treated as no-ops during collection (weights are streamed by the
+    /// engine, not materialized).
+    chain: Vec<&'a LogicalPlan>,
+    inner_agg: Option<&'a LogicalPlan>,
+    top_agg: &'a LogicalPlan,
+}
+
+fn decompose(plan: &LogicalPlan) -> Result<PlanShape<'_>> {
+    // Strip ErrorEstimate/Diagnostic wrappers.
+    let mut node = plan;
+    loop {
+        match node {
+            LogicalPlan::ErrorEstimate { input, .. } | LogicalPlan::Diagnostic { input } => {
+                node = input;
+            }
+            _ => break,
+        }
+    }
+    let top_agg = match node {
+        LogicalPlan::Aggregate { .. } => node,
+        other => {
+            return Err(ExecError::Unsupported(format!(
+                "plan root must be an aggregate, found {other:?}"
+            )))
+        }
+    };
+    let mut below = top_agg.input().expect("aggregate has input");
+    // Pass through filters/projections between the two aggregates? The
+    // supported nested shape is: outer Aggregate directly over inner
+    // Aggregate (optionally with a filter between).
+    let mut inner_agg = None;
+    let mut probe = below;
+    loop {
+        match probe {
+            LogicalPlan::Aggregate { .. } => {
+                inner_agg = Some(probe);
+                below = probe.input().expect("aggregate has input");
+                break;
+            }
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Resample { input, .. }
+            | LogicalPlan::TableSample { input, .. } => {
+                probe = input;
+            }
+            LogicalPlan::Scan { .. } => break,
+            other => {
+                return Err(ExecError::Unsupported(format!("unsupported node {other:?}")))
+            }
+        }
+    }
+    if inner_agg.is_some() {
+        // Filters between the aggregates are not supported (the paper's
+        // nested queries filter at the base level).
+        if !matches!(top_agg.input().unwrap(), LogicalPlan::Aggregate { .. }) {
+            return Err(ExecError::Unsupported(
+                "operators between nested aggregates are not supported".into(),
+            ));
+        }
+    }
+
+    // Build the pass-through chain (scan-first order) below the innermost
+    // aggregate.
+    let mut chain_rev = Vec::new();
+    let mut cur = below;
+    loop {
+        chain_rev.push(cur);
+        match cur {
+            LogicalPlan::Scan { .. } => break,
+            _ => {
+                cur = cur
+                    .input()
+                    .ok_or_else(|| ExecError::Unsupported("chain without scan leaf".into()))?;
+            }
+        }
+    }
+    chain_rev.reverse();
+    Ok(PlanShape { chain: chain_rev, inner_agg, top_agg })
+}
+
+/// Apply the pass-through chain to one partition batch (filters and
+/// projections; `Resample` is a no-op here). Also returns, per surviving
+/// row, its original row index within the partition.
+fn apply_chain(chain: &[&LogicalPlan], batch: &Batch) -> Result<(Batch, Vec<u32>)> {
+    let mut current = batch.clone();
+    let mut positions: Vec<u32> = (0..batch.num_rows() as u32).collect();
+    for node in chain {
+        match node {
+            LogicalPlan::Scan { .. } | LogicalPlan::Resample { .. } => {}
+            LogicalPlan::TableSample { rate, seed, .. } => {
+                // Physically replicate each row Poisson(rate) times (§5.2's
+                // explicit operator). Deterministic per (seed, partition
+                // content) via the rows' current positions.
+                use aqp_stats::dist::sample_poisson;
+                let mut rng = aqp_stats::rng::SeedStream::new(*seed)
+                    .rng(positions.first().copied().unwrap_or(0) as u64);
+                let mut indices = Vec::with_capacity(current.num_rows());
+                for i in 0..current.num_rows() {
+                    let w = sample_poisson(&mut rng, *rate);
+                    for _ in 0..w {
+                        indices.push(i);
+                    }
+                }
+                positions = indices.iter().map(|&i| positions[i]).collect();
+                current = current.gather(&indices).map_err(ExecError::Storage)?;
+            }
+            LogicalPlan::Filter { predicate, .. } => {
+                let mask = eval_predicate(predicate, &current)?;
+                positions = positions
+                    .iter()
+                    .zip(&mask)
+                    .filter_map(|(&p, &m)| m.then_some(p))
+                    .collect();
+                current = current.filter(&mask)?;
+            }
+            LogicalPlan::Project { exprs, .. } => {
+                let mut cols = Vec::with_capacity(exprs.len());
+                let mut fields = Vec::with_capacity(exprs.len());
+                for (e, name) in exprs {
+                    let c = eval(e, &current)?;
+                    fields.push(aqp_storage::Field::nullable(name.clone(), c.data_type()));
+                    cols.push(c);
+                }
+                let schema = aqp_storage::Schema::new(fields)
+                    .map_err(ExecError::Storage)?;
+                current = Batch::new(schema, cols).map_err(ExecError::Storage)?;
+            }
+            other => {
+                return Err(ExecError::Unsupported(format!("{other:?} in pass-through chain")))
+            }
+        }
+    }
+    Ok((current, positions))
+}
+
+/// Render a composite group key for row `i` from the key columns.
+fn group_key(batch: &Batch, key_cols: &[usize], i: usize) -> String {
+    let mut s = String::new();
+    for (j, &c) in key_cols.iter().enumerate() {
+        if j > 0 {
+            s.push('\u{1f}'); // unit separator keeps composite keys unambiguous
+        }
+        match batch.column(c).value(i) {
+            Ok(v) => {
+                use std::fmt::Write;
+                let _ = write!(s, "{v}");
+            }
+            Err(_) => s.push('?'),
+        }
+    }
+    s
+}
+
+/// Pair each partition with its global starting row offset.
+fn partitions_with_offsets(table: &Table) -> Vec<(aqp_storage::Partition, u32)> {
+    let mut out = Vec::with_capacity(table.num_partitions());
+    let mut offset = 0u32;
+    for p in table.partitions() {
+        out.push((p.clone(), offset));
+        offset += p.num_rows() as u32;
+    }
+    out
+}
+
+struct PartitionCollect {
+    rows_scanned: usize,
+    groups: Vec<Group>,
+    // For nested: per (group, agg) the raw inner key strings; codes are
+    // assigned globally at merge time.
+    nested_keys: Vec<Vec<Vec<String>>>,
+}
+
+/// Collect aggregation inputs from `plan` over `table`.
+///
+/// Supported shapes: `Aggregate(chain)` and `Aggregate(Aggregate(chain))`
+/// (one nesting level, outer without GROUP BY).
+pub fn collect(plan: &LogicalPlan, table: &Table, threads: usize) -> Result<Collected> {
+    let shape = decompose(plan)?;
+    let (top_group_by, top_aggs) = match shape.top_agg {
+        LogicalPlan::Aggregate { group_by, aggs, .. } => (group_by.clone(), aggs.clone()),
+        _ => unreachable!(),
+    };
+
+    if let Some(inner) = shape.inner_agg {
+        let (inner_group_by, inner_aggs) = match inner {
+            LogicalPlan::Aggregate { group_by, aggs, .. } => (group_by.clone(), aggs.clone()),
+            _ => unreachable!(),
+        };
+        if !top_group_by.is_empty() {
+            return Err(ExecError::Unsupported(
+                "GROUP BY on the outer block of a nested query is not supported".into(),
+            ));
+        }
+        if inner_aggs.len() != 1 || inner_group_by.len() != 1 {
+            return Err(ExecError::Unsupported(
+                "nested inner block must have exactly one aggregate and one group key".into(),
+            ));
+        }
+        return collect_nested(&shape, table, &top_aggs, &inner_aggs[0], &inner_group_by[0], threads);
+    }
+
+    // --- Simple (single-level) collection. ---
+    let chain = &shape.chain;
+    let parts_with_offsets = partitions_with_offsets(table);
+    let partials: Vec<Result<PartitionCollect>> =
+        parallel_map(parts_with_offsets, threads, |(part, offset)| {
+            let rows_scanned = part.num_rows();
+            let (filtered, local_pos) = apply_chain(chain, part.batch())?;
+            let key_cols: Vec<usize> = top_group_by
+                .iter()
+                .map(|k| filtered.schema().index_of(k).map_err(ExecError::Storage))
+                .collect::<Result<Vec<_>>>()?;
+            // Evaluate each aggregate's argument once over the batch.
+            let arg_cols: Vec<Option<aqp_storage::Column>> = top_aggs
+                .iter()
+                .map(|a| match &a.arg {
+                    Some(e) => eval(e, &filtered).map(Some).map_err(ExecError::Sql),
+                    None => Ok(None),
+                })
+                .collect::<Result<Vec<_>>>()?;
+
+            let mut groups: Vec<Group> = Vec::new();
+            let mut group_index: HashMap<String, usize> = HashMap::new();
+            for i in 0..filtered.num_rows() {
+                let key = if key_cols.is_empty() {
+                    String::new()
+                } else {
+                    group_key(&filtered, &key_cols, i)
+                };
+                let gi = *group_index.entry(key.clone()).or_insert_with(|| {
+                    groups.push(Group {
+                        key,
+                        aggs: vec![AggData::default(); top_aggs.len()],
+                    });
+                    groups.len() - 1
+                });
+                let global_pos = offset + local_pos[i];
+                for (ai, col) in arg_cols.iter().enumerate() {
+                    match col {
+                        None => {
+                            groups[gi].aggs[ai].values.push(1.0); // COUNT(*)
+                            groups[gi].aggs[ai].positions.push(global_pos);
+                        }
+                        Some(c) => {
+                            if let Some(x) = c.f64_at(i) {
+                                groups[gi].aggs[ai].values.push(x);
+                                groups[gi].aggs[ai].positions.push(global_pos);
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(PartitionCollect { rows_scanned, groups, nested_keys: Vec::new() })
+        });
+
+    let mut collected = merge_partials(partials, top_aggs, false, None)?;
+    // SQL semantics: a global aggregate over zero surviving rows still
+    // produces one output row (COUNT 0, AVG NULL).
+    if top_group_by.is_empty() && collected.groups.is_empty() {
+        collected.groups.push(Group {
+            key: String::new(),
+            aggs: vec![AggData::default(); collected.agg_exprs.len()],
+        });
+    }
+    Ok(collected)
+}
+
+fn collect_nested(
+    shape: &PlanShape<'_>,
+    table: &Table,
+    top_aggs: &[AggExpr],
+    inner_agg: &AggExpr,
+    inner_key: &str,
+    threads: usize,
+) -> Result<Collected> {
+    if top_aggs.iter().any(|a| a.arg.is_none() && !matches!(a.func, AggFunc::Count)) {
+        return Err(ExecError::Unsupported("outer aggregate without argument".into()));
+    }
+    let chain = &shape.chain;
+    let inner_agg_cloned = inner_agg.clone();
+    let inner_key_owned = inner_key.to_owned();
+
+    let parts_with_offsets = partitions_with_offsets(table);
+    let partials: Vec<Result<PartitionCollect>> =
+        parallel_map(parts_with_offsets, threads, |(part, offset)| {
+            let rows_scanned = part.num_rows();
+            let (filtered, local_pos) = apply_chain(chain, part.batch())?;
+            let key_col = filtered
+                .schema()
+                .index_of(&inner_key_owned)
+                .map_err(ExecError::Storage)?;
+            let arg_col = match &inner_agg_cloned.arg {
+                Some(e) => Some(eval(e, &filtered).map_err(ExecError::Sql)?),
+                None => None,
+            };
+            // One anonymous top group; values = inner agg argument per row,
+            // nested key strings recorded for global code assignment.
+            let mut values = Vec::with_capacity(filtered.num_rows());
+            let mut positions = Vec::with_capacity(filtered.num_rows());
+            let mut keys = Vec::with_capacity(filtered.num_rows());
+            for i in 0..filtered.num_rows() {
+                let x = match &arg_col {
+                    None => Some(1.0),
+                    Some(c) => c.f64_at(i),
+                };
+                if let Some(x) = x {
+                    values.push(x);
+                    positions.push(offset + local_pos[i]);
+                    keys.push(group_key(&filtered, &[key_col], i));
+                }
+            }
+            let group = Group {
+                key: String::new(),
+                aggs: vec![AggData { values, positions, nested: Some(NestedData::default()) }],
+            };
+            Ok(PartitionCollect {
+                rows_scanned,
+                groups: vec![group],
+                nested_keys: vec![vec![keys]],
+            })
+        });
+
+    let mut collected = merge_partials(partials, top_aggs.to_vec(), true, Some(inner_agg.clone()))?;
+    if collected.groups.is_empty() {
+        collected.groups.push(Group {
+            key: String::new(),
+            aggs: vec![AggData::default(); collected.agg_exprs.len()],
+        });
+    }
+    Ok(collected)
+}
+
+fn merge_partials(
+    partials: Vec<Result<PartitionCollect>>,
+    agg_exprs: Vec<AggExpr>,
+    nested: bool,
+    inner_agg: Option<AggExpr>,
+) -> Result<Collected> {
+    let mut pre_filter_rows = 0usize;
+    let mut groups: Vec<Group> = Vec::new();
+    let mut group_index: HashMap<String, usize> = HashMap::new();
+    let mut code_index: HashMap<String, u32> = HashMap::new();
+    let mut all_codes: Vec<u32> = Vec::new();
+
+    for partial in partials {
+        let p = partial?;
+        pre_filter_rows += p.rows_scanned;
+        for (local_gi, g) in p.groups.into_iter().enumerate() {
+            let gi = *group_index.entry(g.key.clone()).or_insert_with(|| {
+                groups.push(Group {
+                    key: g.key.clone(),
+                    aggs: vec![AggData::default(); g.aggs.len()],
+                });
+                groups.len() - 1
+            });
+            for (ai, a) in g.aggs.into_iter().enumerate() {
+                groups[gi].aggs[ai].values.extend(a.values);
+                groups[gi].aggs[ai].positions.extend(a.positions);
+                if nested {
+                    let keys = &p.nested_keys[local_gi][ai.min(p.nested_keys[local_gi].len() - 1)];
+                    for k in keys {
+                        let next = code_index.len() as u32;
+                        let code = *code_index.entry(k.clone()).or_insert(next);
+                        all_codes.push(code);
+                    }
+                }
+            }
+        }
+    }
+
+    if nested {
+        // One top group, one collected agg-data slot: attach codes. Every
+        // outer aggregate shares the same inner structure.
+        let n_codes = code_index.len();
+        for g in &mut groups {
+            for a in &mut g.aggs {
+                a.nested = Some(NestedData { codes: all_codes.clone(), n_codes });
+            }
+        }
+        // Duplicate the single collected values vector across outer
+        // aggregates if the SELECT list has several.
+        if let Some(g) = groups.first_mut() {
+            if g.aggs.len() == 1 && agg_exprs.len() > 1 {
+                let proto = g.aggs[0].clone();
+                g.aggs = vec![proto; agg_exprs.len()];
+            }
+        }
+    }
+
+    // Deterministic group order regardless of partition interleaving.
+    groups.sort_by(|a, b| a.key.cmp(&b.key));
+
+    Ok(Collected { pre_filter_rows, groups, agg_exprs, nested, inner_agg })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqp_sql::{parse_query, plan_query};
+    use aqp_storage::{Column, DataType, Field, Schema};
+
+    fn sessions() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("city", DataType::Str),
+            Field::new("time", DataType::Float),
+            Field::new("user_id", DataType::Int),
+        ])
+        .unwrap();
+        let batch = Batch::new(
+            schema,
+            vec![
+                Column::from_strs(&["NYC", "SF", "NYC", "SF", "NYC", "LA"]),
+                Column::from_f64s(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]),
+                Column::from_i64s(vec![1, 1, 2, 2, 3, 3]),
+            ],
+        )
+        .unwrap();
+        Table::from_batch("sessions", batch, 3).unwrap()
+    }
+
+    fn collected(sql: &str, threads: usize) -> Collected {
+        let t = sessions();
+        let q = parse_query(sql).unwrap();
+        let plan = plan_query(&q, t.schema()).unwrap();
+        collect(&plan, &t, threads).unwrap()
+    }
+
+    #[test]
+    fn global_aggregate_collects_all_values() {
+        let c = collected("SELECT AVG(time) FROM sessions", 2);
+        assert_eq!(c.pre_filter_rows, 6);
+        assert_eq!(c.groups.len(), 1);
+        let mut v = c.groups[0].aggs[0].values.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(v, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn filter_reduces_values() {
+        let c = collected("SELECT SUM(time) FROM sessions WHERE city = 'NYC'", 1);
+        let mut v = c.groups[0].aggs[0].values.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(v, vec![1.0, 3.0, 5.0]);
+        assert_eq!(c.pre_filter_rows, 6); // pre-filter count is preserved
+    }
+
+    #[test]
+    fn group_by_splits_groups() {
+        let c = collected("SELECT city, COUNT(*) FROM sessions GROUP BY city", 2);
+        assert_eq!(c.groups.len(), 3);
+        let keys: Vec<&str> = c.groups.iter().map(|g| g.key.as_str()).collect();
+        assert_eq!(keys, vec!["LA", "NYC", "SF"]); // sorted
+        let nyc = c.groups.iter().find(|g| g.key == "NYC").unwrap();
+        assert_eq!(nyc.aggs[0].values.len(), 3);
+    }
+
+    #[test]
+    fn count_star_counts_rows() {
+        let c = collected("SELECT COUNT(*) FROM sessions WHERE time > 4", 1);
+        assert_eq!(c.groups[0].aggs[0].values, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn multiple_aggregates_share_the_scan() {
+        let c = collected("SELECT AVG(time), MAX(time), COUNT(*) FROM sessions", 2);
+        assert_eq!(c.groups[0].aggs.len(), 3);
+        assert_eq!(c.groups[0].aggs[0].values.len(), 6);
+        assert_eq!(c.groups[0].aggs[2].values, vec![1.0; 6]);
+    }
+
+    #[test]
+    fn nested_collects_codes() {
+        let c = collected(
+            "SELECT AVG(s) FROM (SELECT SUM(time) AS s FROM sessions GROUP BY user_id)",
+            1,
+        );
+        assert!(c.nested);
+        let a = &c.groups[0].aggs[0];
+        assert_eq!(a.values.len(), 6);
+        let nd = a.nested.as_ref().unwrap();
+        assert_eq!(nd.codes.len(), 6);
+        assert_eq!(nd.n_codes, 3); // users 1, 2, 3
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let c1 = collected("SELECT city, AVG(time) FROM sessions GROUP BY city", 1);
+        let c4 = collected("SELECT city, AVG(time) FROM sessions GROUP BY city", 4);
+        assert_eq!(c1.pre_filter_rows, c4.pre_filter_rows);
+        let norm = |c: &Collected| {
+            c.groups
+                .iter()
+                .map(|g| {
+                    let mut v = g.aggs[0].values.clone();
+                    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                    (g.key.clone(), v)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(norm(&c1), norm(&c4));
+    }
+
+    #[test]
+    fn resample_node_is_transparent_to_collection() {
+        let t = sessions();
+        let q = parse_query("SELECT AVG(time) FROM sessions WHERE city = 'NYC'").unwrap();
+        let plan = plan_query(&q, t.schema()).unwrap();
+        let spec = aqp_sql::logical::ResampleSpec::bootstrap(10, 1);
+        let rewritten = aqp_sql::rewriter::insert_pushed_down(plan.clone(), &spec);
+        let a = collect(&plan, &t, 1).unwrap();
+        let b = collect(&rewritten, &t, 1).unwrap();
+        assert_eq!(a.groups[0].aggs[0].values, b.groups[0].aggs[0].values);
+    }
+
+    #[test]
+    fn tablesample_poissonized_replicates_rows() {
+        let t = sessions();
+        let q = parse_query("SELECT COUNT(*) FROM sessions TABLESAMPLE POISSONIZED (100)")
+            .unwrap();
+        let plan = plan_query(&q, t.schema()).unwrap();
+        assert!(plan.explain().contains("TableSamplePoissonized"));
+        let c = collect(&plan, &t, 1).unwrap();
+        // 6 rows with Poisson(1) replication: expected ~6, deterministic
+        // given the seed; just require a plausible non-identity outcome.
+        let n = c.groups[0].aggs[0].values.len();
+        assert!(n <= 20, "resample blew up: {n}");
+        // Deterministic.
+        let c2 = collect(&plan, &t, 1).unwrap();
+        assert_eq!(c.groups[0].aggs[0].values.len(), c2.groups[0].aggs[0].values.len());
+        // Rate 200 (λ=2) roughly doubles the expectation.
+        let q2 = parse_query("SELECT COUNT(*) FROM sessions TABLESAMPLE POISSONIZED (200)")
+            .unwrap();
+        let plan2 = plan_query(&q2, t.schema()).unwrap();
+        let big: usize = (0..20)
+            .map(|_| collect(&plan2, &t, 1).unwrap().groups[0].aggs[0].values.len())
+            .sum();
+        let small: usize = (0..20)
+            .map(|_| collect(&plan, &t, 1).unwrap().groups[0].aggs[0].values.len())
+            .sum();
+        assert!(big > small, "λ=2 ({big}) should replicate more than λ=1 ({small})");
+    }
+
+    #[test]
+    fn unsupported_outer_group_by_on_nested() {
+        let t = sessions();
+        let q = parse_query(
+            "SELECT s, AVG(s) FROM (SELECT user_id, SUM(time) AS s FROM sessions GROUP BY user_id) GROUP BY s",
+        );
+        if let Ok(q) = q {
+            if let Ok(plan) = plan_query(&q, t.schema()) {
+                assert!(collect(&plan, &t, 1).is_err());
+            }
+        }
+    }
+}

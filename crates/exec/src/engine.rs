@@ -1,0 +1,542 @@
+//! The optimized executor: one scan → answer + error + diagnostic.
+//!
+//! This is the end state of §5/§6: the collected aggregation inputs are
+//! produced by a single (parallel) pass over the sample's partitions, and
+//! then *reused* by the point estimate, all bootstrap replicates, and all
+//! diagnostic subsamples — no repeated scans, no tuple duplication.
+
+use std::ops::Range;
+use std::time::Instant;
+
+use aqp_diagnostics::kleiner::{evaluate_from_estimates, LevelEstimates};
+use aqp_diagnostics::DiagnosticConfig;
+use aqp_sql::logical::LogicalPlan;
+use aqp_stats::estimator::SampleContext;
+use aqp_stats::rng::SeedStream;
+use aqp_storage::Table;
+
+use crate::collect::{collect, AggData, Collected};
+use crate::parallel::{default_threads, parallel_map};
+use crate::result::{
+    AggResult, ApproxResult, ExactResult, GroupResult, MethodUsed, PhaseTimings,
+};
+use crate::theta::{bootstrap_ci_prepared, closed_form_ci_prepared, PreparedTheta};
+use crate::udf::UdfRegistry;
+use crate::Result;
+
+/// How the executor picks the error-estimation technique.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodChoice {
+    /// Closed form when applicable, bootstrap otherwise (the system
+    /// default: closed forms are strictly cheaper when they exist).
+    Auto,
+    /// Force the bootstrap.
+    Bootstrap,
+    /// Closed form only; aggregates without one get no interval.
+    ClosedForm,
+}
+
+/// Options for approximate execution.
+#[derive(Debug, Clone)]
+pub struct ApproxOptions {
+    /// Technique selection.
+    pub method: MethodChoice,
+    /// Bootstrap resample count K.
+    pub bootstrap_k: usize,
+    /// Interval coverage α.
+    pub alpha: f64,
+    /// Run the diagnostic with this configuration (`None` = skip). The
+    /// config's subsample sizes are interpreted against the sample's
+    /// pre-filter row count.
+    pub diagnostic: Option<DiagnosticConfig>,
+    /// Root seed for all Poisson weight streams.
+    pub seed: u64,
+    /// Worker threads for the scan and the replicate loops.
+    pub threads: usize,
+    /// Per-group (sample_rows, population_rows) overrides for stratified
+    /// samples: each stratum is a uniform sample of its own stratum
+    /// population with its own rate, so estimates/intervals/diagnostics
+    /// for group `key` must scale by its stratum sizes, not the sample's.
+    pub group_contexts: Option<std::collections::HashMap<String, (usize, usize)>>,
+}
+
+impl Default for ApproxOptions {
+    fn default() -> Self {
+        ApproxOptions {
+            method: MethodChoice::Auto,
+            bootstrap_k: 100,
+            alpha: 0.95,
+            diagnostic: None,
+            seed: 0,
+            threads: default_threads(),
+            group_contexts: None,
+        }
+    }
+}
+
+impl ApproxOptions {
+    /// Enable the diagnostic with sizes scaled to `sample_rows`.
+    pub fn with_scaled_diagnostic(mut self, sample_rows: usize, p: usize) -> Self {
+        self.diagnostic = Some(DiagnosticConfig::scaled_to(sample_rows, p));
+        self
+    }
+}
+
+/// Execute `plan` exactly over `table` (the fallback path when the
+/// diagnostic rejects, and the ground-truth oracle in tests).
+pub fn execute_exact(
+    plan: &LogicalPlan,
+    table: &Table,
+    registry: &UdfRegistry,
+    threads: usize,
+) -> Result<ExactResult> {
+    let start = Instant::now();
+    let collected = collect(plan, table, threads)?;
+    let ctx = SampleContext::population(collected.pre_filter_rows);
+    let thetas = prepare_thetas(&collected, registry)?;
+    let groups = collected
+        .groups
+        .iter()
+        .map(|g| {
+            let vals = g
+                .aggs
+                .iter()
+                .zip(&thetas)
+                .map(|(data, theta)| theta.estimate(data, &ctx))
+                .collect();
+            (g.key.clone(), vals)
+        })
+        .collect();
+    Ok(ExactResult { groups, rows_scanned: collected.pre_filter_rows, elapsed: start.elapsed() })
+}
+
+fn prepare_thetas(collected: &Collected, registry: &UdfRegistry) -> Result<Vec<PreparedTheta>> {
+    collected
+        .agg_exprs
+        .iter()
+        .map(|a| PreparedTheta::prepare(a, collected.inner_agg.as_ref(), registry))
+        .collect()
+}
+
+/// Execute `plan` approximately over `sample` (a stored sample of a table
+/// with `population_rows` rows), producing estimates, error bars, and
+/// diagnostic verdicts in a single scan.
+pub fn execute_approx(
+    plan: &LogicalPlan,
+    sample: &Table,
+    population_rows: usize,
+    registry: &UdfRegistry,
+    opts: &ApproxOptions,
+) -> Result<ApproxResult> {
+    let seeds = SeedStream::new(opts.seed);
+
+    // Phase 1 — the query itself: one scan, point estimates.
+    let t0 = Instant::now();
+    let collected = collect(plan, sample, opts.threads)?;
+    let default_ctx = SampleContext::new(collected.pre_filter_rows, population_rows);
+    let ctx_for = |key: &str| -> SampleContext {
+        opts.group_contexts
+            .as_ref()
+            .and_then(|m| m.get(key))
+            .map(|&(s, p)| SampleContext::new(s, p))
+            .unwrap_or(default_ctx)
+    };
+    let thetas = prepare_thetas(&collected, registry)?;
+    let estimates: Vec<Vec<f64>> = collected
+        .groups
+        .iter()
+        .map(|g| {
+            let ctx = ctx_for(&g.key);
+            g.aggs
+                .iter()
+                .zip(&thetas)
+                .map(|(data, theta)| theta.estimate(data, &ctx))
+                .collect()
+        })
+        .collect();
+    let query_time = t0.elapsed();
+
+    // Phase 2 — error estimation, per (group, aggregate), replicates
+    // parallelized across groups.
+    let t1 = Instant::now();
+    let jobs: Vec<(usize, usize)> = collected
+        .groups
+        .iter()
+        .enumerate()
+        .flat_map(|(gi, g)| (0..g.aggs.len()).map(move |ai| (gi, ai)))
+        .collect();
+    let cis: Vec<(Option<aqp_stats::ci::Ci>, MethodUsed)> =
+        parallel_map(jobs.clone(), opts.threads, |(gi, ai)| {
+            let data = &collected.groups[gi].aggs[ai];
+            let theta = &thetas[ai];
+            let ctx = ctx_for(&collected.groups[gi].key);
+            error_ci(theta, data, &ctx, opts, seeds.derive(0xC1).derive((gi * 64 + ai) as u64))
+        });
+    let error_time = t1.elapsed();
+
+    // Phase 3 — diagnostics, same job list.
+    let t2 = Instant::now();
+    let diags: Vec<Option<aqp_diagnostics::DiagnosticReport>> = match &opts.diagnostic {
+        None => vec![None; jobs.len()],
+        Some(cfg) => parallel_map(jobs.clone(), opts.threads, |(gi, ai)| {
+            let data = &collected.groups[gi].aggs[ai];
+            let theta = &thetas[ai];
+            let ctx = ctx_for(&collected.groups[gi].key);
+            Some(run_diagnostic_on_data(
+                theta,
+                data,
+                &ctx,
+                collected.pre_filter_rows,
+                cfg,
+                opts,
+                seeds.derive(0xD1).derive((gi * 64 + ai) as u64),
+            ))
+        }),
+    };
+    let diag_time = t2.elapsed();
+
+    // Assemble.
+    let mut groups: Vec<GroupResult> = Vec::with_capacity(collected.groups.len());
+    let mut job_iter = 0usize;
+    for (gi, g) in collected.groups.iter().enumerate() {
+        let mut aggs = Vec::with_capacity(g.aggs.len());
+        for ai in 0..g.aggs.len() {
+            let (ci, method) = cis[job_iter];
+            let diagnostic = diags[job_iter].clone();
+            job_iter += 1;
+            aggs.push(AggResult {
+                name: collected
+                    .agg_exprs
+                    .get(ai)
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|| format!("agg{ai}")),
+                estimate: estimates[gi][ai],
+                ci,
+                method,
+                diagnostic,
+            });
+        }
+        groups.push(GroupResult { key: g.key.clone(), aggs });
+    }
+
+    Ok(ApproxResult {
+        groups,
+        sample_rows: collected.pre_filter_rows,
+        population_rows,
+        timings: PhaseTimings {
+            query: query_time,
+            error_estimation: error_time,
+            diagnostics: diag_time,
+        },
+    })
+}
+
+fn error_ci(
+    theta: &PreparedTheta,
+    data: &AggData,
+    ctx: &SampleContext,
+    opts: &ApproxOptions,
+    seeds: SeedStream,
+) -> (Option<aqp_stats::ci::Ci>, MethodUsed) {
+    let use_closed_form = match opts.method {
+        MethodChoice::Auto => theta.closed_form_applicable(),
+        MethodChoice::ClosedForm => true,
+        MethodChoice::Bootstrap => false,
+    };
+    if use_closed_form {
+        match closed_form_ci_prepared(theta, data, ctx, opts.alpha) {
+            Some(ci) => return (Some(ci), MethodUsed::ClosedForm),
+            None => {
+                if matches!(opts.method, MethodChoice::ClosedForm) {
+                    return (None, MethodUsed::None);
+                }
+            }
+        }
+    }
+    let mut rng = seeds.rng(0);
+    match bootstrap_ci_prepared(&mut rng, theta, data, ctx, opts.bootstrap_k, opts.alpha) {
+        Some(ci) => (Some(ci), MethodUsed::Bootstrap),
+        None => (None, MethodUsed::None),
+    }
+}
+
+/// Sub-range view used by the diagnostic's disjoint subsamples.
+fn xi_half_width_on_range(
+    theta: &PreparedTheta,
+    data: &AggData,
+    range: Range<usize>,
+    sub_ctx: &SampleContext,
+    opts: &ApproxOptions,
+    seeds: &SeedStream,
+    label: u64,
+) -> f64 {
+    let use_closed_form = match opts.method {
+        MethodChoice::Auto => theta.closed_form_applicable(),
+        MethodChoice::ClosedForm => true,
+        MethodChoice::Bootstrap => false,
+    };
+    if use_closed_form {
+        let sliced = slice_data(data, &range);
+        if let Some(ci) = closed_form_ci_prepared(theta, &sliced, sub_ctx, opts.alpha) {
+            return ci.half_width;
+        }
+        if matches!(opts.method, MethodChoice::ClosedForm) {
+            return f64::NAN;
+        }
+    }
+    let sliced = slice_data(data, &range);
+    let mut rng = seeds.rng(label);
+    bootstrap_ci_prepared(&mut rng, theta, &sliced, sub_ctx, opts.bootstrap_k, opts.alpha)
+        .map(|ci| ci.half_width)
+        .unwrap_or(f64::NAN)
+}
+
+fn slice_data(data: &AggData, range: &Range<usize>) -> AggData {
+    AggData {
+        values: data.values[range.clone()].to_vec(),
+        positions: if data.positions.len() == data.values.len() {
+            data.positions[range.clone()].to_vec()
+        } else {
+            Vec::new()
+        },
+        nested: data.nested.as_ref().map(|nd| crate::collect::NestedData {
+            codes: nd.codes[range.clone()].to_vec(),
+            n_codes: nd.n_codes,
+        }),
+    }
+}
+
+/// The diagnostic operator: Algorithm 1 over the already-collected data.
+///
+/// `row_window` is the total pre-filter row count the positions in
+/// `data` index into (the whole sample). For uniform samples it equals
+/// `ctx.sample_rows`; for a stratified group, `ctx.sample_rows` is the
+/// *stratum's* sample size while positions still span the whole sample,
+/// so subsample contexts are scaled by the stratum's share.
+#[allow(clippy::too_many_arguments)]
+fn run_diagnostic_on_data(
+    theta: &PreparedTheta,
+    data: &AggData,
+    ctx: &SampleContext,
+    row_window: usize,
+    cfg: &DiagnosticConfig,
+    opts: &ApproxOptions,
+    seeds: SeedStream,
+) -> aqp_diagnostics::DiagnosticReport {
+    let theta_s = theta.estimate(data, ctx);
+    let share = if row_window == 0 { 1.0 } else { ctx.sample_rows as f64 / row_window as f64 };
+    let mut levels = Vec::with_capacity(cfg.subsample_rows.len());
+    for (li, &b) in cfg.subsample_rows.iter().enumerate() {
+        let sub_rows = ((b as f64 * share).round() as usize).max(1);
+        let sub_ctx = SampleContext::new(sub_rows, ctx.population_rows);
+        let level_seeds = seeds.derive(li as u64);
+        let mut theta_hats = Vec::with_capacity(cfg.p);
+        let mut xi_half_widths = Vec::with_capacity(cfg.p);
+        for j in 0..cfg.p {
+            // Disjoint subsamples are *pre-filter row* ranges of the
+            // shuffled sample, so filtered counts vary binomially across
+            // subsamples as they do across real samples.
+            let range = data.range_for_rows(j * b, (j + 1) * b, row_window);
+            theta_hats.push(theta.estimate_range(data, range.clone(), &sub_ctx));
+            xi_half_widths.push(xi_half_width_on_range(
+                theta,
+                data,
+                range,
+                &sub_ctx,
+                opts,
+                &level_seeds,
+                j as u64,
+            ));
+        }
+        levels.push(LevelEstimates { b, theta_hats, xi_half_widths });
+    }
+    evaluate_from_estimates(theta_s, &levels, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqp_sql::{parse_query, plan_query};
+    use aqp_stats::dist::sample_lognormal;
+    use aqp_stats::rng::rng_from_seed;
+    use aqp_stats::sampling::with_replacement_indices;
+    use aqp_storage::{Batch, Column, DataType, Field, Schema};
+
+    /// A synthetic sessions table with lognormal times, Zipf-free city mix.
+    fn population(rows: usize, seed: u64) -> Table {
+        let mut rng = rng_from_seed(seed);
+        let cities = ["NYC", "SF", "LA", "CHI"];
+        let city: Vec<&str> = (0..rows).map(|i| cities[i % 4]).collect();
+        let time: Vec<f64> = (0..rows).map(|_| sample_lognormal(&mut rng, 2.0, 0.6)).collect();
+        let user: Vec<i64> = (0..rows).map(|i| (i % 500) as i64).collect();
+        let schema = Schema::new(vec![
+            Field::new("city", DataType::Str),
+            Field::new("time", DataType::Float),
+            Field::new("user_id", DataType::Int),
+        ])
+        .unwrap();
+        let batch = Batch::new(
+            schema,
+            vec![Column::from_strs(&city), Column::from_f64s(time), Column::from_i64s(user)],
+        )
+        .unwrap();
+        Table::from_batch("sessions", batch, 4).unwrap()
+    }
+
+    /// Draw a shuffled with-replacement sample table.
+    fn sample_of(table: &Table, n: usize, seed: u64) -> Table {
+        let mut rng = rng_from_seed(seed);
+        let idx = with_replacement_indices(&mut rng, n, table.num_rows());
+        let batch = table.to_batch().unwrap().gather(&idx).unwrap();
+        Table::from_batch("sessions_sample", batch, 4).unwrap()
+    }
+
+    fn plan_of(sql: &str, table: &Table) -> LogicalPlan {
+        let q = parse_query(sql).unwrap();
+        plan_query(&q, table.schema()).unwrap()
+    }
+
+    #[test]
+    fn approx_avg_matches_exact_within_ci() {
+        let pop = population(100_000, 1);
+        let sample = sample_of(&pop, 20_000, 2);
+        let plan = plan_of("SELECT AVG(time) FROM sessions WHERE city = 'NYC'", &pop);
+        let registry = UdfRegistry::default();
+
+        let exact = execute_exact(&plan, &pop, &registry, 2).unwrap();
+        let truth = exact.scalar().unwrap();
+
+        let opts = ApproxOptions { seed: 3, ..Default::default() };
+        let approx = execute_approx(&plan, &sample, pop.num_rows(), &registry, &opts).unwrap();
+        let r = approx.scalar().unwrap();
+        let ci = r.ci.unwrap();
+        assert_eq!(r.method, MethodUsed::ClosedForm); // Auto picks closed form for AVG
+        assert!(
+            (r.estimate - truth).abs() < 6.0 * ci.half_width,
+            "estimate {} vs truth {truth} (hw {})",
+            r.estimate,
+            ci.half_width
+        );
+        assert!(ci.contains(truth) || (r.estimate - truth).abs() < 3.0 * ci.half_width);
+    }
+
+    #[test]
+    fn sum_and_count_scale_to_population() {
+        let pop = population(50_000, 4);
+        let sample = sample_of(&pop, 10_000, 5);
+        let plan = plan_of("SELECT COUNT(*), SUM(time) FROM sessions WHERE city = 'SF'", &pop);
+        let registry = UdfRegistry::default();
+        let exact = execute_exact(&plan, &pop, &registry, 2).unwrap();
+        let (_, exact_vals) = &exact.groups[0];
+
+        let opts = ApproxOptions { seed: 6, ..Default::default() };
+        let approx = execute_approx(&plan, &sample, pop.num_rows(), &registry, &opts).unwrap();
+        let count_est = approx.groups[0].aggs[0].estimate;
+        let sum_est = approx.groups[0].aggs[1].estimate;
+        assert!((count_est - exact_vals[0]).abs() / exact_vals[0] < 0.1,
+            "count {count_est} vs {}", exact_vals[0]);
+        assert!((sum_est - exact_vals[1]).abs() / exact_vals[1] < 0.1,
+            "sum {sum_est} vs {}", exact_vals[1]);
+    }
+
+    #[test]
+    fn group_by_gives_per_group_results() {
+        let pop = population(40_000, 7);
+        let sample = sample_of(&pop, 8_000, 8);
+        let plan = plan_of("SELECT city, AVG(time) FROM sessions GROUP BY city", &pop);
+        let registry = UdfRegistry::default();
+        let opts = ApproxOptions { seed: 9, ..Default::default() };
+        let approx = execute_approx(&plan, &sample, pop.num_rows(), &registry, &opts).unwrap();
+        assert_eq!(approx.groups.len(), 4);
+        for g in &approx.groups {
+            assert!(g.aggs[0].ci.is_some(), "group {} lacks CI", g.key);
+        }
+    }
+
+    #[test]
+    fn bootstrap_forced_for_max() {
+        let pop = population(40_000, 10);
+        let sample = sample_of(&pop, 8_000, 11);
+        let plan = plan_of("SELECT MAX(time) FROM sessions", &pop);
+        let registry = UdfRegistry::default();
+        let opts = ApproxOptions { seed: 12, ..Default::default() };
+        let approx = execute_approx(&plan, &sample, pop.num_rows(), &registry, &opts).unwrap();
+        assert_eq!(approx.scalar().unwrap().method, MethodUsed::Bootstrap);
+    }
+
+    #[test]
+    fn closed_form_only_gives_none_for_max() {
+        let pop = population(20_000, 13);
+        let sample = sample_of(&pop, 4_000, 14);
+        let plan = plan_of("SELECT MAX(time) FROM sessions", &pop);
+        let registry = UdfRegistry::default();
+        let opts =
+            ApproxOptions { seed: 15, method: MethodChoice::ClosedForm, ..Default::default() };
+        let approx = execute_approx(&plan, &sample, pop.num_rows(), &registry, &opts).unwrap();
+        let r = approx.scalar().unwrap();
+        assert_eq!(r.method, MethodUsed::None);
+        assert!(r.ci.is_none());
+    }
+
+    #[test]
+    fn diagnostic_accepts_avg_rejects_nothing_on_benign_data() {
+        let pop = population(100_000, 16);
+        let sample = sample_of(&pop, 30_000, 17);
+        let plan = plan_of("SELECT AVG(time) FROM sessions", &pop);
+        let registry = UdfRegistry::default();
+        let opts = ApproxOptions { seed: 18, ..Default::default() }
+            .with_scaled_diagnostic(30_000, 50);
+        let approx = execute_approx(&plan, &sample, pop.num_rows(), &registry, &opts).unwrap();
+        let r = approx.scalar().unwrap();
+        let d = r.diagnostic.as_ref().unwrap();
+        assert!(d.accepted, "{d:#?}");
+        assert!(r.error_bars_reliable());
+        assert!(approx.timings.diagnostics > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn nested_query_executes_with_bootstrap() {
+        let pop = population(30_000, 19);
+        let sample = sample_of(&pop, 6_000, 20);
+        let plan = plan_of(
+            "SELECT AVG(s) FROM (SELECT SUM(time) AS s FROM sessions GROUP BY user_id)",
+            &pop,
+        );
+        let registry = UdfRegistry::default();
+        let opts = ApproxOptions { seed: 21, ..Default::default() };
+        let approx = execute_approx(&plan, &sample, pop.num_rows(), &registry, &opts).unwrap();
+        let r = approx.scalar().unwrap();
+        assert_eq!(r.method, MethodUsed::Bootstrap);
+        assert!(r.ci.is_some());
+        assert!(r.estimate.is_finite());
+    }
+
+    #[test]
+    fn udf_query_executes_with_bootstrap() {
+        let pop = population(30_000, 22);
+        let sample = sample_of(&pop, 6_000, 23);
+        let plan = plan_of("SELECT trimmed_mean(time) FROM sessions", &pop);
+        let registry = UdfRegistry::default();
+        let opts = ApproxOptions { seed: 24, ..Default::default() };
+        let approx = execute_approx(&plan, &sample, pop.num_rows(), &registry, &opts).unwrap();
+        let r = approx.scalar().unwrap();
+        assert_eq!(r.method, MethodUsed::Bootstrap);
+        assert!(r.ci.is_some());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pop = population(20_000, 25);
+        let sample = sample_of(&pop, 5_000, 26);
+        let plan = plan_of("SELECT SUM(time) FROM sessions WHERE city = 'LA'", &pop);
+        let registry = UdfRegistry::default();
+        let opts = ApproxOptions {
+            seed: 27,
+            method: MethodChoice::Bootstrap,
+            ..Default::default()
+        };
+        let a = execute_approx(&plan, &sample, pop.num_rows(), &registry, &opts).unwrap();
+        let b = execute_approx(&plan, &sample, pop.num_rows(), &registry, &opts).unwrap();
+        assert_eq!(a.scalar().unwrap().ci, b.scalar().unwrap().ci);
+    }
+}

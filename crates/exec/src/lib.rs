@@ -1,0 +1,78 @@
+//! # aqp-exec
+//!
+//! Physical execution for `reliable-aqp`: the engine that turns a logical
+//! plan plus a stored sample into an approximate answer, an error
+//! estimate, and a diagnostic verdict — in **one scan** (§5.3.1), with the
+//! resampling operator operating post-filter (§5.3.2) and all aggregate
+//! operators working directly on Poisson-weighted tuples.
+//!
+//! Layout:
+//!
+//! * [`udf`] — the aggregate-UDF registry (resolves `AggFunc::Udf` names
+//!   to concrete estimators).
+//! * [`collect`] — the scan/filter/project pipeline: walks the plan over
+//!   the table's partitions (in parallel) and produces per-group
+//!   aggregation inputs.
+//! * [`theta`] — prepared query estimators θ, including the nested
+//!   two-level aggregates of QSet-2, with weighted (resample) evaluation.
+//! * [`engine`] — the optimized executor (`execute_approx`): point
+//!   estimate + bootstrap/closed-form error + diagnostic from one pass.
+//! * [`baseline`] — the §5.2 naive executor: one physical re-scan per
+//!   bootstrap subquery and per diagnostic subquery, kept as the measured
+//!   baseline for the Fig. 7/8 experiments.
+//! * [`parallel`] — crossbeam-scoped helpers for partition- and
+//!   replicate-parallelism.
+//! * [`result`] — result types with per-phase wall-clock timings.
+
+pub mod baseline;
+pub mod collect;
+pub mod engine;
+pub mod parallel;
+pub mod result;
+pub mod theta;
+pub mod udf;
+
+pub use engine::{execute_approx, execute_exact, ApproxOptions};
+pub use result::{AggResult, ApproxResult, ExactResult, PhaseTimings};
+pub use udf::UdfRegistry;
+
+/// Execution errors.
+#[derive(Debug)]
+pub enum ExecError {
+    /// Storage-layer failure.
+    Storage(aqp_storage::StorageError),
+    /// SQL-layer failure.
+    Sql(aqp_sql::SqlError),
+    /// The plan has a shape the executor does not support.
+    Unsupported(String),
+    /// A UDF name could not be resolved.
+    UnknownUdf(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Storage(e) => write!(f, "storage error: {e}"),
+            ExecError::Sql(e) => write!(f, "sql error: {e}"),
+            ExecError::Unsupported(m) => write!(f, "unsupported plan: {m}"),
+            ExecError::UnknownUdf(n) => write!(f, "unknown UDF: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<aqp_storage::StorageError> for ExecError {
+    fn from(e: aqp_storage::StorageError) -> Self {
+        ExecError::Storage(e)
+    }
+}
+
+impl From<aqp_sql::SqlError> for ExecError {
+    fn from(e: aqp_sql::SqlError) -> Self {
+        ExecError::Sql(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ExecError>;

@@ -1,0 +1,105 @@
+//! Small scoped-thread parallelism helpers.
+//!
+//! The paper's §6.1 point — that the right degree of parallelism is
+//! bounded — is modeled in `aqp-cluster`; here we simply use the local
+//! machine's cores for partition- and replicate-parallel work.
+
+/// Map `f` over `items` using up to `threads` worker threads, preserving
+/// input order in the output.
+///
+/// `threads == 1` (or a single item) degrades to a plain sequential map,
+/// avoiding thread-spawn overhead on small inputs. Items are split into
+/// contiguous chunks, one chunk per worker — the right shape for our
+/// workloads, where per-item cost is uniform (partitions of equal size,
+/// bootstrap replicates of equal cost).
+pub fn parallel_map<T, U, F>(items: Vec<T>, threads: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let threads = threads.min(n);
+    let chunk_size = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk_size).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let f_ref = &f;
+    let results: Vec<Vec<U>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(f_ref).collect::<Vec<U>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel_map worker panicked"))
+            .collect()
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// A sensible default worker count: the machine's logical cores, capped.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map((0..100).collect(), 8, |i: i32| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_fallback() {
+        let out = parallel_map(vec![1, 2, 3], 1, |i: i32| i + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), 4, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = parallel_map(vec![5], 16, |i: i32| i * i);
+        assert_eq!(out, vec![25]);
+    }
+
+    #[test]
+    fn uneven_chunks() {
+        let out = parallel_map((0..7).collect(), 3, |i: i32| i - 1);
+        assert_eq!(out, (0..7).map(|i| i - 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        parallel_map(vec![1, 2, 3], 2, |i: i32| {
+            if i == 2 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn default_threads_reasonable() {
+        let t = default_threads();
+        assert!((1..=16).contains(&t));
+    }
+}

@@ -1,0 +1,160 @@
+//! Result types for exact and approximate execution.
+
+use std::time::Duration;
+
+use aqp_diagnostics::DiagnosticReport;
+use aqp_stats::ci::Ci;
+use serde::{Deserialize, Serialize};
+
+/// Which error-estimation technique actually produced the interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MethodUsed {
+    /// Poissonized bootstrap.
+    Bootstrap,
+    /// Closed-form CLT estimate.
+    ClosedForm,
+    /// No interval could be produced.
+    None,
+}
+
+/// Per-phase wall-clock timings, mirroring the decomposition of
+/// Fig. 7/9: query execution, error-estimation overhead, diagnostics
+/// overhead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Scan + aggregate (the approximate answer itself).
+    pub query: Duration,
+    /// Additional time for the error estimate.
+    pub error_estimation: Duration,
+    /// Additional time for the diagnostic.
+    pub diagnostics: Duration,
+}
+
+impl PhaseTimings {
+    /// End-to-end total.
+    pub fn total(&self) -> Duration {
+        self.query + self.error_estimation + self.diagnostics
+    }
+}
+
+/// The approximate result for one aggregate of one group.
+#[derive(Debug, Clone)]
+pub struct AggResult {
+    /// Aggregate display name (e.g. `AVG(time)`).
+    pub name: String,
+    /// The point estimate θ(S).
+    pub estimate: f64,
+    /// The error bars, when estimable.
+    pub ci: Option<Ci>,
+    /// The technique that produced `ci`.
+    pub method: MethodUsed,
+    /// The diagnostic verdict, when the diagnostic ran.
+    pub diagnostic: Option<DiagnosticReport>,
+}
+
+impl AggResult {
+    /// §4's end decision: error bars may be shown iff a CI exists and the
+    /// diagnostic (if run) accepted.
+    pub fn error_bars_reliable(&self) -> bool {
+        self.ci.is_some() && self.diagnostic.as_ref().map(|d| d.accepted).unwrap_or(true)
+    }
+}
+
+/// One group's results.
+#[derive(Debug, Clone)]
+pub struct GroupResult {
+    /// Rendered group key (empty for the global group).
+    pub key: String,
+    /// One result per SELECT aggregate.
+    pub aggs: Vec<AggResult>,
+}
+
+/// The full approximate query result.
+#[derive(Debug, Clone)]
+pub struct ApproxResult {
+    /// Per-group results, sorted by key.
+    pub groups: Vec<GroupResult>,
+    /// Sample rows scanned.
+    pub sample_rows: usize,
+    /// Population rows the estimates are scaled to.
+    pub population_rows: usize,
+    /// Wall-clock decomposition.
+    pub timings: PhaseTimings,
+}
+
+impl ApproxResult {
+    /// The single scalar estimate of an ungrouped single-aggregate query.
+    pub fn scalar(&self) -> Option<&AggResult> {
+        match self.groups.as_slice() {
+            [g] if g.aggs.len() == 1 => Some(&g.aggs[0]),
+            _ => None,
+        }
+    }
+}
+
+/// An exact (non-approximate) query result.
+#[derive(Debug, Clone)]
+pub struct ExactResult {
+    /// Per-group `(key, per-aggregate values)`, sorted by key.
+    pub groups: Vec<(String, Vec<f64>)>,
+    /// Rows scanned.
+    pub rows_scanned: usize,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl ExactResult {
+    /// The single scalar value of an ungrouped single-aggregate query.
+    pub fn scalar(&self) -> Option<f64> {
+        match self.groups.as_slice() {
+            [(_, vals)] if vals.len() == 1 => Some(vals[0]),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timings_total() {
+        let t = PhaseTimings {
+            query: Duration::from_millis(10),
+            error_estimation: Duration::from_millis(20),
+            diagnostics: Duration::from_millis(30),
+        };
+        assert_eq!(t.total(), Duration::from_millis(60));
+    }
+
+    #[test]
+    fn reliability_requires_ci_and_acceptance() {
+        let base = AggResult {
+            name: "AVG(x)".into(),
+            estimate: 1.0,
+            ci: Some(Ci::new(1.0, 0.1, 0.95)),
+            method: MethodUsed::Bootstrap,
+            diagnostic: None,
+        };
+        assert!(base.error_bars_reliable());
+        let mut no_ci = base.clone();
+        no_ci.ci = None;
+        assert!(!no_ci.error_bars_reliable());
+    }
+
+    #[test]
+    fn scalar_accessors() {
+        let r = ExactResult {
+            groups: vec![(String::new(), vec![42.0])],
+            rows_scanned: 10,
+            elapsed: Duration::ZERO,
+        };
+        assert_eq!(r.scalar(), Some(42.0));
+        let r2 = ExactResult {
+            groups: vec![(String::new(), vec![1.0, 2.0])],
+            rows_scanned: 10,
+            elapsed: Duration::ZERO,
+        };
+        assert_eq!(r2.scalar(), None);
+    }
+}

@@ -1,0 +1,471 @@
+//! Prepared query estimators θ at the execution level.
+//!
+//! Extends the stats-level estimators with the query shapes of QSet-2:
+//! aggregate UDFs (resolved through the [`crate::udf::UdfRegistry`]) and
+//! nested two-level aggregates (`AVG(s)` over `SUM(x) GROUP BY k`), both
+//! evaluated either plainly or on a Poissonized resample encoded as
+//! per-row weights.
+//!
+//! For nested aggregates, the resample happens at the level of *base
+//! rows* (they are the sampling units): a resample re-weights each base
+//! row, inner groups with zero total weight vanish from the resample, and
+//! the outer aggregate runs over the surviving groups' inner values. The
+//! outer aggregate is unscaled (AVG/MIN/MAX-like semantics); scaling an
+//! outer SUM would require distinct-group-count estimation, which is out
+//! of scope and rejected at preparation time.
+
+use std::sync::Arc;
+
+use aqp_sql::ast::{AggExpr, AggFunc};
+use aqp_stats::bootstrap::bootstrap_ci;
+use aqp_stats::ci::{ci_from_draws, Ci};
+use aqp_stats::closed_form::closed_form_ci;
+use aqp_stats::dist::Poisson1;
+use aqp_stats::estimator::{Aggregate, QueryEstimator, SampleContext, Udf};
+use aqp_stats::rng::Rng;
+
+use crate::collect::AggData;
+use crate::udf::UdfRegistry;
+use crate::{ExecError, Result};
+
+/// A single-level aggregate: built-in or UDF.
+#[derive(Debug, Clone)]
+pub enum PlainTheta {
+    /// A built-in SQL aggregate.
+    Builtin(Aggregate),
+    /// A registry-resolved aggregate UDF.
+    Udf(Arc<Udf>),
+}
+
+impl PlainTheta {
+    /// Evaluate on plain values.
+    pub fn estimate(&self, values: &[f64], ctx: &SampleContext) -> f64 {
+        match self {
+            PlainTheta::Builtin(a) => a.estimate(values, ctx),
+            PlainTheta::Udf(u) => u.estimate(values, ctx),
+        }
+    }
+
+    /// Evaluate on a weighted resample.
+    pub fn estimate_weighted(&self, values: &[f64], weights: &[u32], ctx: &SampleContext) -> f64 {
+        match self {
+            PlainTheta::Builtin(a) => a.estimate_weighted(values, weights, ctx),
+            PlainTheta::Udf(u) => u.estimate_weighted(values, weights, ctx),
+        }
+    }
+
+    /// The built-in aggregate, if this is one (for closed forms).
+    pub fn builtin(&self) -> Option<Aggregate> {
+        match self {
+            PlainTheta::Builtin(a) => Some(*a),
+            PlainTheta::Udf(_) => None,
+        }
+    }
+
+    /// Name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            PlainTheta::Builtin(a) => a.name(),
+            PlainTheta::Udf(u) => u.name(),
+        }
+    }
+}
+
+/// Map a SQL aggregate function to the stats-level estimator.
+pub fn builtin_of(func: &AggFunc) -> Option<Aggregate> {
+    Some(match func {
+        AggFunc::Avg => Aggregate::Avg,
+        AggFunc::Sum => Aggregate::Sum,
+        AggFunc::Count => Aggregate::Count,
+        AggFunc::Min => Aggregate::Min,
+        AggFunc::Max => Aggregate::Max,
+        AggFunc::Variance => Aggregate::Variance,
+        AggFunc::StdDev => Aggregate::StdDev,
+        AggFunc::Percentile(q) => Aggregate::Percentile(*q),
+        AggFunc::Udf(_) => return None,
+    })
+}
+
+/// A fully-prepared θ for one SELECT aggregate.
+#[derive(Debug, Clone)]
+pub struct PreparedTheta {
+    /// The top-level (or only) aggregate.
+    pub outer: PlainTheta,
+    /// For nested plans, the inner aggregate.
+    pub inner: Option<Aggregate>,
+}
+
+impl PreparedTheta {
+    /// Prepare from SQL aggregate expressions.
+    pub fn prepare(
+        outer: &AggExpr,
+        inner: Option<&AggExpr>,
+        registry: &UdfRegistry,
+    ) -> Result<Self> {
+        let outer_theta = match &outer.func {
+            AggFunc::Udf(name) => PlainTheta::Udf(registry.resolve(name)?),
+            f => PlainTheta::Builtin(builtin_of(f).expect("non-UDF maps to builtin")),
+        };
+        let inner_theta = match inner {
+            None => None,
+            Some(a) => {
+                let b = builtin_of(&a.func).ok_or_else(|| {
+                    ExecError::Unsupported("UDF as the inner aggregate of a nested query".into())
+                })?;
+                if matches!(b, Aggregate::Variance | Aggregate::StdDev | Aggregate::Percentile(_))
+                {
+                    return Err(ExecError::Unsupported(format!(
+                        "inner aggregate {} not supported in nested queries",
+                        b.name()
+                    )));
+                }
+                if matches!(outer_theta, PlainTheta::Builtin(Aggregate::Sum | Aggregate::Count)) {
+                    return Err(ExecError::Unsupported(
+                        "outer SUM/COUNT over a nested block needs group-count scaling, \
+                         which is unsupported; use AVG/MIN/MAX/percentile"
+                            .into(),
+                    ));
+                }
+                Some(b)
+            }
+        };
+        Ok(PreparedTheta { outer: outer_theta, inner: inner_theta })
+    }
+
+    /// Whether closed-form error estimation applies (single-level builtin
+    /// with a known closed form, §2.3.2).
+    pub fn closed_form_applicable(&self) -> bool {
+        self.inner.is_none()
+            && self.outer.builtin().map(|a| a.closed_form_applicable()).unwrap_or(false)
+    }
+
+    /// Point estimate over collected data (full range).
+    pub fn estimate(&self, data: &AggData, ctx: &SampleContext) -> f64 {
+        self.estimate_range(data, 0..data.values.len(), ctx)
+    }
+
+    /// Point estimate over a contiguous sub-range of the collected data —
+    /// used by the diagnostic's disjoint subsamples.
+    pub fn estimate_range(
+        &self,
+        data: &AggData,
+        range: std::ops::Range<usize>,
+        ctx: &SampleContext,
+    ) -> f64 {
+        let values = &data.values[range.clone()];
+        match (&self.inner, &data.nested) {
+            (Some(inner), Some(nd)) => {
+                let codes = &nd.codes[range];
+                let group_vals = inner_group_values(values, codes, nd.n_codes, None, *inner, ctx);
+                self.outer.estimate(&group_vals, &SampleContext::population(group_vals.len()))
+            }
+            _ => self.outer.estimate(values, ctx),
+        }
+    }
+
+    /// Weighted (resample) estimate over a contiguous sub-range.
+    pub fn estimate_weighted_range(
+        &self,
+        data: &AggData,
+        weights: &[u32],
+        range: std::ops::Range<usize>,
+        ctx: &SampleContext,
+    ) -> f64 {
+        let values = &data.values[range.clone()];
+        debug_assert_eq!(values.len(), weights.len());
+        match (&self.inner, &data.nested) {
+            (Some(inner), Some(nd)) => {
+                let codes = &nd.codes[range];
+                let group_vals =
+                    inner_group_values(values, codes, nd.n_codes, Some(weights), *inner, ctx);
+                self.outer.estimate(&group_vals, &SampleContext::population(group_vals.len()))
+            }
+            _ => self.outer.estimate_weighted(values, weights, ctx),
+        }
+    }
+}
+
+/// Compute the inner aggregate per group over (optionally weighted) rows,
+/// returning the values of groups present in the resample.
+fn inner_group_values(
+    values: &[f64],
+    codes: &[u32],
+    n_codes: usize,
+    weights: Option<&[u32]>,
+    inner: Aggregate,
+    ctx: &SampleContext,
+) -> Vec<f64> {
+    debug_assert_eq!(values.len(), codes.len());
+    let scale = ctx.scale();
+    match inner {
+        Aggregate::Sum | Aggregate::Count => {
+            let mut sums = vec![0.0f64; n_codes];
+            let mut present = vec![false; n_codes];
+            for i in 0..values.len() {
+                let w = weights.map_or(1, |ws| ws[i]);
+                if w == 0 {
+                    continue;
+                }
+                let g = codes[i] as usize;
+                let contrib = if matches!(inner, Aggregate::Count) {
+                    w as f64
+                } else {
+                    values[i] * w as f64
+                };
+                sums[g] += contrib;
+                present[g] = true;
+            }
+            (0..n_codes)
+                .filter(|&g| present[g])
+                .map(|g| sums[g] * scale)
+                .collect()
+        }
+        Aggregate::Avg => {
+            let mut sums = vec![0.0f64; n_codes];
+            let mut wsum = vec![0u64; n_codes];
+            for i in 0..values.len() {
+                let w = weights.map_or(1, |ws| ws[i]);
+                if w == 0 {
+                    continue;
+                }
+                let g = codes[i] as usize;
+                sums[g] += values[i] * w as f64;
+                wsum[g] += w as u64;
+            }
+            (0..n_codes)
+                .filter(|&g| wsum[g] > 0)
+                .map(|g| sums[g] / wsum[g] as f64)
+                .collect()
+        }
+        Aggregate::Min | Aggregate::Max => {
+            let init = if matches!(inner, Aggregate::Min) {
+                f64::INFINITY
+            } else {
+                f64::NEG_INFINITY
+            };
+            let mut acc = vec![init; n_codes];
+            let mut present = vec![false; n_codes];
+            for i in 0..values.len() {
+                let w = weights.map_or(1, |ws| ws[i]);
+                if w == 0 {
+                    continue;
+                }
+                let g = codes[i] as usize;
+                acc[g] = if matches!(inner, Aggregate::Min) {
+                    acc[g].min(values[i])
+                } else {
+                    acc[g].max(values[i])
+                };
+                present[g] = true;
+            }
+            (0..n_codes).filter(|&g| present[g]).map(|g| acc[g]).collect()
+        }
+        // Rejected at preparation time.
+        Aggregate::Variance | Aggregate::StdDev | Aggregate::Percentile(_) => {
+            unreachable!("unsupported inner aggregate")
+        }
+    }
+}
+
+/// Bootstrap CI for a prepared θ over collected data.
+///
+/// For single-level aggregates this delegates to the stats-level
+/// Poissonized bootstrap; for nested data it generates per-replicate
+/// weight vectors and evaluates the two-level estimator.
+pub fn bootstrap_ci_prepared(
+    rng: &mut Rng,
+    theta: &PreparedTheta,
+    data: &AggData,
+    ctx: &SampleContext,
+    k: usize,
+    alpha: f64,
+) -> Option<Ci> {
+    match (&theta.inner, &data.nested) {
+        (Some(_), Some(_)) => {
+            let center = theta.estimate(data, ctx);
+            if center.is_nan() {
+                return None;
+            }
+            let p1 = Poisson1::new();
+            let mut weights = vec![0u32; data.values.len()];
+            let replicates: Vec<f64> = (0..k)
+                .map(|_| {
+                    p1.fill(rng, &mut weights);
+                    theta.estimate_weighted_range(data, &weights, 0..data.values.len(), ctx)
+                })
+                .filter(|r| !r.is_nan())
+                .collect();
+            if replicates.is_empty() {
+                return None;
+            }
+            Some(ci_from_draws(center, &replicates, alpha))
+        }
+        _ => {
+            // Single-level path: use the shared bootstrap.
+            struct Shim<'a>(&'a PlainTheta);
+            impl QueryEstimator for Shim<'_> {
+                fn name(&self) -> String {
+                    self.0.name()
+                }
+                fn estimate(&self, values: &[f64], ctx: &SampleContext) -> f64 {
+                    self.0.estimate(values, ctx)
+                }
+                fn estimate_weighted(
+                    &self,
+                    values: &[f64],
+                    weights: &[u32],
+                    ctx: &SampleContext,
+                ) -> f64 {
+                    self.0.estimate_weighted(values, weights, ctx)
+                }
+            }
+            bootstrap_ci(rng, &data.values, ctx, &Shim(&theta.outer), k, alpha)
+        }
+    }
+}
+
+/// Closed-form CI for a prepared θ, or `None` when not applicable.
+pub fn closed_form_ci_prepared(
+    theta: &PreparedTheta,
+    data: &AggData,
+    ctx: &SampleContext,
+    alpha: f64,
+) -> Option<Ci> {
+    if !theta.closed_form_applicable() {
+        return None;
+    }
+    let agg = theta.outer.builtin()?;
+    closed_form_ci(&agg, &data.values, ctx, alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::NestedData;
+    use aqp_sql::ast::Expr as E;
+    use aqp_stats::rng::rng_from_seed;
+
+    fn agg(func: AggFunc) -> AggExpr {
+        AggExpr { func, arg: Some(E::col("x")) }
+    }
+
+    fn reg() -> UdfRegistry {
+        UdfRegistry::default()
+    }
+
+    #[test]
+    fn prepare_builtin_and_udf() {
+        let t = PreparedTheta::prepare(&agg(AggFunc::Avg), None, &reg()).unwrap();
+        assert!(t.closed_form_applicable());
+        let t = PreparedTheta::prepare(&agg(AggFunc::Udf("geo_mean".into())), None, &reg())
+            .unwrap();
+        assert!(!t.closed_form_applicable());
+        assert!(PreparedTheta::prepare(&agg(AggFunc::Udf("nope".into())), None, &reg()).is_err());
+    }
+
+    #[test]
+    fn nested_preparation_rules() {
+        // AVG over SUM: fine.
+        assert!(PreparedTheta::prepare(&agg(AggFunc::Avg), Some(&agg(AggFunc::Sum)), &reg())
+            .is_ok());
+        // SUM over SUM: needs group-count scaling, rejected.
+        assert!(PreparedTheta::prepare(&agg(AggFunc::Sum), Some(&agg(AggFunc::Sum)), &reg())
+            .is_err());
+        // Inner percentile: rejected.
+        assert!(PreparedTheta::prepare(
+            &agg(AggFunc::Avg),
+            Some(&agg(AggFunc::Percentile(0.5))),
+            &reg()
+        )
+        .is_err());
+        // Inner UDF: rejected.
+        assert!(PreparedTheta::prepare(
+            &agg(AggFunc::Avg),
+            Some(&agg(AggFunc::Udf("geo_mean".into()))),
+            &reg()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn nested_estimate_matches_manual_computation() {
+        // Rows: (code 0: 1, 2), (code 1: 3), (code 2: 4, 5).
+        let data = AggData {
+            values: vec![1.0, 2.0, 3.0, 4.0, 5.0],
+            positions: Vec::new(),
+            nested: Some(NestedData { codes: vec![0, 0, 1, 2, 2], n_codes: 3 }),
+        };
+        let ctx = SampleContext::population(5);
+        let theta =
+            PreparedTheta::prepare(&agg(AggFunc::Avg), Some(&agg(AggFunc::Sum)), &reg()).unwrap();
+        // Inner sums: [3, 3, 9]; outer AVG = 5.
+        assert!((theta.estimate(&data, &ctx) - 5.0).abs() < 1e-12);
+
+        let theta =
+            PreparedTheta::prepare(&agg(AggFunc::Max), Some(&agg(AggFunc::Avg)), &reg()).unwrap();
+        // Inner avgs: [1.5, 3, 4.5]; outer MAX = 4.5.
+        assert!((theta.estimate(&data, &ctx) - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nested_weighted_drops_empty_groups() {
+        let data = AggData {
+            values: vec![1.0, 2.0, 3.0, 4.0, 5.0],
+            positions: Vec::new(),
+            nested: Some(NestedData { codes: vec![0, 0, 1, 2, 2], n_codes: 3 }),
+        };
+        let ctx = SampleContext::population(5);
+        let theta =
+            PreparedTheta::prepare(&agg(AggFunc::Avg), Some(&agg(AggFunc::Sum)), &reg()).unwrap();
+        // Weights kill group 1 entirely: inner sums [1+2·2, —, 4] = [5, 4].
+        let weights = [1u32, 2, 0, 1, 0];
+        let v = theta.estimate_weighted_range(&data, &weights, 0..5, &ctx);
+        assert!((v - 4.5).abs() < 1e-12, "{v}");
+    }
+
+    #[test]
+    fn nested_inner_sum_scales_with_sample_context() {
+        let data = AggData {
+            values: vec![10.0, 20.0],
+            positions: Vec::new(),
+            nested: Some(NestedData { codes: vec![0, 1], n_codes: 2 }),
+        };
+        // Sample of 2 rows from a population of 20: inner sums scale ×10.
+        let ctx = SampleContext::new(2, 20);
+        let theta =
+            PreparedTheta::prepare(&agg(AggFunc::Avg), Some(&agg(AggFunc::Sum)), &reg()).unwrap();
+        assert!((theta.estimate(&data, &ctx) - 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bootstrap_ci_on_nested_theta() {
+        // 200 groups of 5 rows each.
+        let mut values = Vec::new();
+        let mut codes = Vec::new();
+        for g in 0..200u32 {
+            for j in 0..5 {
+                values.push((g % 17) as f64 + j as f64 * 0.1);
+                codes.push(g);
+            }
+        }
+        let data = AggData { values, positions: Vec::new(), nested: Some(NestedData { codes, n_codes: 200 }) };
+        let ctx = SampleContext::new(1000, 100_000);
+        let theta =
+            PreparedTheta::prepare(&agg(AggFunc::Avg), Some(&agg(AggFunc::Sum)), &reg()).unwrap();
+        let mut rng = rng_from_seed(1);
+        let ci = bootstrap_ci_prepared(&mut rng, &theta, &data, &ctx, 100, 0.95).unwrap();
+        assert!(ci.half_width > 0.0);
+        let direct = theta.estimate(&data, &ctx);
+        assert_eq!(ci.center, direct);
+    }
+
+    #[test]
+    fn closed_form_only_for_applicable() {
+        let data = AggData { values: (0..100).map(|i| i as f64).collect(), positions: Vec::new(), nested: None };
+        let ctx = SampleContext::new(100, 1000);
+        let avg = PreparedTheta::prepare(&agg(AggFunc::Avg), None, &reg()).unwrap();
+        assert!(closed_form_ci_prepared(&avg, &data, &ctx, 0.95).is_some());
+        let max = PreparedTheta::prepare(&agg(AggFunc::Max), None, &reg()).unwrap();
+        assert!(closed_form_ci_prepared(&max, &data, &ctx, 0.95).is_none());
+    }
+}

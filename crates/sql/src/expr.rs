@@ -1,0 +1,489 @@
+//! Vectorized expression evaluation over columnar batches.
+//!
+//! Used by filter and projection operators. Numeric operations run on
+//! dense `f64` buffers with separate validity masks; string comparisons
+//! compare dictionary codes where possible.
+
+use aqp_storage::{Batch, Column, Value};
+
+use crate::ast::{BinOp, Expr};
+use crate::{Result, SqlError};
+
+/// Evaluate `expr` over every row of `batch`, yielding a column of
+/// `batch.num_rows()` values.
+pub fn eval(expr: &Expr, batch: &Batch) -> Result<Column> {
+    let n = batch.num_rows();
+    match expr {
+        Expr::Column(name) => batch
+            .column_by_name(name)
+            .cloned()
+            .map_err(|e| SqlError::Plan { message: e.to_string() }),
+        Expr::Literal(v) => Ok(broadcast(v, n)),
+        Expr::Neg(e) => {
+            let c = eval(e, batch)?;
+            let (vals, mask) = to_f64_parts(&c);
+            Ok(from_f64_parts(vals.into_iter().map(|x| -x).collect(), mask))
+        }
+        Expr::Not(e) => {
+            let c = eval(e, batch)?;
+            let mut out = Vec::with_capacity(n);
+            for i in 0..c.len() {
+                out.push(bool_at(&c, i).map(|b| !b));
+            }
+            Ok(from_opt_bools(out))
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let l = eval(lhs, batch)?;
+            let r = eval(rhs, batch)?;
+            eval_binary(*op, &l, &r)
+        }
+        Expr::Func { name, args } => {
+            let cols: Vec<Column> =
+                args.iter().map(|a| eval(a, batch)).collect::<Result<Vec<_>>>()?;
+            eval_scalar_func(name, &cols, n)
+        }
+    }
+}
+
+/// Evaluate a predicate, mapping NULL ("unknown") to `false` — SQL filter
+/// semantics.
+pub fn eval_predicate(expr: &Expr, batch: &Batch) -> Result<Vec<bool>> {
+    let c = eval(expr, batch)?;
+    let mut out = Vec::with_capacity(c.len());
+    for i in 0..c.len() {
+        out.push(bool_at(&c, i).unwrap_or(false));
+    }
+    Ok(out)
+}
+
+fn broadcast(v: &Value, n: usize) -> Column {
+    match v {
+        Value::Int(i) => Column::from_i64s(vec![*i; n]),
+        Value::Float(f) => Column::from_f64s(vec![*f; n]),
+        Value::Bool(b) => Column::from_bools(vec![*b; n]),
+        Value::Str(s) => Column::from_strs(&vec![s.as_str(); n]),
+        Value::Null => Column::from_opt_f64s(vec![None; n]),
+    }
+}
+
+/// Dense f64 view of a column plus validity (strings become NULLs).
+fn to_f64_parts(c: &Column) -> (Vec<f64>, Option<Vec<bool>>) {
+    let n = c.len();
+    let mut vals = Vec::with_capacity(n);
+    let mut mask = Vec::with_capacity(n);
+    let mut any_null = false;
+    for i in 0..n {
+        match c.f64_at(i) {
+            Some(x) => {
+                vals.push(x);
+                mask.push(true);
+            }
+            None => {
+                vals.push(0.0);
+                mask.push(false);
+                any_null = true;
+            }
+        }
+    }
+    (vals, if any_null { Some(mask) } else { None })
+}
+
+fn from_f64_parts(vals: Vec<f64>, mask: Option<Vec<bool>>) -> Column {
+    match mask {
+        None => Column::from_f64s(vals),
+        Some(m) => Column::from_opt_f64s(
+            vals.into_iter().zip(m).map(|(v, ok)| ok.then_some(v)).collect(),
+        ),
+    }
+}
+
+fn from_opt_bools(vals: Vec<Option<bool>>) -> Column {
+    // Encode through Float parts to reuse machinery? No — build directly.
+    let mut out_vals = Vec::with_capacity(vals.len());
+    let mut mask = Vec::with_capacity(vals.len());
+    let mut any_null = false;
+    for v in vals {
+        match v {
+            Some(b) => {
+                out_vals.push(b);
+                mask.push(true);
+            }
+            None => {
+                out_vals.push(false);
+                mask.push(false);
+                any_null = true;
+            }
+        }
+    }
+    if any_null {
+        Column::Bool { values: out_vals, validity: Some(mask) }
+    } else {
+        Column::from_bools(out_vals)
+    }
+}
+
+fn bool_at(c: &Column, i: usize) -> Option<bool> {
+    if c.is_null(i) {
+        return None;
+    }
+    match c {
+        Column::Bool { values, .. } => Some(values[i]),
+        _ => c.f64_at(i).map(|x| x != 0.0),
+    }
+}
+
+fn str_at(c: &Column, i: usize) -> Option<&str> {
+    if c.is_null(i) {
+        return None;
+    }
+    match c {
+        Column::Str { dict, codes, .. } => Some(dict[codes[i] as usize].as_str()),
+        _ => None,
+    }
+}
+
+fn eval_binary(op: BinOp, l: &Column, r: &Column) -> Result<Column> {
+    let n = l.len();
+    if r.len() != n {
+        return Err(SqlError::Plan {
+            message: format!("binary operand length mismatch: {} vs {}", n, r.len()),
+        });
+    }
+    match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+            let (lv, lm) = to_f64_parts(l);
+            let (rv, rm) = to_f64_parts(r);
+            let mut vals = Vec::with_capacity(n);
+            let mut mask = Vec::with_capacity(n);
+            let mut any_null = false;
+            for i in 0..n {
+                let lok = lm.as_ref().is_none_or(|m| m[i]);
+                let rok = rm.as_ref().is_none_or(|m| m[i]);
+                if lok && rok {
+                    let v = match op {
+                        BinOp::Add => lv[i] + rv[i],
+                        BinOp::Sub => lv[i] - rv[i],
+                        BinOp::Mul => lv[i] * rv[i],
+                        BinOp::Div => {
+                            if rv[i] == 0.0 {
+                                // SQL: division by zero → NULL (engine choice).
+                                mask.push(false);
+                                vals.push(0.0);
+                                any_null = true;
+                                continue;
+                            }
+                            lv[i] / rv[i]
+                        }
+                        _ => unreachable!(),
+                    };
+                    vals.push(v);
+                    mask.push(true);
+                } else {
+                    vals.push(0.0);
+                    mask.push(false);
+                    any_null = true;
+                }
+            }
+            Ok(from_f64_parts(vals, if any_null { Some(mask) } else { None }))
+        }
+        BinOp::And | BinOp::Or => {
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                let a = bool_at(l, i);
+                let b = bool_at(r, i);
+                // Three-valued logic.
+                let v = match op {
+                    BinOp::And => match (a, b) {
+                        (Some(false), _) | (_, Some(false)) => Some(false),
+                        (Some(true), Some(true)) => Some(true),
+                        _ => None,
+                    },
+                    BinOp::Or => match (a, b) {
+                        (Some(true), _) | (_, Some(true)) => Some(true),
+                        (Some(false), Some(false)) => Some(false),
+                        _ => None,
+                    },
+                    _ => unreachable!(),
+                };
+                out.push(v);
+            }
+            Ok(from_opt_bools(out))
+        }
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            // String comparison when either side is a string column.
+            let string_cmp = matches!(l, Column::Str { .. }) || matches!(r, Column::Str { .. });
+            let mut out = Vec::with_capacity(n);
+            if string_cmp {
+                for i in 0..n {
+                    let v = match (str_at(l, i), str_at(r, i)) {
+                        (Some(a), Some(b)) => Some(apply_ord(op, a.cmp(b))),
+                        _ => None,
+                    };
+                    out.push(v);
+                }
+            } else {
+                let (lv, lm) = to_f64_parts(l);
+                let (rv, rm) = to_f64_parts(r);
+                for i in 0..n {
+                    let lok = lm.as_ref().is_none_or(|m| m[i]);
+                    let rok = rm.as_ref().is_none_or(|m| m[i]);
+                    let v = if lok && rok {
+                        lv[i].partial_cmp(&rv[i]).map(|o| apply_ord(op, o))
+                    } else {
+                        None
+                    };
+                    out.push(v);
+                }
+            }
+            Ok(from_opt_bools(out))
+        }
+    }
+}
+
+fn apply_ord(op: BinOp, ord: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering::*;
+    match op {
+        BinOp::Eq => ord == Equal,
+        BinOp::Ne => ord != Equal,
+        BinOp::Lt => ord == Less,
+        BinOp::Le => ord != Greater,
+        BinOp::Gt => ord == Greater,
+        BinOp::Ge => ord != Less,
+        _ => unreachable!("apply_ord on non-comparison"),
+    }
+}
+
+fn eval_scalar_func(name: &str, args: &[Column], n: usize) -> Result<Column> {
+    let arity_err = |want: usize| SqlError::Plan {
+        message: format!("{name} expects {want} argument(s), got {}", args.len()),
+    };
+    match name {
+        "log" | "ln" | "exp" | "sqrt" | "abs" => {
+            if args.len() != 1 {
+                return Err(arity_err(1));
+            }
+            let (vals, mask) = to_f64_parts(&args[0]);
+            let mut out_vals = Vec::with_capacity(n);
+            let mut out_mask = Vec::with_capacity(n);
+            let mut any_null = false;
+            for i in 0..vals.len() {
+                let ok = mask.as_ref().is_none_or(|m| m[i]);
+                if !ok {
+                    out_vals.push(0.0);
+                    out_mask.push(false);
+                    any_null = true;
+                    continue;
+                }
+                let x = vals[i];
+                let y = match name {
+                    "log" | "ln" => {
+                        if x <= 0.0 {
+                            f64::NAN
+                        } else {
+                            x.ln()
+                        }
+                    }
+                    "exp" => x.exp(),
+                    "sqrt" => {
+                        if x < 0.0 {
+                            f64::NAN
+                        } else {
+                            x.sqrt()
+                        }
+                    }
+                    "abs" => x.abs(),
+                    _ => unreachable!(),
+                };
+                if y.is_nan() {
+                    out_vals.push(0.0);
+                    out_mask.push(false);
+                    any_null = true;
+                } else {
+                    out_vals.push(y);
+                    out_mask.push(true);
+                }
+            }
+            Ok(from_f64_parts(out_vals, if any_null { Some(out_mask) } else { None }))
+        }
+        "pow" => {
+            if args.len() != 2 {
+                return Err(arity_err(2));
+            }
+            let (a, am) = to_f64_parts(&args[0]);
+            let (b, bm) = to_f64_parts(&args[1]);
+            let mut vals = Vec::with_capacity(n);
+            let mut mask = Vec::with_capacity(n);
+            let mut any_null = false;
+            for i in 0..a.len() {
+                let ok = am.as_ref().is_none_or(|m| m[i]) && bm.as_ref().is_none_or(|m| m[i]);
+                if ok {
+                    vals.push(a[i].powf(b[i]));
+                    mask.push(true);
+                } else {
+                    vals.push(0.0);
+                    mask.push(false);
+                    any_null = true;
+                }
+            }
+            Ok(from_f64_parts(vals, if any_null { Some(mask) } else { None }))
+        }
+        "ifnull" => {
+            if args.len() != 2 {
+                return Err(arity_err(2));
+            }
+            let (a, am) = to_f64_parts(&args[0]);
+            let (b, bm) = to_f64_parts(&args[1]);
+            let mut vals = Vec::with_capacity(n);
+            let mut mask = Vec::with_capacity(n);
+            let mut any_null = false;
+            for i in 0..a.len() {
+                let a_ok = am.as_ref().is_none_or(|m| m[i]);
+                let b_ok = bm.as_ref().is_none_or(|m| m[i]);
+                if a_ok {
+                    vals.push(a[i]);
+                    mask.push(true);
+                } else if b_ok {
+                    vals.push(b[i]);
+                    mask.push(true);
+                } else {
+                    vals.push(0.0);
+                    mask.push(false);
+                    any_null = true;
+                }
+            }
+            Ok(from_f64_parts(vals, if any_null { Some(mask) } else { None }))
+        }
+        other => Err(SqlError::Plan { message: format!("unknown scalar function {other}") }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Expr as E;
+    use aqp_storage::{DataType, Field, Schema};
+
+    fn batch() -> Batch {
+        let schema = Schema::new(vec![
+            Field::new("city", DataType::Str),
+            Field::new("time", DataType::Float),
+            Field::nullable("bytes", DataType::Int),
+        ])
+        .unwrap();
+        Batch::new(
+            schema,
+            vec![
+                Column::from_strs(&["NYC", "SF", "NYC", "LA"]),
+                Column::from_f64s(vec![10.0, 20.0, 30.0, 40.0]),
+                Column::from_opt_i64s(vec![Some(1), None, Some(3), Some(4)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn column_and_literal() {
+        let b = batch();
+        let c = eval(&E::col("time"), &b).unwrap();
+        assert_eq!(c.to_f64_vec(), vec![10.0, 20.0, 30.0, 40.0]);
+        let l = eval(&E::lit(5i64), &b).unwrap();
+        assert_eq!(l.len(), 4);
+        assert_eq!(l.f64_at(2), Some(5.0));
+    }
+
+    #[test]
+    fn arithmetic_with_null_propagation() {
+        let b = batch();
+        let e = E::binary(BinOp::Add, E::col("time"), E::col("bytes"));
+        let c = eval(&e, &b).unwrap();
+        assert_eq!(c.f64_at(0), Some(11.0));
+        assert_eq!(c.f64_at(1), None); // NULL bytes
+        assert_eq!(c.f64_at(3), Some(44.0));
+    }
+
+    #[test]
+    fn division_by_zero_is_null() {
+        let b = batch();
+        let e = E::binary(BinOp::Div, E::col("time"), E::lit(0i64));
+        let c = eval(&e, &b).unwrap();
+        assert!(c.is_null(0));
+    }
+
+    #[test]
+    fn string_equality_filter() {
+        let b = batch();
+        let e = E::binary(BinOp::Eq, E::col("city"), E::lit("NYC"));
+        let mask = eval_predicate(&e, &b).unwrap();
+        assert_eq!(mask, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn numeric_comparisons() {
+        let b = batch();
+        let e = E::binary(BinOp::Ge, E::col("time"), E::lit(20.0));
+        assert_eq!(eval_predicate(&e, &b).unwrap(), vec![false, true, true, true]);
+        let e = E::binary(BinOp::Ne, E::col("time"), E::lit(20.0));
+        assert_eq!(eval_predicate(&e, &b).unwrap(), vec![true, false, true, true]);
+    }
+
+    #[test]
+    fn null_comparison_filters_out() {
+        let b = batch();
+        // bytes > 0: NULL row must NOT pass.
+        let e = E::binary(BinOp::Gt, E::col("bytes"), E::lit(0i64));
+        assert_eq!(eval_predicate(&e, &b).unwrap(), vec![true, false, true, true]);
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        let b = batch();
+        // (bytes > 0) OR (time > 15): NULL OR true = true for row 1.
+        let e = E::binary(
+            BinOp::Or,
+            E::binary(BinOp::Gt, E::col("bytes"), E::lit(0i64)),
+            E::binary(BinOp::Gt, E::col("time"), E::lit(15.0)),
+        );
+        assert_eq!(eval_predicate(&e, &b).unwrap(), vec![true, true, true, true]);
+        // (bytes > 0) AND (time > 15): NULL AND true = NULL → filtered.
+        let e = E::binary(
+            BinOp::And,
+            E::binary(BinOp::Gt, E::col("bytes"), E::lit(0i64)),
+            E::binary(BinOp::Gt, E::col("time"), E::lit(15.0)),
+        );
+        assert_eq!(eval_predicate(&e, &b).unwrap(), vec![false, false, true, true]);
+    }
+
+    #[test]
+    fn not_and_neg() {
+        let b = batch();
+        let e = E::Not(Box::new(E::binary(BinOp::Eq, E::col("city"), E::lit("NYC"))));
+        assert_eq!(eval_predicate(&e, &b).unwrap(), vec![false, true, false, true]);
+        let e = E::Neg(Box::new(E::col("time")));
+        assert_eq!(eval(&e, &b).unwrap().f64_at(0), Some(-10.0));
+    }
+
+    #[test]
+    fn scalar_functions() {
+        let b = batch();
+        let e = E::Func { name: "sqrt".into(), args: vec![E::col("time")] };
+        let c = eval(&e, &b).unwrap();
+        assert!((c.f64_at(1).unwrap() - 20.0f64.sqrt()).abs() < 1e-12);
+
+        let e = E::Func { name: "log".into(), args: vec![E::lit(-1.0)] };
+        let c = eval(&e, &b).unwrap();
+        assert!(c.is_null(0)); // log of non-positive → NULL
+
+        let e = E::Func {
+            name: "ifnull".into(),
+            args: vec![E::col("bytes"), E::lit(0i64)],
+        };
+        let c = eval(&e, &b).unwrap();
+        assert_eq!(c.f64_at(1), Some(0.0));
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let b = batch();
+        assert!(eval(&E::col("nope"), &b).is_err());
+    }
+}

@@ -1,0 +1,318 @@
+//! Hand-written SQL lexer.
+
+use crate::{Result, SqlError};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (keywords are recognized case-insensitively
+    /// by the parser; the lexer stores the raw spelling).
+    Word(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// A punctuation/operator token.
+    Symbol(Sym),
+}
+
+/// Punctuation and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `%`
+    Percent,
+    /// `;`
+    Semi,
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                tokens.push(Token::Symbol(Sym::LParen));
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::Symbol(Sym::RParen));
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Symbol(Sym::Comma));
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Symbol(Sym::Star));
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Symbol(Sym::Plus));
+                i += 1;
+            }
+            '-' => {
+                // `--` line comment.
+                if bytes.get(i + 1) == Some(&b'-') {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    tokens.push(Token::Symbol(Sym::Minus));
+                    i += 1;
+                }
+            }
+            '/' => {
+                tokens.push(Token::Symbol(Sym::Slash));
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token::Symbol(Sym::Percent));
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Symbol(Sym::Semi));
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Symbol(Sym::Eq));
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Symbol(Sym::Ne));
+                    i += 2;
+                } else {
+                    return Err(SqlError::Lex {
+                        position: i,
+                        message: "unexpected '!' (did you mean '!='?)".into(),
+                    });
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    tokens.push(Token::Symbol(Sym::Le));
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    tokens.push(Token::Symbol(Sym::Ne));
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Symbol(Sym::Lt));
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Symbol(Sym::Ge));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Symbol(Sym::Gt));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(SqlError::Lex {
+                                position: start,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(&b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() || (c == '.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())) => {
+                let start = i;
+                let mut saw_dot = false;
+                let mut saw_exp = false;
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    if b.is_ascii_digit() {
+                        i += 1;
+                    } else if b == '.' && !saw_dot && !saw_exp {
+                        saw_dot = true;
+                        i += 1;
+                    } else if (b == 'e' || b == 'E')
+                        && !saw_exp
+                        && bytes
+                            .get(i + 1)
+                            .is_some_and(|&n| n.is_ascii_digit() || n == b'-' || n == b'+')
+                    {
+                        saw_exp = true;
+                        i += 1;
+                        if bytes[i] == b'-' || bytes[i] == b'+' {
+                            i += 1;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[start..i];
+                if saw_dot || saw_exp {
+                    let v = text.parse::<f64>().map_err(|e| SqlError::Lex {
+                        position: start,
+                        message: format!("bad float literal '{text}': {e}"),
+                    })?;
+                    tokens.push(Token::Float(v));
+                } else {
+                    let v = text.parse::<i64>().map_err(|e| SqlError::Lex {
+                        position: start,
+                        message: format!("bad int literal '{text}': {e}"),
+                    })?;
+                    tokens.push(Token::Int(v));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    if b.is_ascii_alphanumeric() || b == '_' || b == '.' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Word(input[start..i].to_owned()));
+            }
+            other => {
+                return Err(SqlError::Lex {
+                    position: i,
+                    message: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_and_symbols() {
+        let toks = tokenize("SELECT AVG(time) FROM sessions WHERE city = 'NYC'").unwrap();
+        assert_eq!(toks[0], Token::Word("SELECT".into()));
+        assert_eq!(toks[1], Token::Word("AVG".into()));
+        assert_eq!(toks[2], Token::Symbol(Sym::LParen));
+        assert!(toks.contains(&Token::Str("NYC".into())));
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = tokenize("1 2.5 1e3 1.5e-2 .5").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Int(1),
+                Token::Float(2.5),
+                Token::Float(1000.0),
+                Token::Float(0.015),
+                Token::Float(0.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = tokenize("< <= > >= <> != =").unwrap();
+        use Sym::*;
+        assert_eq!(
+            toks,
+            vec![
+                Token::Symbol(Lt),
+                Token::Symbol(Le),
+                Token::Symbol(Gt),
+                Token::Symbol(Ge),
+                Token::Symbol(Ne),
+                Token::Symbol(Ne),
+                Token::Symbol(Eq),
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = tokenize("'it''s'").unwrap();
+        assert_eq!(toks, vec![Token::Str("it's".into())]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(matches!(tokenize("'oops"), Err(SqlError::Lex { .. })));
+    }
+
+    #[test]
+    fn line_comments_skipped() {
+        let toks = tokenize("SELECT -- a comment\n 1").unwrap();
+        assert_eq!(toks, vec![Token::Word("SELECT".into()), Token::Int(1)]);
+    }
+
+    #[test]
+    fn percent_and_semicolon() {
+        let toks = tokenize("10% ;").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Int(10), Token::Symbol(Sym::Percent), Token::Symbol(Sym::Semi)]
+        );
+    }
+
+    #[test]
+    fn bad_char_errors_with_position() {
+        match tokenize("SELECT #") {
+            Err(SqlError::Lex { position, .. }) => assert_eq!(position, 7),
+            other => panic!("expected lex error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! # aqp-sql
+//!
+//! A from-scratch SQL subset front end for `reliable-aqp`, covering the
+//! query class the paper evaluates:
+//!
+//! * single-block aggregation queries — `SELECT agg(expr), … FROM t
+//!   [WHERE …] [GROUP BY …]` — with the aggregates of §3 (AVG, SUM,
+//!   COUNT, MIN, MAX, VARIANCE, STDDEV, PERCENTILE) plus named aggregate
+//!   UDFs,
+//! * one level of nested subqueries in FROM (the shape that puts queries
+//!   into QSet-2),
+//! * the `TABLESAMPLE POISSONIZED (rate)` operator of §5.2, and
+//! * BlinkDB-style error-bound clauses: `WITHIN n% ERROR AT CONFIDENCE
+//!   c%`, plus `HAVING`, `ORDER BY`, `LIMIT`, and an `EXPLAIN` prefix
+//!   ([`parser::parse_statement`]).
+//!
+//! Beyond parsing ([`lexer`], [`parser`], [`ast`]), the crate provides
+//! vectorized expression evaluation over columnar batches ([`expr`]), the
+//! logical plan ([`logical`]), the planner ([`planner`]), and — the part
+//! the paper §5.3 is about — the plan **rewriter** ([`rewriter`]) that
+//! performs *scan consolidation* (one resample operator carrying all
+//! bootstrap + diagnostic weight groups) and *operator pushdown* (the
+//! resample operator sinks below the longest pass-through prefix).
+
+pub mod ast;
+pub mod expr;
+pub mod lexer;
+pub mod logical;
+pub mod parser;
+pub mod planner;
+pub mod rewriter;
+
+pub use ast::{AggExpr, AggFunc, ErrorClause, Expr, Query, SelectItem, TableRef};
+pub use logical::{LogicalPlan, ResampleSpec};
+pub use parser::{parse_query, parse_statement};
+pub use planner::plan_query;
+pub use rewriter::rewrite_for_error_estimation;
+
+/// Errors from parsing and planning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lexical error at a byte offset.
+    Lex {
+        /// Byte position in the input.
+        position: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Parse error.
+    Parse {
+        /// What went wrong, with token context.
+        message: String,
+    },
+    /// Semantic/planning error (unknown column, bad aggregate arg, …).
+    Plan {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlError::Lex { position, message } => {
+                write!(f, "lex error at byte {position}: {message}")
+            }
+            SqlError::Parse { message } => write!(f, "parse error: {message}"),
+            SqlError::Plan { message } => write!(f, "plan error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SqlError>;

@@ -1,0 +1,304 @@
+//! The logical query plan.
+//!
+//! Mirrors Fig. 5/6 of the paper: a query compiles into a plan with three
+//! logical concerns — the approximate answer θ(S), the error estimate ξ̂,
+//! and the diagnostic — all fed by one resampling operator after the
+//! rewriter has run (§5.3).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ast::{AggExpr, Expr};
+
+/// How many resamples the single consolidated scan must carry, and for
+/// whom (Fig. 6(a): bootstrap weights S¹..S^K plus diagnostic weights
+/// Dᵃ¹..Dᶜᵖ).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResampleSpec {
+    /// Number of bootstrap resamples K (0 = no bootstrap weights).
+    pub bootstrap_k: usize,
+    /// Diagnostic weight groups: (subsample sizes b₁..b_k, subsamples per
+    /// size p). `None` = no diagnostic weights.
+    pub diagnostic: Option<DiagnosticWeights>,
+    /// Seed for the Poisson weight streams.
+    pub seed: u64,
+}
+
+/// The diagnostic part of a [`ResampleSpec`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiagnosticWeights {
+    /// Subsample sizes in pre-filter rows, increasing.
+    pub subsample_rows: Vec<usize>,
+    /// Subsamples per size (p).
+    pub p: usize,
+}
+
+impl ResampleSpec {
+    /// Bootstrap-only spec.
+    pub fn bootstrap(k: usize, seed: u64) -> Self {
+        ResampleSpec { bootstrap_k: k, diagnostic: None, seed }
+    }
+
+    /// Total number of weight columns this spec implies (the width cost
+    /// of scan consolidation the paper discusses in §5.3.2).
+    pub fn weight_columns(&self) -> usize {
+        self.bootstrap_k
+            + self
+                .diagnostic
+                .as_ref()
+                .map(|d| d.subsample_rows.len() * d.p)
+                .unwrap_or(0)
+    }
+}
+
+/// Which error-estimation procedure the error operator runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorMethod {
+    /// Bootstrap over the resample aggregates.
+    Bootstrap,
+    /// Closed-form CLT estimate (no resamples needed).
+    ClosedForm,
+}
+
+/// A node of the logical plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Scan a table (or a stored sample of one).
+    Scan {
+        /// Table name.
+        table: String,
+    },
+    /// Filter rows by a predicate.
+    Filter {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// The predicate (NULL = drop).
+        predicate: Expr,
+    },
+    /// Per-row projection/derivation.
+    Project {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// (expression, output name) pairs.
+        exprs: Vec<(Expr, String)>,
+    },
+    /// The Poissonized resampling operator: augments each tuple with the
+    /// weight columns described by `spec` (§5.2, extended for scan
+    /// consolidation in §5.3.1).
+    Resample {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Weight layout.
+        spec: ResampleSpec,
+    },
+    /// A user-written `TABLESAMPLE POISSONIZED (rate·100)` (§5.2): each
+    /// row is physically replicated `Poisson(rate)` times. One explicit
+    /// resample — the building block the naive UNION-ALL rewrite stacks
+    /// K times.
+    TableSample {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Poisson rate λ.
+        rate: f64,
+        /// Weight-stream seed.
+        seed: u64,
+    },
+    /// Aggregation. When a `Resample` appears below, the aggregate
+    /// operator computes one accumulator per weight column in the same
+    /// pass ("modifying all pre-existing aggregate functions to directly
+    /// operate on weighted data").
+    Aggregate {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// GROUP BY column names.
+        group_by: Vec<String>,
+        /// Aggregate expressions.
+        aggs: Vec<AggExpr>,
+    },
+    /// The bootstrap/closed-form error operator: consumes the point
+    /// estimate plus the resample aggregates and emits a confidence
+    /// interval.
+    ErrorEstimate {
+        /// Input plan (an `Aggregate`).
+        input: Box<LogicalPlan>,
+        /// Technique.
+        method: ErrorMethod,
+        /// Target coverage α.
+        alpha: f64,
+    },
+    /// The diagnostic operator: consumes subsample estimates and emits
+    /// the accept/reject verdict.
+    Diagnostic {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+    },
+}
+
+impl LogicalPlan {
+    /// The child plan, if any.
+    pub fn input(&self) -> Option<&LogicalPlan> {
+        match self {
+            LogicalPlan::Scan { .. } => None,
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Resample { input, .. }
+            | LogicalPlan::TableSample { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::ErrorEstimate { input, .. }
+            | LogicalPlan::Diagnostic { input } => Some(input),
+        }
+    }
+
+    /// Is this operator *pass-through* in the §5.3.2 sense — i.e. does it
+    /// preserve the statistical properties of the columns that are
+    /// eventually aggregated? Scans, filters, and deterministic per-row
+    /// projections are; aggregation and the estimation operators are not.
+    pub fn is_pass_through(&self) -> bool {
+        matches!(
+            self,
+            LogicalPlan::Scan { .. } | LogicalPlan::Filter { .. } | LogicalPlan::Project { .. }
+        )
+    }
+
+    /// The table scanned at the leaf.
+    pub fn leaf_table(&self) -> &str {
+        match self {
+            LogicalPlan::Scan { table } => table,
+            other => other.input().expect("non-scan nodes have inputs").leaf_table(),
+        }
+    }
+
+    /// Depth-first search for a node matching `pred`.
+    pub fn find(&self, pred: &dyn Fn(&LogicalPlan) -> bool) -> Option<&LogicalPlan> {
+        if pred(self) {
+            return Some(self);
+        }
+        self.input().and_then(|i| i.find(pred))
+    }
+
+    /// Render the plan as an indented EXPLAIN tree.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write;
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        match self {
+            LogicalPlan::Scan { table } => {
+                let _ = writeln!(out, "Scan[{table}]");
+            }
+            LogicalPlan::Filter { predicate, .. } => {
+                let _ = writeln!(out, "Filter[{predicate}]");
+            }
+            LogicalPlan::Project { exprs, .. } => {
+                let items: Vec<String> =
+                    exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
+                let _ = writeln!(out, "Project[{}]", items.join(", "));
+            }
+            LogicalPlan::Resample { spec, .. } => {
+                let diag = spec
+                    .diagnostic
+                    .as_ref()
+                    .map(|d| format!(", diag={}x{}", d.subsample_rows.len(), d.p))
+                    .unwrap_or_default();
+                let _ = writeln!(out, "Resample[K={}{diag}, seed={}]", spec.bootstrap_k, spec.seed);
+            }
+            LogicalPlan::TableSample { rate, seed, .. } => {
+                let _ = writeln!(out, "TableSamplePoissonized[rate={rate}, seed={seed}]");
+            }
+            LogicalPlan::Aggregate { group_by, aggs, .. } => {
+                let items: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
+                if group_by.is_empty() {
+                    let _ = writeln!(out, "Aggregate[{}]", items.join(", "));
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "Aggregate[{}] groups=[{}]",
+                        items.join(", "),
+                        group_by.join(", ")
+                    );
+                }
+            }
+            LogicalPlan::ErrorEstimate { method, alpha, .. } => {
+                let _ = writeln!(out, "ErrorEstimate[{method:?}, alpha={alpha}]");
+            }
+            LogicalPlan::Diagnostic { .. } => {
+                let _ = writeln!(out, "Diagnostic[]");
+            }
+        }
+        if let Some(i) = self.input() {
+            i.explain_into(out, depth + 1);
+        }
+    }
+}
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.explain())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{AggFunc, BinOp, Expr as E};
+
+    fn sample_plan() -> LogicalPlan {
+        LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(LogicalPlan::Scan { table: "sessions".into() }),
+                predicate: E::binary(BinOp::Eq, E::col("city"), E::lit("NYC")),
+            }),
+            group_by: vec![],
+            aggs: vec![AggExpr { func: AggFunc::Avg, arg: Some(E::col("time")) }],
+        }
+    }
+
+    #[test]
+    fn explain_shape() {
+        let plan = sample_plan();
+        let text = plan.explain();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "Aggregate[AVG(time)]");
+        assert!(lines[1].trim_start().starts_with("Filter["));
+        assert!(lines[2].trim_start().starts_with("Scan[sessions]"));
+    }
+
+    #[test]
+    fn pass_through_classification() {
+        assert!(LogicalPlan::Scan { table: "t".into() }.is_pass_through());
+        let plan = sample_plan();
+        assert!(!plan.is_pass_through()); // Aggregate
+        assert!(plan.input().unwrap().is_pass_through()); // Filter
+    }
+
+    #[test]
+    fn leaf_table_traversal() {
+        assert_eq!(sample_plan().leaf_table(), "sessions");
+    }
+
+    #[test]
+    fn weight_column_accounting() {
+        let spec = ResampleSpec {
+            bootstrap_k: 100,
+            diagnostic: Some(DiagnosticWeights { subsample_rows: vec![10, 20, 40], p: 100 }),
+            seed: 1,
+        };
+        // Fig. 6(a): 100 bootstrap + 3 × 100 diagnostic weight columns.
+        assert_eq!(spec.weight_columns(), 400);
+        assert_eq!(ResampleSpec::bootstrap(100, 1).weight_columns(), 100);
+    }
+
+    #[test]
+    fn find_locates_nodes() {
+        let plan = sample_plan();
+        assert!(plan.find(&|p| matches!(p, LogicalPlan::Filter { .. })).is_some());
+        assert!(plan.find(&|p| matches!(p, LogicalPlan::Resample { .. })).is_none());
+    }
+}

@@ -1,0 +1,286 @@
+//! The planner: validated AST → logical plan.
+//!
+//! Produces the *pre-rewrite* plan of Fig. 6(b) (left): scan → filter →
+//! project → aggregate, with no resampling operator yet. The rewriter
+//! (§5.3) decides where the resampling operator goes.
+
+use aqp_storage::Schema;
+
+use crate::ast::{AggFunc, Query, SelectItem, TableRef};
+use crate::logical::LogicalPlan;
+use crate::{Result, SqlError};
+
+/// Plan a parsed query against the schema of its base table.
+///
+/// For nested queries the schema is that of the *innermost* table; the
+/// inner block is planned first and the outer block consumes its output
+/// columns (aggregate aliases and group keys).
+pub fn plan_query(query: &Query, base_schema: &Schema) -> Result<LogicalPlan> {
+    match &query.from {
+        TableRef::Table(name) => plan_block(query, name, base_schema),
+        TableRef::Subquery(inner) => {
+            let inner_plan = plan_query(inner, base_schema)?;
+            // The outer block sees the inner block's output columns.
+            let inner_cols = output_columns(inner);
+            validate_outer_block(query, &inner_cols)?;
+            plan_outer_block(query, inner_plan)
+        }
+    }
+}
+
+/// Names of the columns a query block emits.
+fn output_columns(q: &Query) -> Vec<String> {
+    let mut cols = Vec::new();
+    for (i, item) in q.select.iter().enumerate() {
+        match item {
+            SelectItem::Column(c) => cols.push(c.clone()),
+            SelectItem::Agg(_, alias) => {
+                cols.push(alias.clone().unwrap_or_else(|| format!("agg{i}")));
+            }
+        }
+    }
+    cols
+}
+
+fn check_columns_exist(names: &[String], available: &[String], what: &str) -> Result<()> {
+    for n in names {
+        if !available.contains(n) {
+            return Err(SqlError::Plan {
+                message: format!("{what} references unknown column {n}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn plan_block(query: &Query, table: &str, schema: &Schema) -> Result<LogicalPlan> {
+    let available: Vec<String> = schema.fields().iter().map(|f| f.name.clone()).collect();
+    validate_block(query, &available)?;
+
+    let mut plan = LogicalPlan::Scan { table: table.to_owned() };
+    if let Some(ts) = &query.tablesample {
+        plan = LogicalPlan::TableSample {
+            input: Box::new(plan),
+            rate: ts.rate,
+            // Deterministic default stream; the session can re-plan with
+            // its own seed if needed.
+            seed: 0,
+        };
+    }
+    if let Some(pred) = &query.where_clause {
+        plan = LogicalPlan::Filter { input: Box::new(plan), predicate: pred.clone() };
+    }
+    plan = LogicalPlan::Aggregate {
+        input: Box::new(plan),
+        group_by: query.group_by.clone(),
+        aggs: query.aggregates().into_iter().cloned().collect(),
+    };
+    Ok(plan)
+}
+
+fn plan_outer_block(query: &Query, inner: LogicalPlan) -> Result<LogicalPlan> {
+    let mut plan = inner;
+    if let Some(pred) = &query.where_clause {
+        plan = LogicalPlan::Filter { input: Box::new(plan), predicate: pred.clone() };
+    }
+    plan = LogicalPlan::Aggregate {
+        input: Box::new(plan),
+        group_by: query.group_by.clone(),
+        aggs: query.aggregates().into_iter().cloned().collect(),
+    };
+    Ok(plan)
+}
+
+fn validate_block(query: &Query, available: &[String]) -> Result<()> {
+    // Aggregates present?
+    if query.aggregates().is_empty() {
+        return Err(SqlError::Plan {
+            message: "query must contain at least one aggregate".into(),
+        });
+    }
+    // WHERE columns exist?
+    if let Some(pred) = &query.where_clause {
+        let mut cols = Vec::new();
+        pred.referenced_columns(&mut cols);
+        check_columns_exist(&cols, available, "WHERE clause")?;
+    }
+    // GROUP BY columns exist?
+    check_columns_exist(&query.group_by, available, "GROUP BY")?;
+    // ORDER BY may reference SELECT aliases and group keys only.
+    if let Some(o) = &query.order_by {
+        let mut visible: Vec<String> = query.group_by.clone();
+        for item in &query.select {
+            if let SelectItem::Agg(_, Some(alias)) = item {
+                visible.push(alias.clone());
+            }
+        }
+        if !visible.contains(&o.column) {
+            return Err(SqlError::Plan {
+                message: format!(
+                    "ORDER BY references {}; only GROUP BY keys and aggregate aliases are visible",
+                    o.column
+                ),
+            });
+        }
+    }
+    // HAVING may reference SELECT aliases and group keys only.
+    if let Some(h) = &query.having {
+        let mut visible: Vec<String> = query.group_by.clone();
+        for item in &query.select {
+            if let SelectItem::Agg(_, Some(alias)) = item {
+                visible.push(alias.clone());
+            }
+        }
+        let mut cols = Vec::new();
+        h.referenced_columns(&mut cols);
+        for c in &cols {
+            if !visible.contains(c) {
+                return Err(SqlError::Plan {
+                    message: format!(
+                        "HAVING references {c}; only GROUP BY keys and aggregate aliases are visible"
+                    ),
+                });
+            }
+        }
+    }
+    // Aggregate args reference known columns; non-COUNT aggregates need an
+    // argument.
+    for item in &query.select {
+        match item {
+            SelectItem::Agg(a, _) => {
+                match (&a.func, &a.arg) {
+                    (AggFunc::Count, _) => {}
+                    (_, None) => {
+                        return Err(SqlError::Plan {
+                            message: format!("{} requires an argument", a.func.sql_name()),
+                        })
+                    }
+                    (_, Some(arg)) => {
+                        let mut cols = Vec::new();
+                        arg.referenced_columns(&mut cols);
+                        check_columns_exist(&cols, available, "aggregate argument")?;
+                    }
+                }
+            }
+            SelectItem::Column(c) => {
+                // Bare columns must be GROUP BY keys.
+                if !query.group_by.contains(c) {
+                    return Err(SqlError::Plan {
+                        message: format!(
+                            "column {c} in SELECT must appear in GROUP BY"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn validate_outer_block(query: &Query, inner_cols: &[String]) -> Result<()> {
+    validate_block(query, inner_cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use aqp_storage::{DataType, Field};
+
+    fn sessions_schema() -> Schema {
+        Schema::new(vec![
+            Field::new("city", DataType::Str),
+            Field::new("time", DataType::Float),
+            Field::new("bytes", DataType::Int),
+            Field::new("user_id", DataType::Int),
+        ])
+        .unwrap()
+    }
+
+    fn plan(sql: &str) -> Result<LogicalPlan> {
+        let q = parse_query(sql).unwrap();
+        plan_query(&q, &sessions_schema())
+    }
+
+    #[test]
+    fn simple_query_plan_shape() {
+        let p = plan("SELECT AVG(time) FROM sessions WHERE city = 'NYC'").unwrap();
+        assert_eq!(
+            p.explain(),
+            "Aggregate[AVG(time)]\n  Filter[(city = 'NYC')]\n    Scan[sessions]\n"
+        );
+    }
+
+    #[test]
+    fn group_by_plan() {
+        let p = plan("SELECT city, COUNT(*) FROM sessions GROUP BY city").unwrap();
+        assert!(p.explain().contains("groups=[city]"));
+    }
+
+    #[test]
+    fn nested_query_plan() {
+        let p = plan(
+            "SELECT AVG(s) FROM (SELECT SUM(bytes) AS s FROM sessions GROUP BY user_id)",
+        )
+        .unwrap();
+        let text = p.explain();
+        // Outer aggregate on top of inner aggregate.
+        assert_eq!(text.matches("Aggregate").count(), 2);
+        assert_eq!(p.leaf_table(), "sessions");
+    }
+
+    #[test]
+    fn unknown_where_column_rejected() {
+        assert!(plan("SELECT AVG(time) FROM sessions WHERE nope = 1").is_err());
+    }
+
+    #[test]
+    fn unknown_agg_column_rejected() {
+        assert!(plan("SELECT AVG(nope) FROM sessions").is_err());
+    }
+
+    #[test]
+    fn bare_column_requires_group_by() {
+        assert!(plan("SELECT city, AVG(time) FROM sessions").is_err());
+        assert!(plan("SELECT city, AVG(time) FROM sessions GROUP BY city").is_ok());
+    }
+
+    #[test]
+    fn aggregate_required() {
+        assert!(plan("SELECT city FROM sessions GROUP BY city").is_err());
+    }
+
+    #[test]
+    fn outer_block_sees_inner_aliases() {
+        assert!(plan("SELECT AVG(s) FROM (SELECT SUM(bytes) AS s FROM sessions GROUP BY user_id)").is_ok());
+        assert!(
+            plan("SELECT AVG(t) FROM (SELECT SUM(bytes) AS s FROM sessions GROUP BY user_id)")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn having_visibility_rules() {
+        assert!(plan(
+            "SELECT city, AVG(time) AS a FROM sessions GROUP BY city HAVING a > 10"
+        )
+        .is_ok());
+        assert!(plan(
+            "SELECT city, AVG(time) AS a FROM sessions GROUP BY city HAVING city = 'NYC'"
+        )
+        .is_ok());
+        // Unaliased aggregates and base columns are not visible in HAVING.
+        assert!(plan(
+            "SELECT city, AVG(time) FROM sessions GROUP BY city HAVING time > 10"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn min_requires_argument() {
+        assert!(plan("SELECT MIN(time) FROM sessions").is_ok());
+        // COUNT(*) is the only argument-less aggregate.
+        let q = parse_query("SELECT COUNT(*) FROM sessions").unwrap();
+        assert!(plan_query(&q, &sessions_schema()).is_ok());
+    }
+}

@@ -1,0 +1,236 @@
+//! The logical-plan rewriter of §5.3.
+//!
+//! Two rewrites:
+//!
+//! 1. **Scan consolidation** (§5.3.1): instead of one subquery per
+//!    bootstrap resample and per diagnostic subsample (the §5.2 baseline's
+//!    UNION ALL of hundreds of subqueries), a single [`ResampleSpec`]
+//!    carries *all* weight groups — K bootstrap weights plus k × p
+//!    diagnostic weights — so one scan feeds the answer, the error
+//!    estimate, and the diagnostic.
+//! 2. **Operator pushdown** (§5.3.2): the resampling operator is inserted
+//!    immediately *above* the longest chain of consecutive pass-through
+//!    operators (scan, filter, project), i.e. just below the first
+//!    non-pass-through operator — so weights are only generated for tuples
+//!    that survive filtering. The naive placement (directly above the
+//!    scan) is retained for the ablation benchmarks.
+
+use crate::logical::{ErrorMethod, LogicalPlan, ResampleSpec};
+
+/// Where to put the resampling operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResamplePlacement {
+    /// Directly above the scan (the naive Fig. 6(b)-left position).
+    AboveScan,
+    /// Below the first non-pass-through operator (the optimized
+    /// Fig. 6(b)-right position).
+    PushedDown,
+}
+
+/// Rewrite `plan` for single-scan error estimation + diagnostics:
+/// inserts one consolidated `Resample` at the requested placement and
+/// wraps the plan in the error-estimate and diagnostic operators.
+pub fn rewrite_for_error_estimation(
+    plan: LogicalPlan,
+    spec: ResampleSpec,
+    method: ErrorMethod,
+    alpha: f64,
+    placement: ResamplePlacement,
+) -> LogicalPlan {
+    let with_resample = match placement {
+        ResamplePlacement::AboveScan => insert_above_scan(plan, &spec),
+        ResamplePlacement::PushedDown => insert_pushed_down(plan, &spec),
+    };
+    let with_error = LogicalPlan::ErrorEstimate {
+        input: Box::new(with_resample),
+        method,
+        alpha,
+    };
+    if spec.diagnostic.is_some() {
+        LogicalPlan::Diagnostic { input: Box::new(with_error) }
+    } else {
+        with_error
+    }
+}
+
+/// Insert `Resample` directly above every `Scan` (naive placement).
+pub fn insert_above_scan(plan: LogicalPlan, spec: &ResampleSpec) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Scan { table } => LogicalPlan::Resample {
+            input: Box::new(LogicalPlan::Scan { table }),
+            spec: spec.clone(),
+        },
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(insert_above_scan(*input, spec)),
+            predicate,
+        },
+        LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+            input: Box::new(insert_above_scan(*input, spec)),
+            exprs,
+        },
+        LogicalPlan::Aggregate { input, group_by, aggs } => LogicalPlan::Aggregate {
+            input: Box::new(insert_above_scan(*input, spec)),
+            group_by,
+            aggs,
+        },
+        other => other,
+    }
+}
+
+/// Insert `Resample` just below the first (deepest-path) non-pass-through
+/// operator: walk down from the root; when the current node is *not*
+/// pass-through but its input chain is, the resample goes between them.
+///
+/// For nested plans (aggregate over aggregate), the resample sinks below
+/// the *innermost* aggregate — resampling must happen at the level of the
+/// base sample's rows, since those are the units of the sampling
+/// distribution.
+pub fn insert_pushed_down(plan: LogicalPlan, spec: &ResampleSpec) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Aggregate { input, group_by, aggs } => {
+            // Sink into nested aggregates first.
+            let has_inner_agg = input
+                .find(&|p| matches!(p, LogicalPlan::Aggregate { .. }))
+                .is_some();
+            let new_input = if has_inner_agg || !input.is_pass_through_chain() {
+                insert_pushed_down(*input, spec)
+            } else {
+                LogicalPlan::Resample { input, spec: spec.clone() }
+            };
+            LogicalPlan::Aggregate { input: Box::new(new_input), group_by, aggs }
+        }
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(insert_pushed_down(*input, spec)),
+            predicate,
+        },
+        LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+            input: Box::new(insert_pushed_down(*input, spec)),
+            exprs,
+        },
+        LogicalPlan::Scan { table } => LogicalPlan::Resample {
+            input: Box::new(LogicalPlan::Scan { table }),
+            spec: spec.clone(),
+        },
+        other => other,
+    }
+}
+
+impl LogicalPlan {
+    /// Whether this plan is a chain of pass-through operators all the way
+    /// to the scan.
+    pub fn is_pass_through_chain(&self) -> bool {
+        if !self.is_pass_through() {
+            return false;
+        }
+        match self.input() {
+            None => true,
+            Some(i) => i.is_pass_through_chain(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{AggExpr, AggFunc, BinOp, Expr as E};
+    use crate::logical::DiagnosticWeights;
+
+    fn filter_agg_plan() -> LogicalPlan {
+        LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(LogicalPlan::Scan { table: "s".into() }),
+                predicate: E::binary(BinOp::Eq, E::col("city"), E::lit("NYC")),
+            }),
+            group_by: vec![],
+            aggs: vec![AggExpr { func: AggFunc::Avg, arg: Some(E::col("time")) }],
+        }
+    }
+
+    fn spec() -> ResampleSpec {
+        ResampleSpec {
+            bootstrap_k: 100,
+            diagnostic: Some(DiagnosticWeights { subsample_rows: vec![10, 20, 40], p: 100 }),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn pushdown_places_resample_below_aggregate_above_filter() {
+        let rewritten = insert_pushed_down(filter_agg_plan(), &spec());
+        let text = rewritten.explain();
+        let lines: Vec<&str> = text.lines().map(|l| l.trim_start()).collect();
+        assert_eq!(lines[0], "Aggregate[AVG(time)]");
+        assert!(lines[1].starts_with("Resample["), "{text}");
+        assert!(lines[2].starts_with("Filter["), "{text}");
+        assert!(lines[3].starts_with("Scan["), "{text}");
+    }
+
+    #[test]
+    fn naive_places_resample_above_scan() {
+        let rewritten = insert_above_scan(filter_agg_plan(), &spec());
+        let text = rewritten.explain();
+        let lines: Vec<&str> = text.lines().map(|l| l.trim_start()).collect();
+        assert_eq!(lines[0], "Aggregate[AVG(time)]");
+        assert!(lines[1].starts_with("Filter["), "{text}");
+        assert!(lines[2].starts_with("Resample["), "{text}");
+        assert!(lines[3].starts_with("Scan["), "{text}");
+    }
+
+    #[test]
+    fn full_rewrite_wraps_error_and_diagnostic_operators() {
+        let p = rewrite_for_error_estimation(
+            filter_agg_plan(),
+            spec(),
+            ErrorMethod::Bootstrap,
+            0.95,
+            ResamplePlacement::PushedDown,
+        );
+        let text = p.explain();
+        let lines: Vec<&str> = text.lines().map(|l| l.trim_start()).collect();
+        assert!(lines[0].starts_with("Diagnostic["), "{text}");
+        assert!(lines[1].starts_with("ErrorEstimate[Bootstrap"), "{text}");
+        assert!(lines[2].starts_with("Aggregate["), "{text}");
+    }
+
+    #[test]
+    fn no_diagnostic_weights_no_diagnostic_operator() {
+        let p = rewrite_for_error_estimation(
+            filter_agg_plan(),
+            ResampleSpec::bootstrap(100, 1),
+            ErrorMethod::Bootstrap,
+            0.95,
+            ResamplePlacement::PushedDown,
+        );
+        assert!(!p.explain().contains("Diagnostic"));
+    }
+
+    #[test]
+    fn nested_aggregate_sinks_resample_to_innermost() {
+        let nested = LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Aggregate {
+                input: Box::new(LogicalPlan::Scan { table: "s".into() }),
+                group_by: vec!["user".into()],
+                aggs: vec![AggExpr { func: AggFunc::Sum, arg: Some(E::col("bytes")) }],
+            }),
+            group_by: vec![],
+            aggs: vec![AggExpr { func: AggFunc::Avg, arg: Some(E::col("agg0")) }],
+        };
+        let rewritten = insert_pushed_down(nested, &ResampleSpec::bootstrap(10, 1));
+        let text = rewritten.explain();
+        let lines: Vec<&str> = text.lines().map(|l| l.trim_start()).collect();
+        assert!(lines[0].starts_with("Aggregate["));
+        assert!(lines[1].starts_with("Aggregate["), "{text}");
+        assert!(lines[2].starts_with("Resample["), "{text}");
+        assert!(lines[3].starts_with("Scan["), "{text}");
+    }
+
+    #[test]
+    fn pass_through_chain_detection() {
+        let chain = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Scan { table: "t".into() }),
+            predicate: E::lit(true),
+        };
+        assert!(chain.is_pass_through_chain());
+        assert!(!filter_agg_plan().is_pass_through_chain());
+    }
+}

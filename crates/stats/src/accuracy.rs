@@ -1,0 +1,312 @@
+//! The §3 evaluation harness: does an error-estimation technique produce
+//! accurate error bars for a given (θ, data) pair?
+//!
+//! Mirrors the paper's protocol: compute the ground truth θ(D) and the
+//! *true confidence interval* from many fresh samples of D; then, for each
+//! of `runs` samples, produce ξ's interval and its δ; declare the
+//! technique *optimistic* (resp. *pessimistic*) for the query if δ < −0.2
+//! (resp. > 0.2) on at least 5% of runs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ci::{symmetric_half_width, Delta};
+use crate::error_estimator::{ErrorEstimator, Theta};
+use crate::estimator::SampleContext;
+use crate::rng::SeedStream;
+use crate::sampling::{gather, with_replacement_indices};
+
+/// The per-query verdict of the §3 evaluation (the four bands of Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccuracyVerdict {
+    /// ξ cannot produce intervals for this θ at all.
+    NotApplicable,
+    /// δ < −0.2 on ≥ `failure_quantile` of runs: intervals misleadingly
+    /// narrow.
+    Optimistic,
+    /// Error estimation worked: |δ| ≤ 0.2 on > 95% of runs.
+    Correct,
+    /// δ > +0.2 on ≥ `failure_quantile` of runs: intervals wastefully wide.
+    Pessimistic,
+}
+
+/// Full per-query evaluation output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AccuracyReport {
+    /// Final classification.
+    pub verdict: AccuracyVerdict,
+    /// Ground-truth θ(D).
+    pub theta_d: f64,
+    /// True confidence-interval half-width.
+    pub true_half_width: f64,
+    /// Fraction of runs with δ < −0.2.
+    pub optimistic_frac: f64,
+    /// Fraction of runs with δ > +0.2.
+    pub pessimistic_frac: f64,
+    /// Fraction of runs where ξ failed to produce an interval.
+    pub degenerate_frac: f64,
+    /// All observed δ values (NaN-free; degenerate runs excluded).
+    pub deltas: Vec<f64>,
+    /// Number of evaluation runs.
+    pub runs: usize,
+}
+
+/// Protocol parameters (paper defaults: 100 samples, n = 10⁶, α = 0.95,
+/// failure threshold 5%).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AccuracyConfig {
+    /// Sample size n.
+    pub sample_rows: usize,
+    /// Number of independent samples ("100 different samples", §3).
+    pub runs: usize,
+    /// Interval coverage α.
+    pub alpha: f64,
+    /// Fraction of runs allowed outside the δ band before declaring
+    /// failure (5% in the paper).
+    pub failure_quantile: f64,
+    /// Extra samples used to estimate the *true* interval (shares `runs`
+    /// samples when 0; the paper reuses its evaluation samples).
+    pub truth_runs: usize,
+}
+
+impl Default for AccuracyConfig {
+    fn default() -> Self {
+        AccuracyConfig {
+            sample_rows: 1_000_000,
+            runs: 100,
+            alpha: 0.95,
+            failure_quantile: 0.05,
+            truth_runs: 200,
+        }
+    }
+}
+
+impl AccuracyConfig {
+    /// A scaled-down config for fast tests/experiments.
+    pub fn fast() -> Self {
+        AccuracyConfig {
+            sample_rows: 2_000,
+            runs: 40,
+            alpha: 0.95,
+            failure_quantile: 0.05,
+            truth_runs: 120,
+        }
+    }
+}
+
+/// Evaluate `xi` for query θ over `population` (the values column of D,
+/// post-filter semantics as in [`crate::estimator`]).
+///
+/// `population` must be non-empty and `cfg.sample_rows` ≤ reasonable
+/// memory. Deterministic given `seeds`.
+pub fn evaluate_error_estimator(
+    population: &[f64],
+    theta: &Theta<'_>,
+    xi: &dyn ErrorEstimator,
+    cfg: &AccuracyConfig,
+    seeds: SeedStream,
+) -> AccuracyReport {
+    assert!(!population.is_empty(), "empty population");
+    let est = theta.as_estimator();
+    let pop_ctx = SampleContext::population(population.len());
+    let theta_d = est.estimate(population, &pop_ctx);
+    let ctx = SampleContext::new(cfg.sample_rows, population.len());
+
+    if !xi.applicable(theta) {
+        return AccuracyReport {
+            verdict: AccuracyVerdict::NotApplicable,
+            theta_d,
+            true_half_width: f64::NAN,
+            optimistic_frac: 0.0,
+            pessimistic_frac: 0.0,
+            degenerate_frac: 1.0,
+            deltas: Vec::new(),
+            runs: 0,
+        };
+    }
+
+    // 1. The true confidence interval: θ over `truth_runs` fresh samples,
+    //    smallest symmetric interval around θ(D) covering α of them.
+    let truth_stream = seeds.derive(0x7275_7468); // "ruth"
+    let mut truth_draws = Vec::with_capacity(cfg.truth_runs);
+    for r in 0..cfg.truth_runs.max(cfg.runs) {
+        let mut rng = truth_stream.rng(r as u64);
+        let idx = with_replacement_indices(&mut rng, cfg.sample_rows, population.len());
+        let sample = gather(population, &idx);
+        let t = est.estimate(&sample, &ctx);
+        if !t.is_nan() {
+            truth_draws.push(t);
+        }
+    }
+    let true_half_width = if truth_draws.is_empty() {
+        f64::NAN
+    } else {
+        symmetric_half_width(theta_d, &truth_draws, cfg.alpha)
+    };
+
+    // 2. ξ's interval on each evaluation sample, and its δ.
+    let eval_stream = seeds.derive(0x6576_616c); // "eval"
+    let mut deltas = Vec::with_capacity(cfg.runs);
+    let mut degenerate = 0usize;
+    for r in 0..cfg.runs {
+        let mut sample_rng = eval_stream.rng(r as u64 * 2);
+        let mut xi_rng = eval_stream.rng(r as u64 * 2 + 1);
+        let idx = with_replacement_indices(&mut sample_rng, cfg.sample_rows, population.len());
+        let sample = gather(population, &idx);
+        match xi.confidence_interval(&mut xi_rng, &sample, &ctx, theta, cfg.alpha) {
+            Some(ci) if ci.half_width.is_finite() => {
+                deltas.push(Delta::compute(ci.width(), 2.0 * true_half_width).0);
+            }
+            _ => degenerate += 1,
+        }
+    }
+
+    let n_ok = deltas.len().max(1) as f64;
+    let optimistic_frac = deltas.iter().filter(|&&d| Delta(d).is_optimistic()).count() as f64 / n_ok;
+    let pessimistic_frac =
+        deltas.iter().filter(|&&d| Delta(d).is_pessimistic()).count() as f64 / n_ok;
+    let degenerate_frac = degenerate as f64 / cfg.runs as f64;
+
+    // Optimism is the worse failure (§3: "an optimistic error estimation
+    // procedure is even worse"), so it takes precedence when both exceed
+    // the threshold.
+    let verdict = if deltas.is_empty() {
+        AccuracyVerdict::NotApplicable
+    } else if optimistic_frac >= cfg.failure_quantile {
+        AccuracyVerdict::Optimistic
+    } else if pessimistic_frac >= cfg.failure_quantile {
+        AccuracyVerdict::Pessimistic
+    } else {
+        AccuracyVerdict::Correct
+    };
+
+    AccuracyReport {
+        verdict,
+        theta_d,
+        true_half_width,
+        optimistic_frac,
+        pessimistic_frac,
+        degenerate_frac,
+        deltas,
+        runs: cfg.runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{sample_lognormal, sample_pareto};
+    use crate::error_estimator::{default_bootstrap, EstimationMethod};
+    use crate::estimator::Aggregate;
+    use crate::large_deviation::{Inequality, RangeHint};
+    use crate::rng::rng_from_seed;
+
+    fn lognormal_population(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = rng_from_seed(seed);
+        (0..n).map(|_| sample_lognormal(&mut rng, 1.0, 0.5)).collect()
+    }
+
+    #[test]
+    fn bootstrap_correct_for_avg_on_moderate_tails() {
+        let pop = lognormal_population(200_000, 1);
+        let cfg = AccuracyConfig::fast();
+        // K = 100 (the paper's default) leaves ~10% noise in the interval
+        // width, which the strict ±0.2/5% rule can trip on by luck; use a
+        // larger K for a stable unit test. Fig. 3's bench uses the paper's K.
+        let report = evaluate_error_estimator(
+            &pop,
+            &Theta::Builtin(Aggregate::Avg),
+            &EstimationMethod::Bootstrap { k: 400 },
+            &cfg,
+            SeedStream::new(11),
+        );
+        assert_eq!(report.verdict, AccuracyVerdict::Correct, "{report:?}");
+        assert!(report.true_half_width > 0.0);
+    }
+
+    #[test]
+    fn closed_form_correct_for_avg() {
+        let pop = lognormal_population(200_000, 2);
+        let cfg = AccuracyConfig::fast();
+        let report = evaluate_error_estimator(
+            &pop,
+            &Theta::Builtin(Aggregate::Avg),
+            &EstimationMethod::ClosedForm,
+            &cfg,
+            SeedStream::new(12),
+        );
+        assert_eq!(report.verdict, AccuracyVerdict::Correct, "{report:?}");
+    }
+
+    #[test]
+    fn bootstrap_fails_for_max_on_heavy_tails() {
+        // MAX on Pareto data: the classic bootstrap failure (§2.3.1, §3:
+        // "bootstrap error estimation fails for 86.17% of [MIN/MAX]
+        // queries").
+        let mut rng = rng_from_seed(3);
+        let pop: Vec<f64> = (0..200_000).map(|_| sample_pareto(&mut rng, 1.0, 1.1)).collect();
+        let cfg = AccuracyConfig::fast();
+        let report = evaluate_error_estimator(
+            &pop,
+            &Theta::Builtin(Aggregate::Max),
+            &default_bootstrap(),
+            &cfg,
+            SeedStream::new(13),
+        );
+        assert_ne!(report.verdict, AccuracyVerdict::Correct, "{report:?}");
+    }
+
+    #[test]
+    fn closed_form_not_applicable_to_max() {
+        let pop = lognormal_population(10_000, 4);
+        let cfg = AccuracyConfig::fast();
+        let report = evaluate_error_estimator(
+            &pop,
+            &Theta::Builtin(Aggregate::Max),
+            &EstimationMethod::ClosedForm,
+            &cfg,
+            SeedStream::new(14),
+        );
+        assert_eq!(report.verdict, AccuracyVerdict::NotApplicable);
+    }
+
+    #[test]
+    fn hoeffding_is_pessimistic() {
+        let pop = lognormal_population(100_000, 5);
+        let max = pop.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let cfg = AccuracyConfig::fast();
+        let report = evaluate_error_estimator(
+            &pop,
+            &Theta::Builtin(Aggregate::Avg),
+            &EstimationMethod::LargeDeviation {
+                inequality: Inequality::Hoeffding,
+                range: RangeHint::new(0.0, max),
+            },
+            &cfg,
+            SeedStream::new(15),
+        );
+        assert_eq!(report.verdict, AccuracyVerdict::Pessimistic, "{report:?}");
+        assert!(report.pessimistic_frac > 0.9);
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let pop = lognormal_population(20_000, 6);
+        let cfg = AccuracyConfig { sample_rows: 500, runs: 10, truth_runs: 30, ..AccuracyConfig::fast() };
+        let a = evaluate_error_estimator(
+            &pop,
+            &Theta::Builtin(Aggregate::Sum),
+            &default_bootstrap(),
+            &cfg,
+            SeedStream::new(16),
+        );
+        let b = evaluate_error_estimator(
+            &pop,
+            &Theta::Builtin(Aggregate::Sum),
+            &default_bootstrap(),
+            &cfg,
+            SeedStream::new(16),
+        );
+        assert_eq!(a.deltas, b.deltas);
+        assert_eq!(a.verdict, b.verdict);
+    }
+}

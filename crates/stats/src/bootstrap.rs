@@ -1,0 +1,159 @@
+//! Efron's nonparametric bootstrap over Poissonized resamples (§2.3.1).
+//!
+//! Given a sample S and a query θ, the bootstrap estimates the sampling
+//! distribution Dist(θ(S)) by computing θ on K resamples of S and returns
+//! the symmetric centered confidence interval around θ(S) covering α of
+//! the replicate distribution.
+
+use rand::Rng;
+
+use crate::ci::{ci_from_draws, Ci};
+use crate::dist::Poisson1;
+use crate::estimator::{QueryEstimator, SampleContext};
+
+/// Default number of bootstrap resamples (the paper uses K = 100 and notes
+/// it "can be tuned automatically").
+pub const DEFAULT_REPLICATES: usize = 100;
+
+/// Compute `k` bootstrap replicate estimates θ(S₁), …, θ(S_k) of `theta`
+/// on `values` using Poissonized resampling.
+///
+/// Weight vectors are regenerated per replicate in a single streaming
+/// buffer — O(n) scratch regardless of k, matching §5.1's "no extra
+/// memory if each tuple is immediately pipelined".
+pub fn bootstrap_replicates<R: Rng>(
+    rng: &mut R,
+    values: &[f64],
+    ctx: &SampleContext,
+    theta: &dyn QueryEstimator,
+    k: usize,
+) -> Vec<f64> {
+    let p1 = Poisson1::new();
+    let mut weights = vec![0u32; values.len()];
+    (0..k)
+        .map(|_| {
+            p1.fill(rng, &mut weights);
+            theta.estimate_weighted(values, &weights, ctx)
+        })
+        .collect()
+}
+
+/// The bootstrap confidence interval: θ(S) centered, half-width covering
+/// `alpha` of the replicate distribution.
+///
+/// Replicates that evaluate to NaN (e.g. an empty resample hitting AVG)
+/// are dropped; if all replicates are NaN the result is `None`.
+pub fn bootstrap_ci<R: Rng>(
+    rng: &mut R,
+    values: &[f64],
+    ctx: &SampleContext,
+    theta: &dyn QueryEstimator,
+    k: usize,
+    alpha: f64,
+) -> Option<Ci> {
+    let center = theta.estimate(values, ctx);
+    if center.is_nan() {
+        return None;
+    }
+    let replicates: Vec<f64> = bootstrap_replicates(rng, values, ctx, theta, k)
+        .into_iter()
+        .filter(|r| !r.is_nan())
+        .collect();
+    if replicates.is_empty() {
+        return None;
+    }
+    Some(ci_from_draws(center, &replicates, alpha))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::sample_normal;
+    use crate::estimator::Aggregate;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn bootstrap_se_matches_clt_for_avg() {
+        // For AVG of iid data, bootstrap SE should approximate s/√n, so the
+        // 95% half-width should be near 1.96·s/√n.
+        let mut rng = rng_from_seed(1);
+        let n = 2_000;
+        let values: Vec<f64> = (0..n).map(|_| sample_normal(&mut rng, 10.0, 3.0)).collect();
+        let ctx = SampleContext::new(n, 1_000_000);
+        let ci = bootstrap_ci(&mut rng, &values, &ctx, &Aggregate::Avg, 200, 0.95).unwrap();
+        let clt_hw = 1.96 * 3.0 / (n as f64).sqrt();
+        assert!(
+            (ci.half_width - clt_hw).abs() / clt_hw < 0.25,
+            "bootstrap hw {} vs CLT {}",
+            ci.half_width,
+            clt_hw
+        );
+        assert!((ci.center - 10.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn replicate_count_respected() {
+        let mut rng = rng_from_seed(2);
+        let values = vec![1.0; 100];
+        let ctx = SampleContext::new(100, 1000);
+        let reps = bootstrap_replicates(&mut rng, &values, &ctx, &Aggregate::Avg, 37);
+        assert_eq!(reps.len(), 37);
+        // AVG of constant data is constant in every non-empty resample.
+        assert!(reps.iter().all(|&r| r == 1.0 || r.is_nan()));
+    }
+
+    #[test]
+    fn filtered_count_replicates_vary_and_match_binomial_sd() {
+        let mut rng = rng_from_seed(3);
+        // 1000 of 10,000 sample rows pass the filter (q = 0.1).
+        let values = vec![1.0; 1000];
+        let ctx = SampleContext::new(10_000, 100_000);
+        let reps = bootstrap_replicates(&mut rng, &values, &ctx, &Aggregate::Count, 400);
+        let mean = reps.iter().sum::<f64>() / reps.len() as f64;
+        assert!((mean - 10_000.0).abs() < 150.0, "mean {mean}");
+        let var = reps.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / reps.len() as f64;
+        // Binomial truth: sd = scale·sqrt(n·q(1−q)) = 10·30 = 300.
+        let sd = var.sqrt();
+        assert!((sd - 300.0).abs() < 60.0, "sd {sd} (binomial target 300)");
+    }
+
+    #[test]
+    fn unfiltered_count_replicates_are_constant() {
+        // Sampling n rows always yields n rows: COUNT(*) with no filter
+        // has zero sampling error, and the size-centered statistic agrees.
+        let mut rng = rng_from_seed(4);
+        let values = vec![1.0; 1000];
+        let ctx = SampleContext::new(1000, 10_000);
+        let reps = bootstrap_replicates(&mut rng, &values, &ctx, &Aggregate::Count, 50);
+        assert!(reps.iter().all(|&r| (r - 10_000.0).abs() < 1e-9), "{reps:?}");
+    }
+
+    #[test]
+    fn empty_values_give_none_for_avg() {
+        let mut rng = rng_from_seed(5);
+        let ctx = SampleContext::new(0, 100);
+        assert!(bootstrap_ci(&mut rng, &[], &ctx, &Aggregate::Avg, 10, 0.95).is_none());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let values: Vec<f64> = (0..500).map(|i| (i % 13) as f64).collect();
+        let ctx = SampleContext::new(500, 5000);
+        let a = bootstrap_ci(&mut rng_from_seed(7), &values, &ctx, &Aggregate::Sum, 100, 0.95);
+        let b = bootstrap_ci(&mut rng_from_seed(7), &values, &ctx, &Aggregate::Sum, 100, 0.95);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wider_alpha_wider_interval() {
+        let mut rng = rng_from_seed(8);
+        let values: Vec<f64> = (0..1000).map(|i| (i % 97) as f64).collect();
+        let ctx = SampleContext::new(1000, 100_000);
+        let ci90 =
+            bootstrap_ci(&mut rng_from_seed(9), &values, &ctx, &Aggregate::Avg, 200, 0.90).unwrap();
+        let ci99 =
+            bootstrap_ci(&mut rng_from_seed(9), &values, &ctx, &Aggregate::Avg, 200, 0.99).unwrap();
+        assert!(ci99.half_width >= ci90.half_width);
+        let _ = &mut rng;
+    }
+}

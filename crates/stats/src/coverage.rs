@@ -1,0 +1,200 @@
+//! Empirical coverage measurement.
+//!
+//! §2.2: "A procedure is said to generate confidence intervals with a
+//! specified coverage α ∈ \[0, 1\] if, on a proportion exactly α of the
+//! possible samples S, the procedure generates an interval that includes
+//! θ(D)." Coverage alone cannot rank procedures (the paper's
+//! (−∞, ∞)-vs-∅ example), which is why the evaluation uses the symmetric
+//! width metric δ — but coverage remains the user-facing guarantee, so we
+//! measure it too: under-coverage is how optimistic intervals actually
+//! hurt users.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error_estimator::{ErrorEstimator, Theta};
+use crate::estimator::SampleContext;
+use crate::rng::SeedStream;
+use crate::sampling::{gather, with_replacement_indices};
+
+/// Result of a coverage experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoverageReport {
+    /// Target coverage α.
+    pub target: f64,
+    /// Fraction of runs whose interval contained θ(D).
+    pub empirical: f64,
+    /// Mean interval half-width across runs.
+    pub mean_half_width: f64,
+    /// Runs where ξ produced no interval.
+    pub degenerate: usize,
+    /// Total runs.
+    pub runs: usize,
+}
+
+impl CoverageReport {
+    /// Standard error of the empirical coverage (binomial).
+    pub fn std_error(&self) -> f64 {
+        let n = (self.runs - self.degenerate).max(1) as f64;
+        (self.empirical * (1.0 - self.empirical) / n).sqrt()
+    }
+
+    /// Whether empirical coverage is consistent with the target within
+    /// `z` standard errors.
+    pub fn is_consistent(&self, z: f64) -> bool {
+        (self.empirical - self.target).abs() <= z * self.std_error().max(1e-9)
+    }
+}
+
+/// Measure the empirical coverage of `xi`'s intervals for θ over
+/// `population` at sample size `sample_rows`.
+pub fn measure_coverage(
+    population: &[f64],
+    theta: &Theta<'_>,
+    xi: &dyn ErrorEstimator,
+    sample_rows: usize,
+    alpha: f64,
+    runs: usize,
+    seeds: SeedStream,
+) -> CoverageReport {
+    let est = theta.as_estimator();
+    let theta_d = est.estimate(population, &SampleContext::population(population.len()));
+    let ctx = SampleContext::new(sample_rows, population.len());
+    let mut covered = 0usize;
+    let mut degenerate = 0usize;
+    let mut hw_sum = 0.0;
+    for r in 0..runs {
+        let mut srng = seeds.rng(r as u64 * 2);
+        let mut xrng = seeds.rng(r as u64 * 2 + 1);
+        let idx = with_replacement_indices(&mut srng, sample_rows, population.len());
+        let sample = gather(population, &idx);
+        match xi.confidence_interval(&mut xrng, &sample, &ctx, theta, alpha) {
+            Some(ci) if ci.half_width.is_finite() => {
+                if ci.contains(theta_d) {
+                    covered += 1;
+                }
+                hw_sum += ci.half_width;
+            }
+            _ => degenerate += 1,
+        }
+    }
+    let effective = (runs - degenerate).max(1);
+    CoverageReport {
+        target: alpha,
+        empirical: covered as f64 / effective as f64,
+        mean_half_width: hw_sum / effective as f64,
+        degenerate,
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{sample_lognormal, sample_pareto};
+    use crate::error_estimator::EstimationMethod;
+    use crate::estimator::Aggregate;
+    use crate::large_deviation::{Inequality, RangeHint};
+    use crate::rng::rng_from_seed;
+
+    fn pop(seed: u64) -> Vec<f64> {
+        let mut rng = rng_from_seed(seed);
+        (0..200_000).map(|_| sample_lognormal(&mut rng, 1.0, 0.5)).collect()
+    }
+
+    #[test]
+    fn closed_form_avg_covers_at_target() {
+        let population = pop(1);
+        let r = measure_coverage(
+            &population,
+            &Theta::Builtin(Aggregate::Avg),
+            &EstimationMethod::ClosedForm,
+            5_000,
+            0.95,
+            300,
+            SeedStream::new(2),
+        );
+        assert!(r.is_consistent(3.5), "coverage {:.3} ± {:.3}", r.empirical, r.std_error());
+        assert_eq!(r.degenerate, 0);
+    }
+
+    #[test]
+    fn bootstrap_avg_covers_near_target() {
+        let population = pop(3);
+        let r = measure_coverage(
+            &population,
+            &Theta::Builtin(Aggregate::Avg),
+            &EstimationMethod::Bootstrap { k: 150 },
+            5_000,
+            0.95,
+            200,
+            SeedStream::new(4),
+        );
+        assert!(r.empirical > 0.88 && r.empirical <= 1.0, "coverage {:.3}", r.empirical);
+    }
+
+    #[test]
+    fn hoeffding_overcovers() {
+        // §2.3.3: "error bars based on large deviation bounds ... never
+        // [have] coverage less than α" — and in practice far more.
+        let population = pop(5);
+        let max = population.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let r = measure_coverage(
+            &population,
+            &Theta::Builtin(Aggregate::Avg),
+            &EstimationMethod::LargeDeviation {
+                inequality: Inequality::Hoeffding,
+                range: RangeHint::new(0.0, max),
+            },
+            5_000,
+            0.95,
+            150,
+            SeedStream::new(6),
+        );
+        assert_eq!(r.empirical, 1.0, "Hoeffding must never miss");
+        // And its intervals are far wider than the CLT's.
+        let cf = measure_coverage(
+            &population,
+            &Theta::Builtin(Aggregate::Avg),
+            &EstimationMethod::ClosedForm,
+            5_000,
+            0.95,
+            150,
+            SeedStream::new(6),
+        );
+        assert!(r.mean_half_width > 5.0 * cf.mean_half_width);
+    }
+
+    #[test]
+    fn bootstrap_max_undercovers_on_heavy_tails() {
+        // The §3 failure as users experience it: intervals that miss the
+        // truth far more often than 1 − α.
+        let mut rng = rng_from_seed(7);
+        let population: Vec<f64> =
+            (0..200_000).map(|_| sample_pareto(&mut rng, 1.0, 1.2)).collect();
+        let r = measure_coverage(
+            &population,
+            &Theta::Builtin(Aggregate::Max),
+            &EstimationMethod::Bootstrap { k: 100 },
+            5_000,
+            0.95,
+            120,
+            SeedStream::new(8),
+        );
+        assert!(r.empirical < 0.7, "MAX bootstrap coverage {:.3} should collapse", r.empirical);
+    }
+
+    #[test]
+    fn report_arithmetic() {
+        let r = CoverageReport {
+            target: 0.95,
+            empirical: 0.93,
+            mean_half_width: 1.0,
+            degenerate: 0,
+            runs: 100,
+        };
+        assert!(r.std_error() > 0.0);
+        assert!(r.is_consistent(1.0));
+        let far = CoverageReport { empirical: 0.5, ..r };
+        assert!(!far.is_consistent(3.0));
+    }
+}

@@ -1,0 +1,508 @@
+//! Query aggregates θ as pluggable estimators.
+//!
+//! §2.1: "Let θ be the query we would like to compute on a dataset D".
+//! Every estimator evaluates in two modes:
+//!
+//! * [`QueryEstimator::estimate`] — plain evaluation on a values vector
+//!   (the sample estimate θ(S), or the ground truth θ(D) when handed the
+//!   full data), and
+//! * [`QueryEstimator::estimate_weighted`] — evaluation on a Poissonized
+//!   resample encoded as per-row integer weights (§5.1/§5.3.1), which the
+//!   bootstrap and diagnostic operators call once per resample.
+//!
+//! The values vector holds the aggregation input *after* filters (operator
+//! pushdown, §5.3.2, makes this statistically sound: independent
+//! Poisson(1) weights commute with filtering). [`SampleContext`] carries
+//! the pre-filter sample size and the population size so that SUM/COUNT
+//! estimates can be scaled to the full data (footnote 3 of the paper).
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::moments::{Moments, WeightedMoments};
+use crate::quantile::{quantile, weighted_quantile};
+
+/// Sizing context for scaling sample estimates up to the population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleContext {
+    /// Rows of the sample S *before* any filtering.
+    pub sample_rows: usize,
+    /// Rows of the full dataset D.
+    pub population_rows: usize,
+}
+
+impl SampleContext {
+    /// Context for evaluating directly on the population (scale 1).
+    pub fn population(rows: usize) -> Self {
+        SampleContext { sample_rows: rows, population_rows: rows }
+    }
+
+    /// Context for a sample of `sample_rows` from `population_rows`.
+    pub fn new(sample_rows: usize, population_rows: usize) -> Self {
+        SampleContext { sample_rows, population_rows }
+    }
+
+    /// `|D| / |S|` — the factor unbiasing SUM/COUNT estimates.
+    pub fn scale(&self) -> f64 {
+        if self.sample_rows == 0 {
+            0.0
+        } else {
+            self.population_rows as f64 / self.sample_rows as f64
+        }
+    }
+
+    /// A context for a subsample of `b` pre-filter rows of the same
+    /// population (used by the diagnostic at sizes b₁ < b₂ < ... < S).
+    pub fn subsample(&self, b: usize) -> Self {
+        SampleContext { sample_rows: b, population_rows: self.population_rows }
+    }
+}
+
+/// A query aggregate θ.
+pub trait QueryEstimator: Send + Sync {
+    /// Human-readable name (plan printing, reports).
+    fn name(&self) -> String;
+
+    /// Point estimate on a plain values vector.
+    fn estimate(&self, values: &[f64], ctx: &SampleContext) -> f64;
+
+    /// Point estimate on the Poissonized resample where row `i` appears
+    /// `weights[i]` times. Must be semantically identical to expanding the
+    /// multiset and calling [`Self::estimate`] (with `ctx.sample_rows`
+    /// reinterpreted as the resample's nominal size, which stays the
+    /// original sample size under Poissonization).
+    fn estimate_weighted(&self, values: &[f64], weights: &[u32], ctx: &SampleContext) -> f64;
+
+    /// Whether a closed-form CLT variance estimate exists for this θ
+    /// (§2.3.2: COUNT, SUM, AVG, VARIANCE, STDEV — not MIN/MAX/UDFs).
+    fn closed_form_applicable(&self) -> bool {
+        false
+    }
+}
+
+/// The built-in SQL aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Aggregate {
+    /// Arithmetic mean of the aggregated expression.
+    Avg,
+    /// Sum, scaled by `|D|/|S|` to estimate the population sum.
+    Sum,
+    /// Count of rows passing the filters, scaled by `|D|/|S|`.
+    Count,
+    /// Sample variance of the aggregated expression.
+    Variance,
+    /// Sample standard deviation.
+    StdDev,
+    /// Minimum (no closed form; extreme outlier sensitivity).
+    Min,
+    /// Maximum (no closed form; extreme outlier sensitivity).
+    Max,
+    /// The `q`-percentile, `q` in (0,1) (bootstrap-only).
+    Percentile(
+        /// Quantile level in (0, 1).
+        f64,
+    ),
+}
+
+impl fmt::Display for Aggregate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Aggregate::Avg => write!(f, "AVG"),
+            Aggregate::Sum => write!(f, "SUM"),
+            Aggregate::Count => write!(f, "COUNT"),
+            Aggregate::Variance => write!(f, "VARIANCE"),
+            Aggregate::StdDev => write!(f, "STDDEV"),
+            Aggregate::Min => write!(f, "MIN"),
+            Aggregate::Max => write!(f, "MAX"),
+            Aggregate::Percentile(q) => write!(f, "PERCENTILE({q})"),
+        }
+    }
+}
+
+impl QueryEstimator for Aggregate {
+    fn name(&self) -> String {
+        self.to_string()
+    }
+
+    fn estimate(&self, values: &[f64], ctx: &SampleContext) -> f64 {
+        match self {
+            Aggregate::Avg => {
+                if values.is_empty() {
+                    f64::NAN
+                } else {
+                    values.iter().sum::<f64>() / values.len() as f64
+                }
+            }
+            Aggregate::Sum => values.iter().sum::<f64>() * ctx.scale(),
+            Aggregate::Count => values.len() as f64 * ctx.scale(),
+            Aggregate::Variance => Moments::from_slice(values).variance_sample(),
+            Aggregate::StdDev => Moments::from_slice(values).std_dev_sample(),
+            Aggregate::Min => values.iter().copied().fold(f64::INFINITY, f64::min),
+            Aggregate::Max => values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            Aggregate::Percentile(q) => quantile(values, *q).unwrap_or(f64::NAN),
+        }
+    }
+
+    fn estimate_weighted(&self, values: &[f64], weights: &[u32], ctx: &SampleContext) -> f64 {
+        debug_assert_eq!(values.len(), weights.len());
+        match self {
+            Aggregate::Avg => {
+                let mut m = WeightedMoments::new();
+                for (&x, &w) in values.iter().zip(weights) {
+                    m.push(x, w);
+                }
+                m.mean()
+            }
+            // SUM and COUNT use the *size-centered* Poissonized statistic:
+            //
+            //   S* = (Σ wᵢyᵢ − c·(Σ wᵢ − m)) · N/n,   c = Σyᵢ / n
+            //
+            // A raw Poissonized Σwy carries the resample-size variance
+            // (Var Σw = m), overdispersing SUM/COUNT intervals by
+            // E[y²]/Var(y) — negligible for selective filters but severe
+            // as selectivity → 1. Subtracting the centered size term
+            // reproduces the true sampling variance n·Var(y) to first
+            // order (the exact-n bootstrap's behavior) while keeping the
+            // statistic streamable and embarrassingly parallel (§5.1).
+            Aggregate::Sum => {
+                let m = values.len() as f64;
+                let n = ctx.sample_rows as f64;
+                let mut swy = 0.0f64;
+                let mut sw = 0.0f64;
+                let mut sum_y = 0.0f64;
+                for (&x, &w) in values.iter().zip(weights) {
+                    swy += x * w as f64;
+                    sw += w as f64;
+                    sum_y += x;
+                }
+                let c = if n > 0.0 { sum_y / n } else { 0.0 };
+                (swy - c * (sw - m)) * ctx.scale()
+            }
+            Aggregate::Count => {
+                let m = values.len() as f64;
+                let n = ctx.sample_rows as f64;
+                let sw: f64 = weights.iter().map(|&w| w as f64).sum();
+                let c = if n > 0.0 { m / n } else { 0.0 };
+                (sw - c * (sw - m)) * ctx.scale()
+            }
+            Aggregate::Variance => {
+                let mut m = WeightedMoments::new();
+                for (&x, &w) in values.iter().zip(weights) {
+                    m.push(x, w);
+                }
+                m.variance_sample()
+            }
+            Aggregate::StdDev => {
+                let mut m = WeightedMoments::new();
+                for (&x, &w) in values.iter().zip(weights) {
+                    m.push(x, w);
+                }
+                m.variance_sample().sqrt()
+            }
+            Aggregate::Min => values
+                .iter()
+                .zip(weights)
+                .filter(|&(_, &w)| w > 0)
+                .map(|(&x, _)| x)
+                .fold(f64::INFINITY, f64::min),
+            Aggregate::Max => values
+                .iter()
+                .zip(weights)
+                .filter(|&(_, &w)| w > 0)
+                .map(|(&x, _)| x)
+                .fold(f64::NEG_INFINITY, f64::max),
+            Aggregate::Percentile(q) => {
+                weighted_quantile(values, weights, *q).unwrap_or(f64::NAN)
+            }
+        }
+    }
+
+    fn closed_form_applicable(&self) -> bool {
+        matches!(
+            self,
+            Aggregate::Avg
+                | Aggregate::Sum
+                | Aggregate::Count
+                | Aggregate::Variance
+                | Aggregate::StdDev
+        )
+    }
+}
+
+/// The boxed function type a [`Udf`] wraps.
+pub type UdfFn = Arc<dyn Fn(&[f64]) -> f64 + Send + Sync>;
+
+/// A black-box user-defined aggregate over the values vector (§2.3.2:
+/// "black-box user defined functions (UDFs)" have no closed form; only the
+/// bootstrap applies).
+///
+/// Weighted evaluation expands the weight-encoded multiset and calls the
+/// UDF — intentionally generic and unoptimized, matching the paper's
+/// framing of UDFs as opaque.
+#[derive(Clone)]
+pub struct Udf {
+    name: String,
+    f: UdfFn,
+}
+
+impl Udf {
+    /// Wrap a function of the (filtered) values vector as a UDF aggregate.
+    pub fn new(name: impl Into<String>, f: impl Fn(&[f64]) -> f64 + Send + Sync + 'static) -> Self {
+        Udf { name: name.into(), f: Arc::new(f) }
+    }
+
+    /// The multiset expansion used for weighted evaluation.
+    pub fn expand(values: &[f64], weights: &[u32]) -> Vec<f64> {
+        let total: usize = weights.iter().map(|&w| w as usize).sum();
+        let mut out = Vec::with_capacity(total);
+        for (&x, &w) in values.iter().zip(weights) {
+            for _ in 0..w {
+                out.push(x);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Udf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Udf({})", self.name)
+    }
+}
+
+impl QueryEstimator for Udf {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn estimate(&self, values: &[f64], _ctx: &SampleContext) -> f64 {
+        (self.f)(values)
+    }
+
+    fn estimate_weighted(&self, values: &[f64], weights: &[u32], _ctx: &SampleContext) -> f64 {
+        let expanded = Udf::expand(values, weights);
+        (self.f)(&expanded)
+    }
+}
+
+/// Library of UDFs characteristic of the Conviva workload (§3: 42.07% of
+/// Conviva queries contain at least one UDF). These exercise different
+/// smoothness regimes:
+pub mod udfs {
+    use super::Udf;
+    use crate::quantile::quantile;
+
+    /// Trimmed mean over the central `(lo, hi)` quantile band — smooth,
+    /// bootstrap-friendly.
+    pub fn trimmed_mean(lo: f64, hi: f64) -> Udf {
+        Udf::new(format!("trimmed_mean({lo},{hi})"), move |xs| {
+            if xs.is_empty() {
+                return f64::NAN;
+            }
+            let a = quantile(xs, lo).unwrap();
+            let b = quantile(xs, hi).unwrap();
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for &x in xs {
+                if x >= a && x <= b {
+                    sum += x;
+                    n += 1;
+                }
+            }
+            if n == 0 {
+                f64::NAN
+            } else {
+                sum / n as f64
+            }
+        })
+    }
+
+    /// Mean of the top `frac` fraction — MAX-like outlier sensitivity,
+    /// the bootstrap's worst case.
+    pub fn top_fraction_mean(frac: f64) -> Udf {
+        Udf::new(format!("top_frac_mean({frac})"), move |xs| {
+            if xs.is_empty() {
+                return f64::NAN;
+            }
+            let cut = quantile(xs, 1.0 - frac).unwrap();
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for &x in xs {
+                if x >= cut {
+                    sum += x;
+                    n += 1;
+                }
+            }
+            sum / n as f64
+        })
+    }
+
+    /// Geometric mean of positive values — moderately smooth nonlinearity.
+    pub fn geometric_mean() -> Udf {
+        Udf::new("geometric_mean", |xs| {
+            let mut s = 0.0;
+            let mut n = 0usize;
+            for &x in xs {
+                if x > 0.0 {
+                    s += x.ln();
+                    n += 1;
+                }
+            }
+            if n == 0 {
+                f64::NAN
+            } else {
+                (s / n as f64).exp()
+            }
+        })
+    }
+
+    /// Coefficient of variation (stddev/mean) — a smooth ratio statistic.
+    pub fn coeff_of_variation() -> Udf {
+        Udf::new("coeff_of_variation", |xs| {
+            let m = crate::moments::Moments::from_slice(xs);
+            m.std_dev_sample() / m.mean()
+        })
+    }
+
+    /// Fraction of values exceeding a threshold — a Bernoulli-mean UDF
+    /// (smooth; bootstrap behaves like COUNT).
+    pub fn frac_above(threshold: f64) -> Udf {
+        Udf::new(format!("frac_above({threshold})"), move |xs| {
+            if xs.is_empty() {
+                return f64::NAN;
+            }
+            xs.iter().filter(|&&x| x > threshold).count() as f64 / xs.len() as f64
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CTX: SampleContext = SampleContext { sample_rows: 10, population_rows: 100 };
+
+    #[test]
+    fn avg_ignores_scale() {
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(Aggregate::Avg.estimate(&v, &CTX), 2.0);
+    }
+
+    #[test]
+    fn sum_and_count_scale_to_population() {
+        // 3 surviving rows out of a 10-row sample of a 100-row population.
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(Aggregate::Sum.estimate(&v, &CTX), 60.0);
+        assert_eq!(Aggregate::Count.estimate(&v, &CTX), 30.0);
+    }
+
+    #[test]
+    fn population_context_is_identity_scale() {
+        let ctx = SampleContext::population(3);
+        assert_eq!(Aggregate::Sum.estimate(&[1.0, 2.0, 3.0], &ctx), 6.0);
+        assert_eq!(ctx.scale(), 1.0);
+    }
+
+    #[test]
+    fn min_max_percentile() {
+        let v = [5.0, 1.0, 9.0, 3.0];
+        assert_eq!(Aggregate::Min.estimate(&v, &CTX), 1.0);
+        assert_eq!(Aggregate::Max.estimate(&v, &CTX), 9.0);
+        assert_eq!(Aggregate::Percentile(0.5).estimate(&v, &CTX), 4.0);
+    }
+
+    #[test]
+    fn empty_values() {
+        assert!(Aggregate::Avg.estimate(&[], &CTX).is_nan());
+        assert_eq!(Aggregate::Sum.estimate(&[], &CTX), 0.0);
+        assert_eq!(Aggregate::Count.estimate(&[], &CTX), 0.0);
+        assert!(Aggregate::Percentile(0.5).estimate(&[], &CTX).is_nan());
+    }
+
+    #[test]
+    fn weighted_matches_expansion_for_location_aggregates() {
+        let values = [3.0, -1.0, 4.0, 1.0, 5.0, 9.0];
+        let weights = [2u32, 0, 1, 3, 0, 1];
+        let expanded = Udf::expand(&values, &weights);
+        for agg in [
+            Aggregate::Avg,
+            Aggregate::Variance,
+            Aggregate::StdDev,
+            Aggregate::Min,
+            Aggregate::Max,
+        ] {
+            let w = agg.estimate_weighted(&values, &weights, &CTX);
+            let e = agg.estimate(&expanded, &CTX);
+            assert!(
+                (w - e).abs() < 1e-9 || (w.is_nan() && e.is_nan()),
+                "{agg}: weighted {w} vs expanded {e}"
+            );
+        }
+        // Percentile uses nearest-rank on weights; check the median agrees.
+        let wq = Aggregate::Percentile(0.5).estimate_weighted(&values, &weights, &CTX);
+        assert_eq!(wq, 3.0); // expanded sorted: [1,1,1,3,3,4,9] → median 3
+    }
+
+    #[test]
+    fn size_centered_sum_and_count_are_unbiased_and_tighter() {
+        // The centered statistic preserves the mean over resamples and
+        // removes the resample-size variance: with all-unit weights it
+        // reproduces the point estimate exactly.
+        let values = [3.0, -1.0, 4.0, 1.0, 5.0, 9.0];
+        let unit = [1u32; 6];
+        let s = Aggregate::Sum.estimate_weighted(&values, &unit, &CTX);
+        assert!((s - Aggregate::Sum.estimate(&values, &CTX)).abs() < 1e-9);
+        let c = Aggregate::Count.estimate_weighted(&values, &unit, &CTX);
+        assert!((c - Aggregate::Count.estimate(&values, &CTX)).abs() < 1e-9);
+
+        // Unfiltered COUNT (m == n): every resample yields exactly N —
+        // matching the fact that sampling n rows always yields n rows.
+        let ctx_full = SampleContext::new(6, 600);
+        let heavy = [3u32, 0, 2, 2, 0, 0];
+        let c = Aggregate::Count.estimate_weighted(&values, &heavy, &ctx_full);
+        assert!((c - 600.0).abs() < 1e-9, "unfiltered COUNT must be deterministic, got {c}");
+
+        // Filtered COUNT varies with the resample.
+        let ctx_filtered = SampleContext::new(60, 600); // 6 of 60 rows pass
+        let c1 = Aggregate::Count.estimate_weighted(&values, &heavy, &ctx_filtered);
+        let c2 = Aggregate::Count.estimate_weighted(&values, &unit, &ctx_filtered);
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn closed_form_applicability_matches_paper() {
+        assert!(Aggregate::Avg.closed_form_applicable());
+        assert!(Aggregate::Sum.closed_form_applicable());
+        assert!(Aggregate::Count.closed_form_applicable());
+        assert!(Aggregate::Variance.closed_form_applicable());
+        assert!(Aggregate::StdDev.closed_form_applicable());
+        assert!(!Aggregate::Min.closed_form_applicable());
+        assert!(!Aggregate::Max.closed_form_applicable());
+        assert!(!Aggregate::Percentile(0.5).closed_form_applicable());
+        assert!(!udfs::geometric_mean().closed_form_applicable());
+    }
+
+    #[test]
+    fn udf_weighted_expands_multiset() {
+        let udf = Udf::new("count", |xs| xs.len() as f64);
+        let v = [1.0, 2.0];
+        let w = [3u32, 2];
+        assert_eq!(udf.estimate_weighted(&v, &w, &CTX), 5.0);
+    }
+
+    #[test]
+    fn udf_library_sanity() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let ctx = SampleContext::population(xs.len());
+        let tm = udfs::trimmed_mean(0.1, 0.9).estimate(&xs, &ctx);
+        assert!((tm - 50.5).abs() < 2.0, "trimmed mean {tm}");
+        let gm = udfs::geometric_mean().estimate(&xs, &ctx);
+        assert!(gm > 30.0 && gm < 50.0, "geometric mean {gm}");
+        let fa = udfs::frac_above(50.0).estimate(&xs, &ctx);
+        assert!((fa - 0.5).abs() < 0.01, "frac above {fa}");
+        let tf = udfs::top_fraction_mean(0.1).estimate(&xs, &ctx);
+        assert!(tf > 90.0, "top fraction mean {tf}");
+        let cv = udfs::coeff_of_variation().estimate(&xs, &ctx);
+        assert!(cv > 0.0 && cv < 1.0, "cv {cv}");
+    }
+}

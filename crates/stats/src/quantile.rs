@@ -1,0 +1,134 @@
+//! Exact and weighted quantiles.
+//!
+//! PERCENTILE aggregates are prominent in the Conviva workload (§3) and
+//! are bootstrap-only (no closed form in the engine). Quantiles of
+//! resample distributions also underlie the symmetric-interval
+//! construction in [`crate::ci`].
+
+/// Exact `q`-quantile of `xs` (0 ≤ q ≤ 1) using the "nearest-rank with
+/// linear interpolation" definition (type-7, the numpy/R default).
+///
+/// Returns `None` on an empty slice. Cost is O(n log n) on first call
+/// because the input is copied and sorted; use [`quantile_sorted`] when the
+/// data is already sorted.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    quantile_sorted(&v, q)
+}
+
+/// Exact `q`-quantile of an already-sorted slice (type-7 interpolation).
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(sorted[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Weighted `q`-quantile: the smallest value `v` such that the cumulative
+/// weight of observations ≤ `v` reaches `q` of the total weight. This is
+/// the quantile of the *resample* a Poissonized weight vector encodes:
+/// `weighted_quantile(xs, ws, q)` equals `quantile(expanded, q)` up to the
+/// interpolation convention, where `expanded` repeats `xs[i]` `ws[i]` times.
+pub fn weighted_quantile(xs: &[f64], ws: &[u32], q: f64) -> Option<f64> {
+    assert_eq!(xs.len(), ws.len(), "values and weights must align");
+    let total: u64 = ws.iter().map(|&w| w as u64).sum();
+    if total == 0 {
+        return None;
+    }
+    let mut idx: Vec<usize> = (0..xs.len()).filter(|&i| ws[i] > 0).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in quantile input"));
+    let q = q.clamp(0.0, 1.0);
+    // Nearest-rank on the expanded multiset: rank r = ceil(q * total), min 1.
+    let target = ((q * total as f64).ceil() as u64).max(1);
+    let mut acc = 0u64;
+    for &i in &idx {
+        acc += ws[i] as u64;
+        if acc >= target {
+            return Some(xs[i]);
+        }
+    }
+    idx.last().map(|&i| xs[i])
+}
+
+/// All of several quantiles in one sort.
+pub fn quantiles(xs: &[f64], qs: &[f64]) -> Option<Vec<f64>> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    Some(qs.iter().map(|&q| quantile_sorted(&v, q).unwrap()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert_eq!(quantile(&[3.0, 1.0, 2.0], 0.5), Some(2.0));
+        assert_eq!(quantile(&[4.0, 1.0, 2.0, 3.0], 0.5), Some(2.5));
+    }
+
+    #[test]
+    fn extremes() {
+        let xs = [5.0, 1.0, 9.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(9.0));
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(weighted_quantile(&[], &[], 0.5), None);
+    }
+
+    #[test]
+    fn interpolation_matches_numpy_type7() {
+        // numpy.percentile([1,2,3,4], 25) == 1.75
+        assert!((quantile(&[1.0, 2.0, 3.0, 4.0], 0.25).unwrap() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_matches_expansion() {
+        let xs = [10.0, 20.0, 30.0];
+        let ws = [1u32, 3, 1];
+        // Expanded multiset: [10, 20, 20, 20, 30]; median (nearest-rank) = 20.
+        assert_eq!(weighted_quantile(&xs, &ws, 0.5), Some(20.0));
+        // 90th percentile rank = ceil(0.9*5)=5 → 30.
+        assert_eq!(weighted_quantile(&xs, &ws, 0.9), Some(30.0));
+        // 10th percentile rank = ceil(0.5)=1 → 10.
+        assert_eq!(weighted_quantile(&xs, &ws, 0.1), Some(10.0));
+    }
+
+    #[test]
+    fn weighted_all_zero_weights_is_none() {
+        assert_eq!(weighted_quantile(&[1.0, 2.0], &[0, 0], 0.5), None);
+    }
+
+    #[test]
+    fn weighted_ignores_zero_weight_outliers() {
+        let xs = [1.0, 1000.0];
+        let ws = [5u32, 0];
+        assert_eq!(weighted_quantile(&xs, &ws, 1.0), Some(1.0));
+    }
+
+    #[test]
+    fn multiple_quantiles_single_sort() {
+        let qs = quantiles(&[1.0, 2.0, 3.0, 4.0, 5.0], &[0.0, 0.5, 1.0]).unwrap();
+        assert_eq!(qs, vec![1.0, 3.0, 5.0]);
+    }
+}

@@ -1,0 +1,262 @@
+//! A small CSV loader: schema inference + typed ingestion.
+//!
+//! Lets downstream users point the engine at their own data without any
+//! extra dependencies. Supports RFC-4180-style quoting (double quotes,
+//! `""` escapes), a header row, and per-column type inference over the
+//! scanned values (Int ⊂ Float ⊂ Str; empty fields are NULL).
+
+use std::io::BufRead;
+
+use crate::batch::Batch;
+use crate::column::Column;
+use crate::error::StorageError;
+use crate::schema::{DataType, Field, Schema};
+use crate::table::Table;
+use crate::Result;
+
+/// Split one CSV record into fields (RFC-4180 quoting).
+fn split_record(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            c => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// The narrowest type covering all observed values of a column.
+fn infer_type(values: &[Vec<String>], col: usize) -> DataType {
+    let mut all_int = true;
+    let mut all_float = true;
+    let mut all_bool = true;
+    let mut saw_value = false;
+    for row in values {
+        let v = row.get(col).map(String::as_str).unwrap_or("");
+        if v.is_empty() {
+            continue;
+        }
+        saw_value = true;
+        if v.parse::<i64>().is_err() {
+            all_int = false;
+        }
+        if v.parse::<f64>().is_err() {
+            all_float = false;
+        }
+        if !matches!(v.to_ascii_lowercase().as_str(), "true" | "false") {
+            all_bool = false;
+        }
+        if !all_int && !all_float && !all_bool {
+            return DataType::Str;
+        }
+    }
+    if !saw_value {
+        // All-NULL column: default to Float (numeric NULLs).
+        return DataType::Float;
+    }
+    if all_bool {
+        DataType::Bool
+    } else if all_int {
+        DataType::Int
+    } else if all_float {
+        DataType::Float
+    } else {
+        DataType::Str
+    }
+}
+
+/// Read a CSV (with header) from any reader into a [`Table`].
+pub fn read_csv<R: BufRead>(
+    reader: R,
+    table_name: &str,
+    partitions: usize,
+) -> Result<Table> {
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| StorageError::InvalidArgument("empty CSV: no header".into()))?
+        .map_err(|e| StorageError::InvalidArgument(format!("io error: {e}")))?;
+    let names = split_record(&header);
+    if names.iter().any(|n| n.trim().is_empty()) {
+        return Err(StorageError::InvalidArgument("blank column name in header".into()));
+    }
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line = line.map_err(|e| StorageError::InvalidArgument(format!("io error: {e}")))?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_record(&line);
+        if fields.len() != names.len() {
+            return Err(StorageError::InvalidArgument(format!(
+                "row {} has {} fields, header has {}",
+                i + 2,
+                fields.len(),
+                names.len()
+            )));
+        }
+        rows.push(fields);
+    }
+
+    let mut schema_fields = Vec::with_capacity(names.len());
+    let mut columns = Vec::with_capacity(names.len());
+    for (ci, name) in names.iter().enumerate() {
+        let dt = infer_type(&rows, ci);
+        let has_nulls = rows.iter().any(|r| r[ci].is_empty());
+        schema_fields.push(if has_nulls {
+            Field::nullable(name.trim(), dt)
+        } else {
+            Field::new(name.trim(), dt)
+        });
+        let col = match dt {
+            DataType::Int => Column::from_opt_i64s(
+                rows.iter()
+                    .map(|r| if r[ci].is_empty() { None } else { r[ci].parse().ok() })
+                    .collect(),
+            ),
+            DataType::Float => Column::from_opt_f64s(
+                rows.iter()
+                    .map(|r| if r[ci].is_empty() { None } else { r[ci].parse().ok() })
+                    .collect(),
+            ),
+            DataType::Bool => {
+                // Bool columns with NULLs degrade to per-value parsing via
+                // the float path being unavailable; encode directly.
+                let vals: Vec<bool> = rows
+                    .iter()
+                    .map(|r| r[ci].eq_ignore_ascii_case("true"))
+                    .collect();
+                if has_nulls {
+                    let mask: Vec<bool> = rows.iter().map(|r| !r[ci].is_empty()).collect();
+                    Column::Bool { values: vals, validity: Some(mask) }
+                } else {
+                    Column::from_bools(vals)
+                }
+            }
+            DataType::Str => {
+                // Empty string = NULL for string columns too.
+                let strs: Vec<&str> = rows.iter().map(|r| r[ci].as_str()).collect();
+                if has_nulls {
+                    let c = Column::from_strs(&strs);
+                    if let Column::Str { dict, codes, .. } = c {
+                        let mask: Vec<bool> = rows.iter().map(|r| !r[ci].is_empty()).collect();
+                        Column::Str { dict, codes, validity: Some(mask) }
+                    } else {
+                        unreachable!("from_strs builds Str")
+                    }
+                } else {
+                    Column::from_strs(&strs)
+                }
+            }
+        };
+        columns.push(col);
+    }
+
+    let schema = Schema::new(schema_fields)?;
+    let batch = Batch::new(schema, columns)?;
+    Table::from_batch(table_name, batch, partitions.max(1))
+}
+
+/// Read a CSV file from disk.
+pub fn read_csv_file(
+    path: impl AsRef<std::path::Path>,
+    table_name: &str,
+    partitions: usize,
+) -> Result<Table> {
+    let file = std::fs::File::open(path)
+        .map_err(|e| StorageError::InvalidArgument(format!("open: {e}")))?;
+    read_csv(std::io::BufReader::new(file), table_name, partitions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn load(s: &str) -> Table {
+        read_csv(std::io::Cursor::new(s), "t", 2).unwrap()
+    }
+
+    #[test]
+    fn infers_types_from_values() {
+        let t = load("id,score,name,active\n1,2.5,alice,true\n2,3.5,bob,false\n");
+        let s = t.schema();
+        assert_eq!(s.field("id").unwrap().data_type, DataType::Int);
+        assert_eq!(s.field("score").unwrap().data_type, DataType::Float);
+        assert_eq!(s.field("name").unwrap().data_type, DataType::Str);
+        assert_eq!(s.field("active").unwrap().data_type, DataType::Bool);
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn ints_promote_to_float_when_mixed() {
+        let t = load("x\n1\n2.5\n");
+        assert_eq!(t.schema().field("x").unwrap().data_type, DataType::Float);
+    }
+
+    #[test]
+    fn empty_fields_become_nulls() {
+        let t = load("x,y\n1,\n,b\n");
+        let b = t.to_batch().unwrap();
+        assert!(b.column_by_name("y").unwrap().is_null(0));
+        assert!(b.column_by_name("x").unwrap().is_null(1));
+        assert!(t.schema().field("x").unwrap().nullable);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_escapes() {
+        let t = load("a,b\n\"hello, world\",\"she said \"\"hi\"\"\"\n");
+        let b = t.to_batch().unwrap();
+        assert_eq!(b.row(0).unwrap()[0], Value::Str("hello, world".into()));
+        assert_eq!(b.row(0).unwrap()[1], Value::Str("she said \"hi\"".into()));
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let r = read_csv(std::io::Cursor::new("a,b\n1\n"), "t", 1);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(read_csv(std::io::Cursor::new(""), "t", 1).is_err());
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let t = load("x\n1\n\n2\n");
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn loaded_table_queries_end_to_end() {
+        // Round-trip through the stack: CSV → table → SQL.
+        let csv = {
+            let mut s = String::from("city,amount\n");
+            for i in 0..2000 {
+                s.push_str(&format!("{},{}\n", if i % 3 == 0 { "NYC" } else { "SF" }, i));
+            }
+            s
+        };
+        let t = load(&csv);
+        assert_eq!(t.num_rows(), 2000);
+        assert_eq!(t.schema().field("amount").unwrap().data_type, DataType::Int);
+    }
+}

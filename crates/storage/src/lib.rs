@@ -1,0 +1,42 @@
+//! # aqp-storage
+//!
+//! In-memory columnar storage substrate for `reliable-aqp`.
+//!
+//! The paper's Data Storage Layer (§5, layer IV) is "responsible for
+//! efficiently distributing samples across machines and deciding which of
+//! these samples to cache in memory". This crate provides the local,
+//! single-process equivalent:
+//!
+//! * typed, null-aware [`column::Column`]s grouped into [`batch::Batch`]es,
+//! * [`table::Table`]s split into horizontal [`table::Partition`]s (the unit
+//!   of task parallelism, mirroring RDD partitions),
+//! * a [`sample::SampleSet`] abstraction: uniform random samples of a table,
+//!   maintained at several sizes, any prefix/subset of which is itself a
+//!   uniform random sample (the property §5.3.1 and §6.1 rely on), and
+//! * a concurrent [`catalog::Catalog`] mapping names to tables and samples,
+//! * a dependency-free CSV loader with type inference ([`csv`]).
+//!
+//! Everything is deterministic given explicit seeds; no I/O is performed.
+
+pub mod batch;
+pub mod catalog;
+pub mod column;
+pub mod csv;
+pub mod error;
+pub mod sample;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use batch::Batch;
+pub use catalog::Catalog;
+pub use column::Column;
+pub use csv::{read_csv, read_csv_file};
+pub use error::StorageError;
+pub use sample::{SampleMeta, SampleSet, SamplingStrategy, Strata, StratumMeta};
+pub use schema::{DataType, Field, Schema};
+pub use table::{Partition, Table};
+pub use value::Value;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,34 @@
+//! # aqp-workload
+//!
+//! Synthetic data and query-trace generators calibrated to the *published*
+//! statistics of the paper's proprietary workloads (§3):
+//!
+//! * **Facebook**: 69,438 Hive queries — MIN 33.35%, COUNT 24.67%,
+//!   AVG 12.20%, SUM 10.11%, MAX 2.87%; 11.01% of queries contain UDFs;
+//!   37.21% amenable to closed forms.
+//! * **Conviva**: 18,321 Hive queries — AVG, COUNT, PERCENTILE, MAX with a
+//!   combined 32.3% share; 42.07% contain UDFs.
+//!
+//! The paper could not release the traces and instead published a
+//! synthetic benchmark; this crate plays that role here (see DESIGN.md's
+//! substitution table). Error-estimation failure modes are driven by the
+//! aggregate's outlier sensitivity and the data's tail weight, so the
+//! generators control exactly those: heavy-tailed value distributions
+//! (lognormal / Pareto mixtures), Zipf-skewed categories, and the
+//! calibrated aggregate mix.
+//!
+//! Three product surfaces:
+//!
+//! * [`datagen`] — columnar tables (`sessions`, `events`) for the engine,
+//! * [`statquery`] — stats-level (θ, population) pairs for the Fig. 1/3/4
+//!   experiments,
+//! * [`traces`] — SQL query traces + cluster [`aqp_cluster::QueryProfile`]s
+//!   for QSet-1/QSet-2 and the Fig. 7–9 simulations.
+
+pub mod datagen;
+pub mod statquery;
+pub mod traces;
+
+pub use datagen::{conviva_sessions_table, facebook_events_table};
+pub use statquery::{StatQuery, Workload};
+pub use traces::{qset1, qset2, TraceQuery};

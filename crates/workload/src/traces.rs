@@ -1,0 +1,184 @@
+//! SQL-level query traces and cluster profiles: QSet-1 and QSet-2 (§7).
+//!
+//! * **QSet-1** — "100 queries for which error bars can be calculated
+//!   using closed forms (simple AVG, COUNT, SUM, STDEV, VARIANCE
+//!   aggregates)".
+//! * **QSet-2** — "100 queries for which error bars could only be
+//!   approximated using the bootstrap (multiple aggregate operators,
+//!   nested subqueries, or UDFs)".
+//!
+//! Each [`TraceQuery`] carries both an executable SQL string (against the
+//! [`crate::datagen`] tables) and the [`QueryProfile`] the cluster
+//! simulator uses to regenerate Figs. 7–9.
+
+use aqp_cluster::QueryProfile;
+use aqp_stats::rng::SeedStream;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// One trace query.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceQuery {
+    /// Stable id within its set.
+    pub id: usize,
+    /// Executable SQL against the `sessions` table.
+    pub sql: String,
+    /// Cost profile for the cluster simulator.
+    pub profile: QueryProfile,
+}
+
+const FILTER_CITIES: &[&str] = &["NYC", "LA", "Chicago", "SF", "Seattle"];
+
+fn filter_clause<R: Rng>(rng: &mut R) -> (String, f64) {
+    // Returns (SQL predicate, approximate selectivity on the Zipf-skewed
+    // sessions table). Production OLAP filters are selective — §5.3.2:
+    // "more often than not, the actual data used by the Poissonized
+    // resampling operator ... is just a tiny fraction of the input sample
+    // size" — so the palette stays in the 1-25% selectivity range.
+    match rng.random_range(0..4) {
+        0 => {
+            let city = FILTER_CITIES[rng.random_range(0..FILTER_CITIES.len())];
+            let sel = match city {
+                "NYC" => 0.10,
+                "LA" => 0.06,
+                _ => 0.03,
+            };
+            (format!("WHERE city = '{city}'"), sel)
+        }
+        1 => {
+            let city = FILTER_CITIES[rng.random_range(1..FILTER_CITIES.len())];
+            (format!("WHERE is_mobile = true AND city = '{city}'"), 0.03)
+        }
+        2 => {
+            let t = 150 + rng.random_range(0..400);
+            // time is lognormal(4, 0.8): the tail above 150-550 s.
+            let sel = (0.15 - ((t as f64) / 550.0) * 0.13).clamp(0.01, 0.15);
+            (format!("WHERE time > {t}"), sel)
+        }
+        _ => {
+            let site = ["origin-1", "origin-2", "edge-9", "edge-17"][rng.random_range(0..4)];
+            (format!("WHERE site = '{site}'"), 0.05)
+        }
+    }
+}
+
+fn base_profile<R: Rng>(rng: &mut R, selectivity: f64, closed_form: bool, agg_cost: f64) -> QueryProfile {
+    QueryProfile {
+        sample_mb: 4_000.0 + rng.random::<f64>() * 16_000.0, // ≤ 20 GB samples (§7)
+        selectivity,
+        scan_cpu_ms_per_mb: 0.4 + rng.random::<f64>() * 0.4,
+        agg_cpu_ms_per_mb: agg_cost,
+        closed_form,
+        bootstrap_k: 100,
+        diag_p: 100,
+        diag_subsample_mb: vec![50.0, 100.0, 200.0],
+    }
+}
+
+/// Generate the QSet-1 trace: `n` closed-form-amenable queries.
+pub fn qset1(n: usize, seed: u64) -> Vec<TraceQuery> {
+    let seeds = SeedStream::new(seed);
+    let mut rng = seeds.rng(1);
+    (0..n)
+        .map(|id| {
+            let (filter, sel) = filter_clause(&mut rng);
+            let (agg, cost) = match rng.random_range(0..5) {
+                0 => ("AVG(time)", 1.0),
+                1 => ("SUM(bytes)", 1.0),
+                2 => ("COUNT(*)", 0.8),
+                3 => ("VARIANCE(bitrate)", 1.3),
+                _ => ("STDDEV(time)", 1.3),
+            };
+            let sql = format!("SELECT {agg} FROM sessions {filter}").trim().to_string();
+            TraceQuery { id, sql, profile: base_profile(&mut rng, sel, true, cost) }
+        })
+        .collect()
+}
+
+/// Generate the QSet-2 trace: `n` bootstrap-only queries.
+pub fn qset2(n: usize, seed: u64) -> Vec<TraceQuery> {
+    let seeds = SeedStream::new(seed);
+    let mut rng = seeds.rng(2);
+    (0..n)
+        .map(|id| {
+            let (filter, sel) = filter_clause(&mut rng);
+            let (select, cost, nested) = match rng.random_range(0..6) {
+                0 => ("MAX(bytes)".to_string(), 1.2, false),
+                1 => ("MIN(time)".to_string(), 1.2, false),
+                2 => (format!("PERCENTILE(time, {})", [50, 90, 95, 99][rng.random_range(0..4)]), 2.0, false),
+                3 => ("trimmed_mean(time)".to_string(), 2.2, false),
+                4 => ("AVG(time), MAX(time), COUNT(*)".to_string(), 1.8, false),
+                _ => ("AVG(s)".to_string(), 2.5, true),
+            };
+            let sql = if nested {
+                format!(
+                    "SELECT {select} FROM (SELECT SUM(bytes) AS s FROM sessions {filter} GROUP BY user_id)",
+                )
+                .replace("  ", " ")
+            } else {
+                format!("SELECT {select} FROM sessions {filter}").trim().to_string()
+            };
+            TraceQuery { id, sql, profile: base_profile(&mut rng, sel, false, cost) }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqp_sql::parse_query;
+
+    #[test]
+    fn qset1_parses_and_is_closed_form() {
+        for q in qset1(100, 1) {
+            let parsed = parse_query(&q.sql).unwrap_or_else(|e| panic!("{}: {e}", q.sql));
+            assert!(parsed.closed_form_applicable(), "{}", q.sql);
+            assert!(q.profile.closed_form);
+        }
+    }
+
+    #[test]
+    fn qset2_parses_and_is_bootstrap_only() {
+        for q in qset2(100, 2) {
+            let parsed = parse_query(&q.sql).unwrap_or_else(|e| panic!("{}: {e}", q.sql));
+            assert!(!parsed.closed_form_applicable(), "{}", q.sql);
+            assert!(!q.profile.closed_form);
+        }
+    }
+
+    #[test]
+    fn qset2_includes_nested_and_udf_queries() {
+        let qs = qset2(200, 3);
+        assert!(qs.iter().any(|q| q.sql.contains("FROM (SELECT")), "no nested queries");
+        assert!(qs.iter().any(|q| q.sql.contains("trimmed_mean")), "no UDF queries");
+        assert!(qs.iter().any(|q| q.sql.contains("PERCENTILE")), "no percentile queries");
+    }
+
+    #[test]
+    fn profiles_are_within_paper_ranges() {
+        for q in qset1(100, 4).into_iter().chain(qset2(100, 5)) {
+            assert!(q.profile.sample_mb <= 20_000.0 && q.profile.sample_mb >= 4_000.0);
+            assert!(q.profile.selectivity > 0.0 && q.profile.selectivity <= 1.0);
+            assert_eq!(q.profile.bootstrap_k, 100);
+            assert_eq!(q.profile.diag_p, 100);
+            assert_eq!(q.profile.diag_subsample_mb, vec![50.0, 100.0, 200.0]);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = qset1(10, 7);
+        let b = qset1(10, 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.sql, y.sql);
+        }
+    }
+
+    #[test]
+    fn queries_vary() {
+        let qs = qset1(50, 8);
+        let distinct: std::collections::HashSet<&str> =
+            qs.iter().map(|q| q.sql.as_str()).collect();
+        assert!(distinct.len() > 10, "only {} distinct queries", distinct.len());
+    }
+}

@@ -1,0 +1,139 @@
+//! An interactive AQP shell over the synthetic sessions table.
+//!
+//! ```bash
+//! cargo run --release --example aqp_shell
+//! ```
+//!
+//! Commands:
+//!
+//! ```text
+//! SELECT ...;                 run a query (approximate when samples exist)
+//! \sample <rows>              build a uniform sample of <rows> rows
+//! \strata <column> <rows>     build a stratified sample on <column>
+//! \progressive <rel_err> SELECT ...
+//!                             grow the sample until the bound is met
+//! \csv <path> <name>          load a CSV file as a new table
+//! \schema                     show the sessions schema
+//! \quit                       exit
+//! ```
+
+use std::io::{BufRead, Write};
+
+use reliable_aqp::{AqpSession, SessionConfig};
+use reliable_aqp::workload::conviva_sessions_table;
+
+fn main() {
+    let rows = 1_000_000;
+    eprintln!("loading {rows}-row synthetic `sessions` table ...");
+    let session = AqpSession::new(SessionConfig { seed: 1, ..Default::default() });
+    session.register_table(conviva_sessions_table(rows, 16, 1)).expect("register");
+    eprintln!("ready. type \\schema for columns, \\sample 50000 to enable approximation.");
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("aqp> ");
+        let _ = out.flush();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break; // EOF
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "\\quit" || line == "\\q" {
+            break;
+        }
+        if line == "\\schema" {
+            let t = session.catalog().table("sessions").expect("table");
+            for f in t.schema().fields() {
+                println!("  {}: {}", f.name, f.data_type.name());
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("\\csv ") {
+            let mut parts = rest.split_whitespace();
+            match (parts.next(), parts.next()) {
+                (Some(path), Some(name)) => {
+                    match reliable_aqp::storage::read_csv_file(path, name, 8)
+                        .map_err(reliable_aqp::exec::ExecError::Storage)
+                    {
+                        Ok(table) => {
+                            let rows = table.num_rows();
+                            match session.register_table(table) {
+                                Ok(()) => println!("loaded {rows} rows as table {name}"),
+                                Err(e) => println!("error: {e}"),
+                            }
+                        }
+                        Err(e) => println!("error: {e}"),
+                    }
+                }
+                _ => println!("usage: \\csv <path> <table_name>"),
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("\\sample ") {
+            match rest.trim().parse::<usize>() {
+                Ok(n) => match session.build_samples("sessions", &[n], 7) {
+                    Ok(()) => println!("built a uniform sample of {n} rows"),
+                    Err(e) => println!("error: {e}"),
+                },
+                Err(_) => println!("usage: \\sample <rows>"),
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("\\strata ") {
+            let mut parts = rest.split_whitespace();
+            match (parts.next(), parts.next().and_then(|r| r.parse::<usize>().ok())) {
+                (Some(col), Some(n)) => {
+                    match session.build_stratified_sample("sessions", col, n, 11) {
+                        Ok(()) => println!("built a stratified sample on {col} ({n} rows/stratum)"),
+                        Err(e) => println!("error: {e}"),
+                    }
+                }
+                _ => println!("usage: \\strata <column> <rows_per_stratum>"),
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("\\progressive ") {
+            let mut parts = rest.splitn(2, ' ');
+            match (parts.next().and_then(|e| e.parse::<f64>().ok()), parts.next()) {
+                (Some(target), Some(sql)) => {
+                    match session.execute_progressive(sql.trim_end_matches(';'), target) {
+                        Ok(r) => {
+                            for step in &r.steps {
+                                println!(
+                                    "  step: {} rows, worst rel err {:?}, satisfied {}",
+                                    step.sample_rows, step.worst_relative_error, step.satisfied
+                                );
+                            }
+                            println!("{}", r.final_answer().summary());
+                        }
+                        Err(e) => println!("error: {e}"),
+                    }
+                }
+                _ => println!("usage: \\progressive <rel_err> SELECT ..."),
+            }
+            continue;
+        }
+        // EXPLAIN prefix.
+        if line.len() >= 7 && line[..7].eq_ignore_ascii_case("explain") {
+            match session.explain(line[7..].trim_end_matches(';')) {
+                Ok(plan) => print!("{plan}"),
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+        // Plain SQL.
+        let t = std::time::Instant::now();
+        match session.execute(line.trim_end_matches(';')) {
+            Ok(answer) => {
+                print!("{}", answer.summary());
+                println!("({:?})", t.elapsed());
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    eprintln!("bye");
+}

@@ -1,0 +1,70 @@
+//! A Conviva-style operations dashboard: many aggregates per refresh,
+//! all answered from one sample at interactive latency, with per-result
+//! reliability verdicts.
+//!
+//! ```bash
+//! cargo run --release --example conviva_dashboard
+//! ```
+//!
+//! This is the workload shape the paper's introduction motivates:
+//! exploratory/monitoring queries where "close-enough" answers in a
+//! couple of seconds beat exact answers in minutes — as long as the
+//! system can tell which error bars to trust.
+
+use reliable_aqp::{AqpSession, SessionConfig};
+use reliable_aqp::workload::conviva_sessions_table;
+
+fn main() {
+    let rows = 1_000_000;
+    println!("ingesting {rows} media sessions ...");
+    let session = AqpSession::new(SessionConfig { seed: 7, ..Default::default() });
+    session.register_table(conviva_sessions_table(rows, 16, 3)).expect("register");
+    session.build_samples("sessions", &[rows / 25], 11).expect("samples");
+
+    let panels = [
+        ("Average session time (s)", "SELECT AVG(time) FROM sessions"),
+        ("Sessions by city", "SELECT city, COUNT(*) FROM sessions GROUP BY city"),
+        ("Mobile session share of traffic", "SELECT SUM(bytes) FROM sessions WHERE is_mobile = true"),
+        ("p99 session time", "SELECT PERCENTILE(time, 99) FROM sessions"),
+        ("Worst buffering (MAX)", "SELECT MAX(buffer_ratio) FROM sessions"),
+        ("Typical engagement (trimmed mean)", "SELECT trimmed_mean(time) FROM sessions"),
+        (
+            "Mean per-user volume (nested)",
+            "SELECT AVG(s) FROM (SELECT SUM(bytes) AS s FROM sessions GROUP BY user_id)",
+        ),
+    ];
+
+    let mut total = std::time::Duration::ZERO;
+    for (title, sql) in panels {
+        let t = std::time::Instant::now();
+        match session.execute(sql) {
+            Ok(answer) => {
+                let wall = t.elapsed();
+                total += wall;
+                println!("== {title} ==  [{:?}, {:?}]", answer.mode, wall);
+                // Show at most 4 groups per panel.
+                for g in answer.groups.iter().take(4) {
+                    for a in &g.aggs {
+                        let key =
+                            if g.key.is_empty() { String::new() } else { format!("{}: ", g.key) };
+                        match &a.ci {
+                            Some(ci) => println!(
+                                "   {key}{:.3} ± {:.3} ({:?})",
+                                a.estimate, ci.half_width, a.method
+                            ),
+                            None => println!("   {key}{:.3} (exact)", a.estimate),
+                        }
+                    }
+                }
+                if answer.groups.len() > 4 {
+                    println!("   ... {} more groups", answer.groups.len() - 4);
+                }
+                if answer.fell_back {
+                    println!("   !! diagnostic rejected the error bars -> served exact answer");
+                }
+            }
+            Err(e) => println!("== {title} == failed: {e}"),
+        }
+    }
+    println!("\ndashboard refresh total: {total:?}");
+}

@@ -1,0 +1,68 @@
+//! Quickstart: approximate queries with validated error bars.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a synthetic Conviva-style sessions table, maintains two uniform
+//! samples, and answers the paper's running example
+//! (`SELECT AVG(Time) FROM Sessions WHERE City = 'NYC'`) three ways:
+//! exactly, approximately with a 10% error bound, and approximately with
+//! a tight bound that forces the bigger sample.
+
+use reliable_aqp::{AqpSession, SessionConfig};
+use reliable_aqp::workload::conviva_sessions_table;
+
+fn main() {
+    let rows = 2_000_000;
+    println!("building a {rows}-row sessions table ...");
+    let table = conviva_sessions_table(rows, 16, 1);
+
+    let session = AqpSession::new(SessionConfig { seed: 42, ..Default::default() });
+    session.register_table(table).expect("register");
+    println!("building uniform samples (2.5% and 5%) ...");
+    session.build_samples("sessions", &[rows / 40, rows / 20], 7).expect("sample");
+
+    let query = "SELECT AVG(time) FROM sessions WHERE city = 'NYC'";
+
+    // Exact ground truth (scans everything).
+    let t0 = std::time::Instant::now();
+    let exact_session = AqpSession::new(SessionConfig::default());
+    exact_session
+        .register_table(conviva_sessions_table(rows, 16, 1))
+        .expect("register");
+    let exact = exact_session.execute(query).expect("exact");
+    println!(
+        "\nEXACT      {query}\n  -> {:.4}   ({:?} wall)",
+        exact.scalar().unwrap().estimate,
+        t0.elapsed()
+    );
+
+    // Approximate with a 10% error bound: picks the smallest sufficient
+    // sample, runs the single-scan error estimation + diagnostic.
+    let t1 = std::time::Instant::now();
+    let approx = session
+        .execute(&format!("{query} WITHIN 10% ERROR AT CONFIDENCE 95%"))
+        .expect("approx");
+    println!(
+        "\nAPPROX 10% {query}\n{}  ({:?} wall)",
+        approx.summary(),
+        t1.elapsed()
+    );
+
+    // Tight 1% bound: needs the larger sample.
+    let t2 = std::time::Instant::now();
+    let tight = session
+        .execute(&format!("{query} WITHIN 1% ERROR AT CONFIDENCE 95%"))
+        .expect("approx tight");
+    println!(
+        "APPROX 1%  {query}\n{}  ({:?} wall)",
+        tight.summary(),
+        t2.elapsed()
+    );
+
+    println!("plan used:\n{}", tight.plan);
+    let truth = exact.scalar().unwrap().estimate;
+    let est = approx.scalar().unwrap().estimate;
+    println!("relative deviation from truth at 10% bound: {:.3}%", 100.0 * (est - truth).abs() / truth);
+}

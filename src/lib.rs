@@ -1,0 +1,49 @@
+//! # reliable-aqp
+//!
+//! A from-scratch Rust implementation of
+//! *Knowing When You're Wrong: Building Fast and Reliable Approximate
+//! Query Processing Systems* (Agarwal et al., SIGMOD 2014).
+//!
+//! Sampling answers analytical queries orders of magnitude faster than
+//! scanning the data — *if* the error bars attached to the answers can be
+//! trusted. This crate family implements the paper's full pipeline:
+//!
+//! * approximate answers from stored uniform samples,
+//! * error bars via closed-form CLT estimates, the Poissonized
+//!   nonparametric bootstrap, or (as a conservative baseline)
+//!   large-deviation bounds,
+//! * the Kleiner-et-al. **diagnostic** that detects, at query time,
+//!   whether those error bars are reliable, and
+//! * automatic fallback to exact execution when they are not.
+//!
+//! The facade re-exports every subsystem crate; start with
+//! [`AqpSession`].
+//!
+//! ```
+//! use reliable_aqp::{AqpSession, SessionConfig};
+//! use reliable_aqp::workload::conviva_sessions_table;
+//!
+//! let session = AqpSession::new(SessionConfig::default());
+//! session.register_table(conviva_sessions_table(50_000, 8, 1)).unwrap();
+//! session.build_samples("sessions", &[10_000], 7).unwrap();
+//! let answer = session.execute("SELECT AVG(time) FROM sessions").unwrap();
+//! println!("{}", answer.summary());
+//! ```
+
+pub use aqp_core::answer::AnswerMode;
+pub use aqp_core::{AqpAnswer, AqpSession, SessionConfig};
+
+/// Columnar storage substrate.
+pub use aqp_storage as storage;
+/// Statistical substrate (bootstrap, closed forms, large deviations).
+pub use aqp_stats as stats;
+/// The error-estimation diagnostic (Kleiner et al., Algorithm 1).
+pub use aqp_diagnostics as diagnostics;
+/// SQL front end + plan rewriter.
+pub use aqp_sql as sql;
+/// Physical execution.
+pub use aqp_exec as exec;
+/// Cluster simulator for the Fig. 7–9 experiments.
+pub use aqp_cluster as cluster;
+/// Synthetic Facebook/Conviva-calibrated workloads.
+pub use aqp_workload as workload;

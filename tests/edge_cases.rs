@@ -1,0 +1,164 @@
+//! Failure-injection and edge-case integration tests: the system must
+//! degrade gracefully, never panic, and never show unvalidated error
+//! bars.
+
+use reliable_aqp::workload::conviva_sessions_table;
+use reliable_aqp::{AnswerMode, AqpSession, SessionConfig};
+use reliable_aqp::storage::{Batch, Column, DataType, Field, Schema, Table};
+
+fn single_column_table(name: &str, values: Vec<f64>) -> Table {
+    let schema = Schema::new(vec![Field::new("x", DataType::Float)]).unwrap();
+    let batch = Batch::new(schema, vec![Column::from_f64s(values)]).unwrap();
+    Table::from_batch(name, batch, 2).unwrap()
+}
+
+#[test]
+fn all_rows_filtered_out() {
+    let s = AqpSession::new(SessionConfig::default());
+    s.register_table(conviva_sessions_table(20_000, 4, 1)).unwrap();
+    s.build_samples("sessions", &[5_000], 2).unwrap();
+    // No city is named "Atlantis".
+    let a = s
+        .execute("SELECT AVG(time) FROM sessions WHERE city = 'Atlantis'")
+        .unwrap();
+    let r = a.scalar().unwrap();
+    // AVG of nothing: NaN estimate, no CI claimed reliable.
+    assert!(r.estimate.is_nan() || r.ci.is_none(), "{r:?}");
+    // COUNT of nothing must be exactly zero.
+    let a = s
+        .execute("SELECT COUNT(*) FROM sessions WHERE city = 'Atlantis'")
+        .unwrap();
+    assert_eq!(a.scalar().unwrap().estimate, 0.0);
+}
+
+#[test]
+fn constant_column_gives_zero_width_intervals() {
+    let s = AqpSession::new(SessionConfig::default());
+    s.register_table(single_column_table("consts", vec![7.5; 50_000])).unwrap();
+    s.build_samples("consts", &[10_000], 3).unwrap();
+    let a = s.execute("SELECT AVG(x) FROM consts").unwrap();
+    let r = a.scalar().unwrap();
+    assert_eq!(r.estimate, 7.5);
+    if let Some(ci) = &r.ci {
+        assert!(ci.half_width < 1e-9, "constant data, hw {}", ci.half_width);
+    }
+}
+
+#[test]
+fn tiny_tables_and_tiny_samples() {
+    let s = AqpSession::new(SessionConfig::default());
+    s.register_table(single_column_table("tiny", (0..40).map(|i| i as f64).collect()))
+        .unwrap();
+    s.build_samples("tiny", &[10], 4).unwrap();
+    // Diagnostic config can't form 100 disjoint subsamples of 10 rows;
+    // the session must still answer (approximately or exactly), not panic.
+    let a = s.execute("SELECT SUM(x) FROM tiny").unwrap();
+    assert!(a.scalar().unwrap().estimate.is_finite());
+}
+
+#[test]
+fn single_row_table() {
+    let s = AqpSession::new(SessionConfig::default());
+    s.register_table(single_column_table("one", vec![42.0])).unwrap();
+    let a = s.execute("SELECT AVG(x) FROM one").unwrap();
+    assert_eq!(a.scalar().unwrap().estimate, 42.0);
+    assert_eq!(a.mode, AnswerMode::Exact);
+}
+
+#[test]
+fn nulls_in_aggregated_column() {
+    let schema = Schema::new(vec![
+        Field::nullable("x", DataType::Float),
+        Field::new("k", DataType::Int),
+    ])
+    .unwrap();
+    let xs: Vec<Option<f64>> =
+        (0..10_000).map(|i| if i % 3 == 0 { None } else { Some(i as f64) }).collect();
+    let ks: Vec<i64> = (0..10_000).map(|i| (i % 4) as i64).collect();
+    let batch = Batch::new(
+        schema,
+        vec![Column::from_opt_f64s(xs), Column::from_i64s(ks)],
+    )
+    .unwrap();
+    let t = Table::from_batch("nullable", batch, 4).unwrap();
+    let s = AqpSession::new(SessionConfig::default());
+    s.register_table(t).unwrap();
+    s.build_samples("nullable", &[4_000], 5).unwrap();
+    // NULLs are dropped from AVG, exactly as in SQL.
+    let a = s.execute("SELECT AVG(x) FROM nullable").unwrap();
+    let est = a.scalar().unwrap().estimate;
+    // Non-null values are i for i % 3 != 0: mean ≈ 5000.
+    assert!((est - 5_000.0).abs() < 300.0, "est {est}");
+}
+
+#[test]
+fn division_by_zero_in_projection_becomes_null() {
+    let s = AqpSession::new(SessionConfig::default());
+    s.register_table(conviva_sessions_table(10_000, 4, 6)).unwrap();
+    // time / (bitrate - bitrate) divides by zero everywhere → all NULL →
+    // AVG over nothing.
+    let a = s
+        .execute("SELECT AVG(time / (bitrate - bitrate)) FROM sessions")
+        .unwrap();
+    assert!(a.scalar().unwrap().estimate.is_nan());
+}
+
+#[test]
+fn group_by_with_thousands_of_groups() {
+    let s = AqpSession::new(SessionConfig::default());
+    s.register_table(conviva_sessions_table(100_000, 8, 7)).unwrap();
+    s.build_samples("sessions", &[20_000], 8).unwrap();
+    // user_id has ~2000 strata; per-group results must all be finite and
+    // the merge with exact values must preserve every group.
+    let a = s.execute("SELECT user_id, COUNT(*) FROM sessions GROUP BY user_id").unwrap();
+    assert!(a.groups.len() > 500, "groups {}", a.groups.len());
+    for g in &a.groups {
+        assert!(g.aggs[0].estimate.is_finite());
+    }
+    let total: f64 = a.groups.iter().map(|g| g.aggs[0].estimate).sum();
+    assert!((total - 100_000.0).abs() / 100_000.0 < 0.02, "total {total}");
+}
+
+#[test]
+fn percentile_bounds_are_clamped() {
+    let s = AqpSession::new(SessionConfig::default());
+    s.register_table(conviva_sessions_table(20_000, 4, 9)).unwrap();
+    s.build_samples("sessions", &[5_000], 10).unwrap();
+    for q in ["PERCENTILE(time, 0.5)", "PERCENTILE(time, 50)", "PERCENTILE(time, 100)"] {
+        let a = s.execute(&format!("SELECT {q} FROM sessions")).unwrap();
+        assert!(a.scalar().unwrap().estimate.is_finite(), "{q}");
+    }
+    // Out-of-range percentile is a parse error, not a panic.
+    assert!(s.execute("SELECT PERCENTILE(time, 150) FROM sessions").is_err());
+}
+
+#[test]
+fn repeated_execution_is_stable_under_concurrency() {
+    let s = std::sync::Arc::new({
+        let s = AqpSession::new(SessionConfig { seed: 11, ..Default::default() });
+        s.register_table(conviva_sessions_table(60_000, 8, 11)).unwrap();
+        s.build_samples("sessions", &[12_000], 12).unwrap();
+        s
+    });
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let s = std::sync::Arc::clone(&s);
+        handles.push(std::thread::spawn(move || {
+            let a = s.execute("SELECT AVG(time) FROM sessions WHERE city = 'NYC'").unwrap();
+            format!("{:?}", a.scalar().unwrap().ci)
+        }));
+    }
+    let results: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert!(results.windows(2).all(|w| w[0] == w[1]), "{results:?}");
+}
+
+#[test]
+fn empty_strata_handled() {
+    let s = AqpSession::new(SessionConfig::default());
+    s.register_table(conviva_sessions_table(5_000, 4, 13)).unwrap();
+    // rows_per_stratum larger than any stratum: caps at stratum size.
+    s.build_stratified_sample("sessions", "site", 1_000_000, 14).unwrap();
+    let a = s.execute("SELECT site, COUNT(*) FROM sessions GROUP BY site").unwrap();
+    let total: f64 = a.groups.iter().map(|g| g.aggs[0].estimate).sum();
+    assert_eq!(total, 5_000.0); // full-table strata: exact
+}

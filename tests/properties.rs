@@ -1,0 +1,326 @@
+//! Property-based tests (proptest) on the core statistical and query
+//! invariants.
+
+use proptest::prelude::*;
+
+use reliable_aqp::sql::parse_query;
+use reliable_aqp::stats::ci::{ci_from_draws, symmetric_half_width};
+use reliable_aqp::stats::estimator::{Aggregate, QueryEstimator, SampleContext, Udf};
+use reliable_aqp::stats::moments::{Moments, WeightedMoments};
+use reliable_aqp::stats::quantile::{quantile, weighted_quantile};
+use reliable_aqp::stats::resample::{poisson_weights, resample_size};
+use reliable_aqp::stats::rng::rng_from_seed;
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1.0e6..1.0e6f64, 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The symmetric interval covers at least α of the draws, and its
+    /// half-width is the smallest such value (shrinking it by ε loses
+    /// coverage).
+    #[test]
+    fn symmetric_interval_is_minimal_cover(
+        draws in finite_vec(200),
+        center in -100.0..100.0f64,
+        alpha in 0.05..0.999f64,
+    ) {
+        let hw = symmetric_half_width(center, &draws, alpha);
+        let covered = draws.iter().filter(|&&d| (d - center).abs() <= hw).count();
+        prop_assert!(covered as f64 >= alpha * draws.len() as f64 - 1e-9);
+        if hw > 0.0 {
+            let shrunk = hw * (1.0 - 1e-9) - 1e-12;
+            let covered_shrunk =
+                draws.iter().filter(|&&d| (d - center).abs() <= shrunk).count();
+            prop_assert!((covered_shrunk as f64) < alpha.mul_add(draws.len() as f64, 1.0));
+        }
+    }
+
+    /// Interval half-width is monotone in α.
+    #[test]
+    fn interval_monotone_in_alpha(draws in finite_vec(100), center in -10.0..10.0f64) {
+        let lo = ci_from_draws(center, &draws, 0.5).half_width;
+        let mid = ci_from_draws(center, &draws, 0.9).half_width;
+        let hi = ci_from_draws(center, &draws, 0.99).half_width;
+        prop_assert!(lo <= mid && mid <= hi);
+    }
+
+    /// Weighted evaluation of every aggregate equals evaluation on the
+    /// physically expanded multiset.
+    #[test]
+    fn weighted_aggregates_equal_expansion(
+        pairs in prop::collection::vec((-1.0e4..1.0e4f64, 0u32..4), 1..60),
+    ) {
+        let values: Vec<f64> = pairs.iter().map(|(v, _)| *v).collect();
+        let weights: Vec<u32> = pairs.iter().map(|(_, w)| *w).collect();
+        let expanded = Udf::expand(&values, &weights);
+        let ctx = SampleContext::new(values.len(), values.len() * 10);
+        // SUM/COUNT are excluded: their Poissonized evaluation uses the
+        // size-centered statistic (see aqp_stats::estimator), which is
+        // deliberately NOT the naive expansion.
+        for agg in [
+            Aggregate::Avg,
+            Aggregate::Variance,
+            Aggregate::Min,
+            Aggregate::Max,
+        ] {
+            let w = agg.estimate_weighted(&values, &weights, &ctx);
+            let e = agg.estimate(&expanded, &ctx);
+            // `w == e` covers the equal-infinities case (MIN/MAX of an
+            // empty resample).
+            prop_assert!(
+                w == e
+                    || (w - e).abs() <= 1e-6 * e.abs().max(1.0)
+                    || (w.is_nan() && e.is_nan()),
+                "{agg}: weighted {w} vs expanded {e}"
+            );
+        }
+    }
+
+    /// Size-centered SUM is unbiased over resamples and exact at unit
+    /// weights.
+    #[test]
+    fn centered_sum_unbiased(xs in finite_vec(60), pop_mult in 2usize..20) {
+        let n = xs.len();
+        let ctx = SampleContext::new(n, n * pop_mult);
+        let unit = vec![1u32; n];
+        let at_unit = Aggregate::Sum.estimate_weighted(&xs, &unit, &ctx);
+        let point = Aggregate::Sum.estimate(&xs, &ctx);
+        prop_assert!((at_unit - point).abs() <= 1e-9 * point.abs().max(1.0));
+        // Monte-Carlo mean over resamples tracks the point estimate.
+        let mut rng = rng_from_seed(7);
+        let mut acc = 0.0;
+        let reps = 200;
+        for _ in 0..reps {
+            let w = poisson_weights(&mut rng, n);
+            acc += Aggregate::Sum.estimate_weighted(&xs, &w, &ctx);
+        }
+        let mc_mean = acc / reps as f64;
+        let spread = xs.iter().map(|x| x.abs()).sum::<f64>().max(1.0) * ctx.scale();
+        prop_assert!((mc_mean - point).abs() <= 0.35 * spread,
+            "mc {mc_mean} vs point {point}");
+    }
+
+    /// Weighted quantiles equal quantiles of the expansion (nearest-rank).
+    #[test]
+    fn weighted_quantile_equals_expansion(
+        pairs in prop::collection::vec((-1.0e3..1.0e3f64, 0u32..4), 1..50),
+        q in 0.0..1.0f64,
+    ) {
+        let values: Vec<f64> = pairs.iter().map(|(v, _)| *v).collect();
+        let weights: Vec<u32> = pairs.iter().map(|(_, w)| *w).collect();
+        let expanded = Udf::expand(&values, &weights);
+        let wq = weighted_quantile(&values, &weights, q);
+        if expanded.is_empty() {
+            prop_assert!(wq.is_none());
+        } else {
+            // Nearest-rank on the expansion.
+            let mut sorted = expanded.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let target = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            prop_assert_eq!(wq.unwrap(), sorted[target - 1]);
+        }
+    }
+
+    /// Moments merge is order-insensitive and matches single-pass.
+    #[test]
+    fn moments_merge_associative(xs in finite_vec(120), split in 0usize..120) {
+        let split = split.min(xs.len());
+        let full = Moments::from_slice(&xs);
+        let mut left = Moments::from_slice(&xs[..split]);
+        left.merge(&Moments::from_slice(&xs[split..]));
+        prop_assert_eq!(full.count(), left.count());
+        prop_assert!((full.mean() - left.mean()).abs() <= 1e-6 * full.mean().abs().max(1.0));
+        let (v1, v2) = (full.variance_population(), left.variance_population());
+        if full.count() > 0 {
+            prop_assert!((v1 - v2).abs() <= 1e-5 * v1.abs().max(1.0), "{v1} vs {v2}");
+        }
+    }
+
+    /// Weighted moments with unit weights equal plain moments.
+    #[test]
+    fn unit_weights_are_identity(xs in finite_vec(80)) {
+        let mut w = WeightedMoments::new();
+        for &x in &xs {
+            w.push(x, 1);
+        }
+        let m = Moments::from_slice(&xs);
+        prop_assert_eq!(w.weight(), m.count());
+        prop_assert!((w.mean() - m.mean()).abs() <= 1e-9 * m.mean().abs().max(1.0));
+    }
+
+    /// Poissonized resample sizes concentrate around n.
+    #[test]
+    fn poissonized_size_concentration(seed in 0u64..1000, n in 1_000usize..20_000) {
+        let mut rng = rng_from_seed(seed);
+        let w = poisson_weights(&mut rng, n);
+        let size = resample_size(&w) as f64;
+        // 6σ band: |size − n| < 6√n.
+        prop_assert!((size - n as f64).abs() < 6.0 * (n as f64).sqrt(),
+            "size {size} vs n {n}");
+    }
+
+    /// SUM and COUNT estimates scale linearly with the population size.
+    #[test]
+    fn sum_count_scaling_linearity(xs in finite_vec(60), factor in 2usize..10) {
+        let n = xs.len();
+        let ctx1 = SampleContext::new(n, n * 10);
+        let ctx2 = SampleContext::new(n, n * 10 * factor);
+        let s1 = Aggregate::Sum.estimate(&xs, &ctx1);
+        let s2 = Aggregate::Sum.estimate(&xs, &ctx2);
+        prop_assert!((s2 - s1 * factor as f64).abs() <= 1e-6 * s1.abs().max(1.0));
+        let c1 = Aggregate::Count.estimate(&xs, &ctx1);
+        let c2 = Aggregate::Count.estimate(&xs, &ctx2);
+        prop_assert!((c2 - c1 * factor as f64).abs() <= 1e-9 * c1.abs().max(1.0));
+    }
+
+    /// Parser round-trip: Display output re-parses to the same AST.
+    #[test]
+    fn parser_display_round_trip(
+        agg_idx in 0usize..5,
+        col_idx in 0usize..3,
+        threshold in -100i64..100,
+        with_filter in any::<bool>(),
+        with_group in any::<bool>(),
+        err_pct in prop::option::of(1u32..50),
+    ) {
+        let aggs = ["AVG", "SUM", "COUNT", "MIN", "MAX"];
+        let cols = ["time", "bytes", "bitrate"];
+        let mut sql = format!("SELECT {}({})", aggs[agg_idx], cols[col_idx]);
+        if with_group {
+            sql = format!("SELECT city, {}({})", aggs[agg_idx], cols[col_idx]);
+        }
+        sql.push_str(" FROM sessions");
+        if with_filter {
+            sql.push_str(&format!(" WHERE {} > {}", cols[(col_idx + 1) % 3], threshold));
+        }
+        if with_group {
+            sql.push_str(" GROUP BY city");
+        }
+        if let Some(p) = err_pct {
+            sql.push_str(&format!(" WITHIN {p}% ERROR AT CONFIDENCE 95%"));
+        }
+        let q1 = parse_query(&sql).unwrap();
+        let q2 = parse_query(&q1.to_string()).unwrap();
+        prop_assert_eq!(q1, q2);
+    }
+
+    /// The lexer and parser never panic, whatever the input.
+    #[test]
+    fn parser_never_panics(input in ".{0,200}") {
+        let _ = parse_query(&input); // Ok or Err, never a panic
+    }
+
+    /// Pushdown is idempotent in effect: re-running the rewrite on an
+    /// already-rewritten plan inserts at the same place (one extra node
+    /// per application, same relative position).
+    #[test]
+    fn pushdown_inserts_directly_below_the_aggregate(threshold in 0i64..100) {
+        use reliable_aqp::sql::logical::{LogicalPlan, ResampleSpec};
+        use reliable_aqp::sql::rewriter::insert_pushed_down;
+        use reliable_aqp::storage::{DataType, Field, Schema};
+        let schema = Schema::new(vec![
+            Field::new("city", DataType::Str),
+            Field::new("time", DataType::Float),
+        ]).unwrap();
+        let sql = format!("SELECT SUM(time) FROM s WHERE time > {threshold}");
+        let q = parse_query(&sql).unwrap();
+        let plan = reliable_aqp::sql::plan_query(&q, &schema).unwrap();
+        let rewritten = insert_pushed_down(plan, &ResampleSpec::bootstrap(5, 2));
+        // The resample node must be the aggregate's direct input.
+        match &rewritten {
+            LogicalPlan::Aggregate { input, .. } => {
+                let is_resample = matches!(**input, LogicalPlan::Resample { .. });
+                prop_assert!(is_resample);
+            }
+            other => prop_assert!(false, "unexpected root {other:?}"),
+        }
+    }
+
+    /// Plan rewriting preserves pass-through chain contents in EXPLAIN.
+    #[test]
+    fn rewriter_preserves_operators(threshold in 0i64..200) {
+        use reliable_aqp::sql::logical::ResampleSpec;
+        use reliable_aqp::sql::rewriter::insert_pushed_down;
+        use reliable_aqp::sql::{plan_query};
+        use reliable_aqp::storage::{DataType, Field, Schema};
+        let schema = Schema::new(vec![
+            Field::new("city", DataType::Str),
+            Field::new("time", DataType::Float),
+        ]).unwrap();
+        let sql = format!("SELECT AVG(time) FROM s WHERE time > {threshold}");
+        let q = parse_query(&sql).unwrap();
+        let plan = plan_query(&q, &schema).unwrap();
+        let before = plan.explain();
+        let after = insert_pushed_down(plan, &ResampleSpec::bootstrap(10, 1)).explain();
+        // Every original operator line still appears, exactly once more
+        // line (the Resample) exists.
+        for line in before.lines() {
+            prop_assert!(after.contains(line.trim()), "missing {line}");
+        }
+        prop_assert_eq!(after.lines().count(), before.lines().count() + 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Simulated naive latency dominates optimized latency for any
+    /// profile in the supported ranges.
+    #[test]
+    fn simulator_naive_dominates_optimized(
+        sample_gb in 4.0..20.0f64,
+        selectivity in 0.005..0.3f64,
+        agg_cpu in 0.5..3.0f64,
+        closed_form in any::<bool>(),
+        seed in 0u64..100,
+    ) {
+        use reliable_aqp::cluster::{simulate_query, ClusterConfig, PhysicalTuning, PlanMode, QueryProfile};
+        let profile = QueryProfile {
+            sample_mb: sample_gb * 1000.0,
+            selectivity,
+            scan_cpu_ms_per_mb: 0.5,
+            agg_cpu_ms_per_mb: agg_cpu,
+            closed_form,
+            bootstrap_k: 100,
+            diag_p: 100,
+            diag_subsample_mb: vec![50.0, 100.0, 200.0],
+        };
+        let cfg = ClusterConfig::default();
+        let tuning = PhysicalTuning::untuned(&cfg);
+        let naive = simulate_query(&profile, PlanMode::Naive, &tuning, &cfg, seed);
+        let opt = simulate_query(&profile, PlanMode::Optimized, &tuning, &cfg, seed);
+        // Diagnostics always win big; error estimation wins for
+        // bootstrap-only queries and roughly ties for closed forms.
+        prop_assert!(opt.diag_s <= naive.diag_s);
+        if !closed_form {
+            prop_assert!(opt.error_s < naive.error_s);
+        } else {
+            // Closed-form error estimation is cheap either way; the
+            // consolidated pass carries a fixed ~0.1 s reduce that can
+            // exceed a trivial naive subquery (Fig. 8(a)'s ~1x band).
+            prop_assert!(opt.error_s <= naive.error_s * 2.0 + 0.1);
+        }
+        prop_assert!(naive.total() >= opt.total() * 0.9);
+    }
+}
+
+#[test]
+fn poisson1_moments_are_correct() {
+    // Deterministic (non-proptest) statistical check with a large n.
+    let mut rng = rng_from_seed(42);
+    let w = poisson_weights(&mut rng, 500_000);
+    let mean = resample_size(&w) as f64 / w.len() as f64;
+    assert!((mean - 1.0).abs() < 0.01);
+    let var = w.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / w.len() as f64;
+    assert!((var - 1.0).abs() < 0.02);
+}
+
+#[test]
+fn quantile_bounds_are_order_statistics() {
+    let xs: Vec<f64> = (0..1000).map(|i| (i as f64) * 0.5).collect();
+    assert_eq!(quantile(&xs, 0.0), Some(0.0));
+    assert_eq!(quantile(&xs, 1.0), Some(499.5));
+}
