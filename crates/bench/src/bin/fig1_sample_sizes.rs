@@ -160,15 +160,13 @@ fn main() {
 
     // Headline ratio: Hoeffding vs ground truth, averaged over targets.
     let mut ratios = Vec::new();
-    for ei in 0..TARGET_ERRORS.len() {
-        let (gt, hoef) = (&required[0][ei], &required[4][ei]);
+    for (gt, hoef) in required[0].iter().zip(&required[4]) {
         if !gt.is_empty() && !hoef.is_empty() {
             ratios.push(mean(hoef) / mean(gt));
         }
     }
     let mut cf_ratios = Vec::new();
-    for ei in 0..TARGET_ERRORS.len() {
-        let (gt, cf) = (&required[0][ei], &required[1][ei]);
+    for (gt, cf) in required[0].iter().zip(&required[1]) {
         if !gt.is_empty() && !cf.is_empty() {
             cf_ratios.push(mean(cf) / mean(gt));
         }

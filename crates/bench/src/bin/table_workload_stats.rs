@@ -40,7 +40,7 @@ fn main() {
             *counts.entry(q.category()).or_default() += 1;
         }
         let mut cats: Vec<(QueryCategory, usize)> = counts.into_iter().collect();
-        cats.sort_by(|a, b| b.1.cmp(&a.1));
+        cats.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
         for (cat, c) in &cats {
             let synth = 100.0 * *c as f64 / n as f64;
             let publ = published

@@ -22,13 +22,16 @@
 //! resampling claims, weighted aggregation, error-estimation overheads,
 //! and the diagnostic's cost.
 
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::fmt::Write as _;
 
 /// Percentile of an unsorted f64 slice (nearest rank).
 pub fn percentile(xs: &[f64], q: f64) -> f64 {
     assert!(!xs.is_empty());
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile"));
+    v.sort_by(f64::total_cmp);
     let pos = (q.clamp(0.0, 1.0) * (v.len() - 1) as f64).round() as usize;
     v[pos]
 }
@@ -41,7 +44,7 @@ pub fn mean(xs: &[f64]) -> f64 {
 /// Render a CDF of `values` as `steps` (value, fraction ≤ value) rows.
 pub fn cdf_rows(values: &[f64], steps: usize) -> Vec<(f64, f64)> {
     let mut v = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in cdf"));
+    v.sort_by(f64::total_cmp);
     (1..=steps)
         .map(|i| {
             let frac = i as f64 / steps as f64;

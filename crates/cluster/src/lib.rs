@@ -22,6 +22,9 @@
 //!   of the degree of parallelism (and the cache fraction) by searching
 //!   the latency model.
 
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod autotune;
 pub mod config;
 pub mod query_model;

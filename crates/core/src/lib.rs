@@ -33,6 +33,9 @@
 //! }
 //! ```
 
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod answer;
 pub mod progressive;
 pub mod sample_selection;

@@ -571,17 +571,14 @@ fn apply_order_limit(query: &Query, mut answer: AqpAnswer) -> AqpAnswer {
             .position(|alias| alias == Some(o.column.as_str()));
         answer.groups.sort_by(|a, b| {
             let ord = if let Some(ai) = agg_idx {
-                a.aggs[ai]
-                    .estimate
-                    .partial_cmp(&b.aggs[ai].estimate)
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                a.aggs[ai].estimate.total_cmp(&b.aggs[ai].estimate)
             } else if let Some(ki) = key_idx {
                 let part = |g: &aqp_exec::result::GroupResult| {
                     g.key.split('\u{1f}').nth(ki).unwrap_or("").to_owned()
                 };
                 let (pa, pb) = (part(a), part(b));
                 match (pa.parse::<f64>(), pb.parse::<f64>()) {
-                    (Ok(x), Ok(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
+                    (Ok(x), Ok(y)) => x.total_cmp(&y),
                     _ => pa.cmp(&pb),
                 }
             } else {

@@ -22,6 +22,9 @@
 //! * [`ground_truth`] — the expensive "ideal diagnostic" used to measure
 //!   the real diagnostic's false-positive/negative rates (Fig. 4).
 
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod config;
 pub mod ground_truth;
 pub mod kleiner;

@@ -98,13 +98,8 @@ struct PlanShape<'a> {
 fn decompose(plan: &LogicalPlan) -> Result<PlanShape<'_>> {
     // Strip ErrorEstimate/Diagnostic wrappers.
     let mut node = plan;
-    loop {
-        match node {
-            LogicalPlan::ErrorEstimate { input, .. } | LogicalPlan::Diagnostic { input } => {
-                node = input;
-            }
-            _ => break,
-        }
+    while let LogicalPlan::ErrorEstimate { input, .. } | LogicalPlan::Diagnostic { input } = node {
+        node = input;
     }
     let top_agg = match node {
         LogicalPlan::Aggregate { .. } => node,
@@ -142,7 +137,7 @@ fn decompose(plan: &LogicalPlan) -> Result<PlanShape<'_>> {
     if inner_agg.is_some() {
         // Filters between the aggregates are not supported (the paper's
         // nested queries filter at the base level).
-        if !matches!(top_agg.input().unwrap(), LogicalPlan::Aggregate { .. }) {
+        if !matches!(top_agg.input(), Some(LogicalPlan::Aggregate { .. })) {
             return Err(ExecError::Unsupported(
                 "operators between nested aggregates are not supported".into(),
             ));
@@ -268,13 +263,21 @@ pub fn collect(plan: &LogicalPlan, table: &Table, threads: usize) -> Result<Coll
     let shape = decompose(plan)?;
     let (top_group_by, top_aggs) = match shape.top_agg {
         LogicalPlan::Aggregate { group_by, aggs, .. } => (group_by.clone(), aggs.clone()),
-        _ => unreachable!(),
+        _ => {
+            return Err(ExecError::PlanInvariant(
+                "decompose returned a non-Aggregate top node".into(),
+            ))
+        }
     };
 
     if let Some(inner) = shape.inner_agg {
         let (inner_group_by, inner_aggs) = match inner {
             LogicalPlan::Aggregate { group_by, aggs, .. } => (group_by.clone(), aggs.clone()),
-            _ => unreachable!(),
+            _ => {
+                return Err(ExecError::PlanInvariant(
+                    "decompose returned a non-Aggregate inner node".into(),
+                ))
+            }
         };
         if !top_group_by.is_empty() {
             return Err(ExecError::Unsupported(
@@ -311,7 +314,7 @@ pub fn collect(plan: &LogicalPlan, table: &Table, threads: usize) -> Result<Coll
 
             let mut groups: Vec<Group> = Vec::new();
             let mut group_index: HashMap<String, usize> = HashMap::new();
-            for i in 0..filtered.num_rows() {
+            for (i, &lp) in local_pos.iter().enumerate() {
                 let key = if key_cols.is_empty() {
                     String::new()
                 } else {
@@ -324,7 +327,7 @@ pub fn collect(plan: &LogicalPlan, table: &Table, threads: usize) -> Result<Coll
                     });
                     groups.len() - 1
                 });
-                let global_pos = offset + local_pos[i];
+                let global_pos = offset + lp;
                 for (ai, col) in arg_cols.iter().enumerate() {
                     match col {
                         None => {
@@ -388,14 +391,14 @@ fn collect_nested(
             let mut values = Vec::with_capacity(filtered.num_rows());
             let mut positions = Vec::with_capacity(filtered.num_rows());
             let mut keys = Vec::with_capacity(filtered.num_rows());
-            for i in 0..filtered.num_rows() {
+            for (i, &lp) in local_pos.iter().enumerate() {
                 let x = match &arg_col {
                     None => Some(1.0),
                     Some(c) => c.f64_at(i),
                 };
                 if let Some(x) = x {
                     values.push(x);
-                    positions.push(offset + local_pos[i]);
+                    positions.push(offset + lp);
                     keys.push(group_key(&filtered, &[key_col], i));
                 }
             }
@@ -521,7 +524,7 @@ mod tests {
         assert_eq!(c.pre_filter_rows, 6);
         assert_eq!(c.groups.len(), 1);
         let mut v = c.groups[0].aggs[0].values.clone();
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(f64::total_cmp);
         assert_eq!(v, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
     }
 
@@ -529,7 +532,7 @@ mod tests {
     fn filter_reduces_values() {
         let c = collected("SELECT SUM(time) FROM sessions WHERE city = 'NYC'", 1);
         let mut v = c.groups[0].aggs[0].values.clone();
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(f64::total_cmp);
         assert_eq!(v, vec![1.0, 3.0, 5.0]);
         assert_eq!(c.pre_filter_rows, 6); // pre-filter count is preserved
     }
@@ -582,7 +585,7 @@ mod tests {
                 .iter()
                 .map(|g| {
                     let mut v = g.aggs[0].values.clone();
-                    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                    v.sort_by(f64::total_cmp);
                     (g.key.clone(), v)
                 })
                 .collect::<Vec<_>>()

@@ -200,7 +200,7 @@ pub fn execute_approx(
     let mut job_iter = 0usize;
     for (gi, g) in collected.groups.iter().enumerate() {
         let mut aggs = Vec::with_capacity(g.aggs.len());
-        for ai in 0..g.aggs.len() {
+        for (ai, &estimate) in estimates[gi].iter().enumerate() {
             let (ci, method) = cis[job_iter];
             let diagnostic = diags[job_iter].clone();
             job_iter += 1;
@@ -210,7 +210,7 @@ pub fn execute_approx(
                     .get(ai)
                     .map(|a| a.to_string())
                     .unwrap_or_else(|| format!("agg{ai}")),
-                estimate: estimates[gi][ai],
+                estimate,
                 ci,
                 method,
                 diagnostic,

@@ -24,6 +24,9 @@
 //!   replicate-parallelism.
 //! * [`result`] — result types with per-phase wall-clock timings.
 
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod baseline;
 pub mod collect;
 pub mod engine;
@@ -47,6 +50,9 @@ pub enum ExecError {
     Unsupported(String),
     /// A UDF name could not be resolved.
     UnknownUdf(String),
+    /// An internal plan-shape invariant was violated (a bug in plan
+    /// decomposition, not in the caller's query).
+    PlanInvariant(String),
 }
 
 impl std::fmt::Display for ExecError {
@@ -56,6 +62,7 @@ impl std::fmt::Display for ExecError {
             ExecError::Sql(e) => write!(f, "sql error: {e}"),
             ExecError::Unsupported(m) => write!(f, "unsupported plan: {m}"),
             ExecError::UnknownUdf(n) => write!(f, "unknown UDF: {n}"),
+            ExecError::PlanInvariant(m) => write!(f, "plan invariant violated: {m}"),
         }
     }
 }

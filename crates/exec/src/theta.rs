@@ -86,13 +86,47 @@ pub fn builtin_of(func: &AggFunc) -> Option<Aggregate> {
     })
 }
 
+/// The inner aggregates supported in nested queries — the subset of
+/// [`Aggregate`] with a per-group evaluation that is stable under
+/// row-level resampling. The only constructor is fallible and private to
+/// [`PreparedTheta::prepare`], so unsupported inner aggregates are
+/// unrepresentable downstream (no `unreachable!` arms needed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InnerAggregate {
+    /// Per-group scaled sum.
+    Sum,
+    /// Per-group scaled row count.
+    Count,
+    /// Per-group mean (scale-free).
+    Avg,
+    /// Per-group minimum.
+    Min,
+    /// Per-group maximum.
+    Max,
+}
+
+impl InnerAggregate {
+    /// The supported subset; `None` for Variance/StdDev/Percentile, whose
+    /// per-group values are not resample-stable.
+    fn from_builtin(a: Aggregate) -> Option<Self> {
+        match a {
+            Aggregate::Sum => Some(InnerAggregate::Sum),
+            Aggregate::Count => Some(InnerAggregate::Count),
+            Aggregate::Avg => Some(InnerAggregate::Avg),
+            Aggregate::Min => Some(InnerAggregate::Min),
+            Aggregate::Max => Some(InnerAggregate::Max),
+            Aggregate::Variance | Aggregate::StdDev | Aggregate::Percentile(_) => None,
+        }
+    }
+}
+
 /// A fully-prepared θ for one SELECT aggregate.
 #[derive(Debug, Clone)]
 pub struct PreparedTheta {
     /// The top-level (or only) aggregate.
     pub outer: PlainTheta,
     /// For nested plans, the inner aggregate.
-    pub inner: Option<Aggregate>,
+    pub inner: Option<InnerAggregate>,
 }
 
 impl PreparedTheta {
@@ -112,13 +146,12 @@ impl PreparedTheta {
                 let b = builtin_of(&a.func).ok_or_else(|| {
                     ExecError::Unsupported("UDF as the inner aggregate of a nested query".into())
                 })?;
-                if matches!(b, Aggregate::Variance | Aggregate::StdDev | Aggregate::Percentile(_))
-                {
-                    return Err(ExecError::Unsupported(format!(
+                let b = InnerAggregate::from_builtin(b).ok_or_else(|| {
+                    ExecError::Unsupported(format!(
                         "inner aggregate {} not supported in nested queries",
                         b.name()
-                    )));
-                }
+                    ))
+                })?;
                 if matches!(outer_theta, PlainTheta::Builtin(Aggregate::Sum | Aggregate::Count)) {
                     return Err(ExecError::Unsupported(
                         "outer SUM/COUNT over a nested block needs group-count scaling, \
@@ -192,13 +225,13 @@ fn inner_group_values(
     codes: &[u32],
     n_codes: usize,
     weights: Option<&[u32]>,
-    inner: Aggregate,
+    inner: InnerAggregate,
     ctx: &SampleContext,
 ) -> Vec<f64> {
     debug_assert_eq!(values.len(), codes.len());
     let scale = ctx.scale();
     match inner {
-        Aggregate::Sum | Aggregate::Count => {
+        InnerAggregate::Sum | InnerAggregate::Count => {
             let mut sums = vec![0.0f64; n_codes];
             let mut present = vec![false; n_codes];
             for i in 0..values.len() {
@@ -207,7 +240,7 @@ fn inner_group_values(
                     continue;
                 }
                 let g = codes[i] as usize;
-                let contrib = if matches!(inner, Aggregate::Count) {
+                let contrib = if matches!(inner, InnerAggregate::Count) {
                     w as f64
                 } else {
                     values[i] * w as f64
@@ -220,7 +253,7 @@ fn inner_group_values(
                 .map(|g| sums[g] * scale)
                 .collect()
         }
-        Aggregate::Avg => {
+        InnerAggregate::Avg => {
             let mut sums = vec![0.0f64; n_codes];
             let mut wsum = vec![0u64; n_codes];
             for i in 0..values.len() {
@@ -237,8 +270,8 @@ fn inner_group_values(
                 .map(|g| sums[g] / wsum[g] as f64)
                 .collect()
         }
-        Aggregate::Min | Aggregate::Max => {
-            let init = if matches!(inner, Aggregate::Min) {
+        InnerAggregate::Min | InnerAggregate::Max => {
+            let init = if matches!(inner, InnerAggregate::Min) {
                 f64::INFINITY
             } else {
                 f64::NEG_INFINITY
@@ -251,7 +284,7 @@ fn inner_group_values(
                     continue;
                 }
                 let g = codes[i] as usize;
-                acc[g] = if matches!(inner, Aggregate::Min) {
+                acc[g] = if matches!(inner, InnerAggregate::Min) {
                     acc[g].min(values[i])
                 } else {
                     acc[g].max(values[i])
@@ -259,10 +292,6 @@ fn inner_group_values(
                 present[g] = true;
             }
             (0..n_codes).filter(|&g| present[g]).map(|g| acc[g]).collect()
-        }
-        // Rejected at preparation time.
-        Aggregate::Variance | Aggregate::StdDev | Aggregate::Percentile(_) => {
-            unreachable!("unsupported inner aggregate")
         }
     }
 }

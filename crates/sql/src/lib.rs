@@ -22,6 +22,9 @@
 //! bootstrap + diagnostic weight groups) and *operator pushdown* (the
 //! resample operator sinks below the longest pass-through prefix).
 
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod ast;
 pub mod expr;
 pub mod lexer;

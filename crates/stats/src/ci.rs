@@ -84,7 +84,7 @@ pub fn symmetric_half_width(center: f64, draws: &[f64], alpha: f64) -> f64 {
     assert!(!draws.is_empty(), "need at least one draw");
     assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
     let mut dev: Vec<f64> = draws.iter().map(|&d| (d - center).abs()).collect();
-    dev.sort_by(|a, b| a.partial_cmp(b).expect("NaN deviation in CI computation"));
+    dev.sort_by(f64::total_cmp);
     // ceil(alpha * K) draws must be covered; index is that count - 1.
     let k = ((alpha * dev.len() as f64).ceil() as usize).clamp(1, dev.len());
     dev[k - 1]

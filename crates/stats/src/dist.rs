@@ -401,7 +401,7 @@ mod tests {
         let mut rng = rng_from_seed(6);
         let n = 100_001;
         let mut xs: Vec<f64> = (0..n).map(|_| sample_lognormal(&mut rng, 2.0, 1.0)).collect();
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.sort_by(f64::total_cmp);
         let median = xs[n / 2];
         // Median of lognormal(mu, sigma) is e^mu.
         assert!((median - 2.0f64.exp()).abs() / 2.0f64.exp() < 0.03, "median {median}");

@@ -299,8 +299,9 @@ pub mod udfs {
             if xs.is_empty() {
                 return f64::NAN;
             }
-            let a = quantile(xs, lo).unwrap();
-            let b = quantile(xs, hi).unwrap();
+            let (Some(a), Some(b)) = (quantile(xs, lo), quantile(xs, hi)) else {
+                return f64::NAN;
+            };
             let mut sum = 0.0;
             let mut n = 0usize;
             for &x in xs {
@@ -324,7 +325,9 @@ pub mod udfs {
             if xs.is_empty() {
                 return f64::NAN;
             }
-            let cut = quantile(xs, 1.0 - frac).unwrap();
+            let Some(cut) = quantile(xs, 1.0 - frac) else {
+                return f64::NAN;
+            };
             let mut sum = 0.0;
             let mut n = 0usize;
             for &x in xs {

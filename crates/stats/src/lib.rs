@@ -25,6 +25,9 @@
 //! * the §3 evaluation harness that classifies a (θ, ξ, data) triple as
 //!   correct / optimistic / pessimistic ([`accuracy`]).
 
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod accuracy;
 pub mod bootstrap;
 pub mod ci;

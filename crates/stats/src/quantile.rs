@@ -16,7 +16,7 @@ pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
         return None;
     }
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    v.sort_by(f64::total_cmp);
     quantile_sorted(&v, q)
 }
 
@@ -49,7 +49,7 @@ pub fn weighted_quantile(xs: &[f64], ws: &[u32], q: f64) -> Option<f64> {
         return None;
     }
     let mut idx: Vec<usize> = (0..xs.len()).filter(|&i| ws[i] > 0).collect();
-    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in quantile input"));
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
     let q = q.clamp(0.0, 1.0);
     // Nearest-rank on the expanded multiset: rank r = ceil(q * total), min 1.
     let target = ((q * total as f64).ceil() as u64).max(1);
@@ -69,8 +69,8 @@ pub fn quantiles(xs: &[f64], qs: &[f64]) -> Option<Vec<f64>> {
         return None;
     }
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
-    Some(qs.iter().map(|&q| quantile_sorted(&v, q).unwrap()).collect())
+    v.sort_by(f64::total_cmp);
+    qs.iter().map(|&q| quantile_sorted(&v, q)).collect()
 }
 
 #[cfg(test)]

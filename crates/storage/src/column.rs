@@ -346,7 +346,12 @@ impl Column {
                                 mask.push(false);
                                 any_null = true;
                             }
-                            _ => unreachable!("type checked above"),
+                            other => {
+                                return Err(StorageError::TypeMismatch {
+                                    expected: "bool".into(),
+                                    actual: format!("{other:?}"),
+                                })
+                            }
                         }
                     }
                 }
@@ -359,7 +364,12 @@ impl Column {
                         match c.value(i)? {
                             Value::Str(s) => strs.push(Some(s)),
                             Value::Null => strs.push(None),
-                            _ => unreachable!("type checked above"),
+                            other => {
+                                return Err(StorageError::TypeMismatch {
+                                    expected: "str".into(),
+                                    actual: format!("{other:?}"),
+                                })
+                            }
                         }
                     }
                 }

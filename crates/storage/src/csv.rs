@@ -154,12 +154,15 @@ pub fn read_csv<R: BufRead>(
                 // Empty string = NULL for string columns too.
                 let strs: Vec<&str> = rows.iter().map(|r| r[ci].as_str()).collect();
                 if has_nulls {
-                    let c = Column::from_strs(&strs);
-                    if let Column::Str { dict, codes, .. } = c {
-                        let mask: Vec<bool> = rows.iter().map(|r| !r[ci].is_empty()).collect();
-                        Column::Str { dict, codes, validity: Some(mask) }
-                    } else {
-                        unreachable!("from_strs builds Str")
+                    match Column::from_strs(&strs) {
+                        Column::Str { dict, codes, .. } => {
+                            let mask: Vec<bool> =
+                                rows.iter().map(|r| !r[ci].is_empty()).collect();
+                            Column::Str { dict, codes, validity: Some(mask) }
+                        }
+                        // from_strs only builds Str; keep the column as-is
+                        // (without a validity mask) if that ever changes.
+                        other => other,
                     }
                 } else {
                     Column::from_strs(&strs)

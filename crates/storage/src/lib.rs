@@ -18,6 +18,9 @@
 //!
 //! Everything is deterministic given explicit seeds; no I/O is performed.
 
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod batch;
 pub mod catalog;
 pub mod column;

@@ -25,6 +25,9 @@
 //! * [`traces`] — SQL query traces + cluster [`aqp_cluster::QueryProfile`]s
 //!   for QSet-1/QSet-2 and the Fig. 7–9 simulations.
 
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod datagen;
 pub mod statquery;
 pub mod traces;

@@ -1,0 +1,147 @@
+//! The `lint.toml` allowlist: a minimal TOML-subset parser (std-only).
+//!
+//! Grammar actually used — `[[allow]]` table arrays with string and
+//! integer values — which is all this hand parser accepts:
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "panic-freedom"
+//! file = "crates/exec/src/parallel.rs"
+//! max = 1
+//! reason = "join() of a scoped worker; a panic there is already fatal"
+//! ```
+//!
+//! Budgets are ceilings with shrink-pressure: a (rule, file) pair may
+//! produce at most `max` findings; when the actual count drops below
+//! `max` the linter prints a nag to lower the budget, so the allowlist
+//! can only shrink over time.
+
+/// One allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule family the budget applies to.
+    pub rule: String,
+    /// Repo-relative file the budget applies to.
+    pub file: String,
+    /// Maximum tolerated findings for (rule, file).
+    pub max: usize,
+    /// Why the findings are tolerated.
+    pub reason: String,
+}
+
+/// Parse the allowlist. Returns `Err(message)` on malformed input; an
+/// unparseable allowlist must fail the lint run, never silence it.
+pub fn parse(src: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut current: Option<AllowEntry> = None;
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(e) = current.take() {
+                entries.push(validated(e, lineno)?);
+            }
+            current = Some(AllowEntry {
+                rule: String::new(),
+                file: String::new(),
+                max: 0,
+                reason: String::new(),
+            });
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!("lint.toml:{lineno}: unknown section `{line}`"));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("lint.toml:{lineno}: expected `key = value`"));
+        };
+        let entry = current
+            .as_mut()
+            .ok_or_else(|| format!("lint.toml:{lineno}: key outside [[allow]]"))?;
+        let key = key.trim();
+        let value = value.trim();
+        match key {
+            "rule" => entry.rule = unquote(value, lineno)?,
+            "file" => entry.file = unquote(value, lineno)?,
+            "reason" => entry.reason = unquote(value, lineno)?,
+            "max" => {
+                entry.max = value
+                    .parse()
+                    .map_err(|_| format!("lint.toml:{lineno}: max must be an integer"))?
+            }
+            other => return Err(format!("lint.toml:{lineno}: unknown key `{other}`")),
+        }
+    }
+    if let Some(e) = current.take() {
+        entries.push(validated(e, src.lines().count())?);
+    }
+    Ok(entries)
+}
+
+fn validated(e: AllowEntry, lineno: usize) -> Result<AllowEntry, String> {
+    if e.rule.is_empty() || e.file.is_empty() || e.max == 0 || e.reason.is_empty() {
+        return Err(format!(
+            "lint.toml (entry ending near line {lineno}): every [[allow]] needs \
+             rule, file, max ≥ 1, and reason"
+        ));
+    }
+    Ok(e)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `#` inside quoted values does not occur in this file's vocabulary.
+    line.split('#').next().unwrap_or("")
+}
+
+fn unquote(v: &str, lineno: usize) -> Result<String, String> {
+    let v = v.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].to_string())
+    } else {
+        Err(format!("lint.toml:{lineno}: expected a quoted string, got `{v}`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries() {
+        let src = r#"
+# header comment
+[[allow]]
+rule = "rng-discipline"
+file = "crates/stats/src/rng.rs"
+max = 3
+reason = "sanctioned construction site"
+
+[[allow]]
+rule = "panic-freedom"  # trailing comment
+file = "crates/exec/src/parallel.rs"
+max = 1
+reason = "scoped join"
+"#;
+        let e = parse(src).unwrap();
+        assert_eq!(e.len(), 2);
+        assert_eq!(e[0].rule, "rng-discipline");
+        assert_eq!(e[0].max, 3);
+        assert_eq!(e[1].file, "crates/exec/src/parallel.rs");
+    }
+
+    #[test]
+    fn rejects_incomplete_entries() {
+        assert!(parse("[[allow]]\nrule = \"x\"\n").is_err());
+        assert!(parse("rule = \"x\"\n").is_err());
+        assert!(parse("[[allow]]\nrule = \"r\"\nfile = \"f\"\nmax = 0\nreason = \"b\"").is_err());
+        assert!(parse("[[allow]]\nbogus = \"x\"\n").is_err());
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        assert_eq!(parse("# only comments\n").unwrap(), Vec::new());
+    }
+}

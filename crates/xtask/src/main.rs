@@ -1,0 +1,291 @@
+//! `xtask` — the workspace invariant checker.
+//!
+//! Run as `cargo run -p xtask -- lint`. Scans every `.rs` file and crate
+//! manifest in the repository (skipping `target/`, `third_party/`, and
+//! VCS metadata) and enforces the four rule families described in
+//! `src/rules.rs`, with per-(rule, file) finding budgets read from
+//! `crates/xtask/lint.toml`. Exits nonzero when any unallowlisted
+//! finding remains, printing `file:line: [rule] token — hint` for each.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod rules;
+mod scanner;
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use config::AllowEntry;
+use rules::Finding;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut cfg_path: Option<PathBuf> = None;
+    let mut cmd: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" if i + 1 < args.len() => {
+                root = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            "--config" if i + 1 < args.len() => {
+                cfg_path = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("xtask: unknown flag `{flag}`");
+                return usage();
+            }
+            sub if cmd.is_none() => {
+                cmd = Some(sub.to_string());
+                i += 1;
+            }
+            extra => {
+                eprintln!("xtask: unexpected argument `{extra}`");
+                return usage();
+            }
+        }
+    }
+    if cmd.as_deref() != Some("lint") {
+        return usage();
+    }
+
+    let root = root.unwrap_or_else(default_root);
+    let cfg_path = cfg_path.unwrap_or_else(|| root.join("crates/xtask/lint.toml"));
+    match lint(&root, &cfg_path) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("xtask: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo run -p xtask -- lint [--root PATH] [--config PATH]");
+    ExitCode::from(2)
+}
+
+/// The repo root when run via `cargo run -p xtask`.
+fn default_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Run the lint; `Ok(true)` means clean (exit 0).
+fn lint(root: &Path, cfg_path: &Path) -> Result<bool, String> {
+    let allow = match std::fs::read_to_string(cfg_path) {
+        Ok(src) => config::parse(&src)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(format!("reading {}: {e}", cfg_path.display())),
+    };
+
+    let mut sources = Vec::new();
+    let mut manifests = Vec::new();
+    walk(root, root, &mut sources, &mut manifests)
+        .map_err(|e| format!("walking {}: {e}", root.display()))?;
+    sources.sort();
+    manifests.sort();
+
+    let mut findings: Vec<Finding> = Vec::new();
+    for rel in &sources {
+        let src = std::fs::read_to_string(root.join(rel))
+            .map_err(|e| format!("reading {rel}: {e}"))?;
+        findings.extend(rules::check_source(rel, &src));
+    }
+    for rel in &manifests {
+        let src = std::fs::read_to_string(root.join(rel))
+            .map_err(|e| format!("reading {rel}: {e}"))?;
+        findings.extend(rules::check_manifest(rel, &src));
+    }
+
+    let (violations, suppressed, nags) = apply_allowlist(findings, &allow);
+
+    for v in &violations {
+        println!("{v}");
+    }
+    for n in &nags {
+        println!("note: {n}");
+    }
+    if violations.is_empty() {
+        println!(
+            "aqp-lint: OK — {} sources + {} manifests scanned, {} finding(s) allowlisted",
+            sources.len(),
+            manifests.len(),
+            suppressed
+        );
+        Ok(true)
+    } else {
+        println!(
+            "aqp-lint: {} violation(s) across {} sources + {} manifests ({} allowlisted)",
+            violations.len(),
+            sources.len(),
+            manifests.len(),
+            suppressed
+        );
+        Ok(false)
+    }
+}
+
+/// Split findings into (violations, suppressed-count, shrink-nags).
+///
+/// A budget suppresses up to `max` findings for its (rule, file) pair.
+/// Over-budget pairs report *all* their findings (the allowlist must
+/// shrink, never grow). Under-budget pairs and unused entries produce
+/// nags so stale budgets get tightened.
+fn apply_allowlist(
+    findings: Vec<Finding>,
+    allow: &[AllowEntry],
+) -> (Vec<Finding>, usize, Vec<String>) {
+    let mut counts: HashMap<(String, String), usize> = HashMap::new();
+    for f in &findings {
+        *counts.entry((f.rule.to_string(), f.file.clone())).or_insert(0) += 1;
+    }
+    let budget_of = |f: &Finding| {
+        allow
+            .iter()
+            .find(|a| a.rule == f.rule && a.file == f.file)
+            .map(|a| a.max)
+    };
+
+    let mut violations = Vec::new();
+    let mut suppressed = 0usize;
+    for f in findings {
+        let count = counts[&(f.rule.to_string(), f.file.clone())];
+        match budget_of(&f) {
+            Some(max) if count <= max => suppressed += 1,
+            _ => violations.push(f),
+        }
+    }
+
+    let mut nags = Vec::new();
+    for a in allow {
+        let actual = counts.get(&(a.rule.clone(), a.file.clone())).copied().unwrap_or(0);
+        if actual == 0 {
+            nags.push(format!(
+                "allowlist entry [{} / {}] is unused — delete it",
+                a.rule, a.file
+            ));
+        } else if actual < a.max {
+            nags.push(format!(
+                "allowlist budget [{} / {}] can shrink: max = {} but only {} finding(s)",
+                a.rule, a.file, a.max, actual
+            ));
+        } else if actual > a.max {
+            nags.push(format!(
+                "allowlist budget [{} / {}] exceeded: max = {} but {} finding(s) — \
+                 fix the new ones; budgets only shrink",
+                a.rule, a.file, a.max, actual
+            ));
+        }
+    }
+    (violations, suppressed, nags)
+}
+
+/// Directories never scanned: build output, vendored stand-ins (they
+/// emulate foreign APIs, including the forbidden ones), and VCS/tooling
+/// metadata.
+const SKIP_DIRS: &[&str] = &["target", "third_party", ".git", ".github", ".claude"];
+
+/// Recursively collect repo-relative `.rs` and `Cargo.toml` paths.
+fn walk(
+    root: &Path,
+    dir: &Path,
+    sources: &mut Vec<String>,
+    manifests: &mut Vec<String>,
+) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, sources, manifests)?;
+        } else if let Ok(rel) = path.strip_prefix(root) {
+            let rel = rel.to_string_lossy().replace('\\', "/");
+            if name.ends_with(".rs") {
+                sources.push(rel);
+            } else if name == "Cargo.toml" {
+                manifests.push(rel);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str) -> Finding {
+        Finding {
+            file: file.into(),
+            line: 1,
+            rule,
+            token: "tok".into(),
+            hint: "hint",
+        }
+    }
+
+    fn entry(rule: &str, file: &str, max: usize) -> AllowEntry {
+        AllowEntry {
+            rule: rule.into(),
+            file: file.into(),
+            max,
+            reason: "test".into(),
+        }
+    }
+
+    #[test]
+    fn allowlist_suppresses_within_budget() {
+        let allow = vec![entry("rng-discipline", "a.rs", 2)];
+        let findings = vec![finding("rng-discipline", "a.rs"), finding("rng-discipline", "a.rs")];
+        let (viol, supp, nags) = apply_allowlist(findings, &allow);
+        assert!(viol.is_empty());
+        assert_eq!(supp, 2);
+        assert!(nags.is_empty(), "{nags:?}");
+    }
+
+    #[test]
+    fn over_budget_reports_everything() {
+        let allow = vec![entry("panic-freedom", "a.rs", 1)];
+        let findings = vec![finding("panic-freedom", "a.rs"), finding("panic-freedom", "a.rs")];
+        let (viol, supp, nags) = apply_allowlist(findings, &allow);
+        assert_eq!(viol.len(), 2);
+        assert_eq!(supp, 0);
+        assert_eq!(nags.len(), 1);
+        assert!(nags[0].contains("exceeded"));
+    }
+
+    #[test]
+    fn under_budget_and_unused_entries_nag() {
+        let allow = vec![entry("nan-safety", "a.rs", 3), entry("nan-safety", "b.rs", 1)];
+        let findings = vec![finding("nan-safety", "a.rs")];
+        let (viol, supp, nags) = apply_allowlist(findings, &allow);
+        assert!(viol.is_empty());
+        assert_eq!(supp, 1);
+        assert_eq!(nags.len(), 2);
+        assert!(nags.iter().any(|n| n.contains("can shrink")));
+        assert!(nags.iter().any(|n| n.contains("unused")));
+    }
+
+    #[test]
+    fn unallowlisted_findings_are_violations() {
+        let (viol, supp, _) = apply_allowlist(vec![finding("nan-safety", "a.rs")], &[]);
+        assert_eq!(viol.len(), 1);
+        assert_eq!(supp, 0);
+    }
+}

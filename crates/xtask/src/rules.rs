@@ -1,0 +1,439 @@
+//! The lint rules: each takes a scanned file and appends findings.
+//!
+//! Rule families (see `crates/xtask/lint.toml` for the allowlist and
+//! README.md for the rationale):
+//!
+//! * `rng-discipline` — every random stream must derive from an explicit
+//!   seed through `aqp_stats::rng`; entropy-based constructors and raw
+//!   reseeding are forbidden.
+//! * `nan-safety` — float comparisons must be total: no
+//!   `partial_cmp(..).unwrap()/expect(..)` and no `sort_by`-family call
+//!   built on `partial_cmp`; use `f64::total_cmp`.
+//! * `panic-freedom` — library code of the AQP pipeline crates must not
+//!   contain `panic!`, `unreachable!`, `todo!`, `unimplemented!`, or
+//!   `.unwrap()`; return typed errors (or `.expect` with an invariant
+//!   message where infallibility is provable).
+//! * `crate-hygiene` — crate roots carry `#![deny(unsafe_code)]` and
+//!   `#![warn(missing_docs)]`; manifests route every dependency through
+//!   `[workspace.dependencies]`.
+
+use crate::scanner::{cfg_test_regions, line_of, mask, tokens, SpannedTok};
+use std::path::Path;
+
+/// Crates whose library code must be panic-free (the request path).
+const PANIC_FREE_CRATES: &[&str] = &["exec", "core", "stats", "storage"];
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Repo-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Rule family name.
+    pub rule: &'static str,
+    /// The offending token or construct.
+    pub token: String,
+    /// How to fix it.
+    pub hint: &'static str,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] `{}` — {}",
+            self.file, self.line, self.rule, self.token, self.hint
+        )
+    }
+}
+
+/// Where a `.rs` file sits, which determines which rules apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code of a panic-free crate (all rules).
+    PanicFreeLib,
+    /// Any other workspace source (all rules except panic-freedom).
+    Other,
+}
+
+/// Classify a repo-relative `.rs` path.
+pub fn classify(rel: &str) -> FileKind {
+    let p = Path::new(rel);
+    let comps: Vec<&str> = p.iter().filter_map(|c| c.to_str()).collect();
+    let in_test_tree = comps
+        .iter()
+        .any(|c| matches!(*c, "tests" | "benches" | "examples"));
+    let lib_of_panic_free = comps.len() >= 3
+        && comps[0] == "crates"
+        && PANIC_FREE_CRATES.contains(&comps[1])
+        && comps[2] == "src";
+    if lib_of_panic_free && !in_test_tree {
+        FileKind::PanicFreeLib
+    } else {
+        FileKind::Other
+    }
+}
+
+/// Run all source rules on one file; returns its findings.
+pub fn check_source(rel: &str, src: &str) -> Vec<Finding> {
+    let masked = mask(src);
+    let toks = tokens(&masked);
+    let test_regions = cfg_test_regions(&masked);
+    let test_lines: Vec<(u32, u32)> = test_regions
+        .iter()
+        .map(|&(s, e)| (line_of(&masked, s), line_of(&masked, e)))
+        .collect();
+    let in_test_mod = |line: u32| test_lines.iter().any(|&(s, e)| line >= s && line <= e);
+
+    let mut out = Vec::new();
+    rng_discipline(rel, &toks, &mut out);
+    nan_safety(rel, &toks, &mut out);
+    if classify(rel) == FileKind::PanicFreeLib {
+        panic_freedom(rel, &toks, &in_test_mod, &mut out);
+    }
+    if is_crate_root(rel) {
+        crate_root_attrs(rel, &masked, &mut out);
+    }
+    out
+}
+
+/// `rng-discipline`: forbid entropy constructors everywhere and raw
+/// `seed_from_u64` outside the sanctioned construction site (allowlisted).
+fn rng_discipline(rel: &str, toks: &[SpannedTok], out: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        let Some(id) = t.ident() else { continue };
+        match id {
+            "thread_rng" | "from_entropy" | "from_os_rng" => out.push(Finding {
+                file: rel.into(),
+                line: t.line,
+                rule: "rng-discipline",
+                token: id.into(),
+                hint: "entropy-based RNG construction breaks reproducibility; derive a \
+                       stream from an explicit seed via aqp_stats::rng::SeedStream",
+            }),
+            "seed_from_u64" => out.push(Finding {
+                file: rel.into(),
+                line: t.line,
+                rule: "rng-discipline",
+                token: id.into(),
+                hint: "raw reseeding outside crates/stats/src/rng.rs loses the seed \
+                       provenance; use aqp_stats::rng::{rng_from_seed, SeedStream}",
+            }),
+            // `rand::rng()` — the rand 0.9+ name for thread_rng.
+            "rand"
+                if toks[i + 1..].len() >= 4
+                    && toks[i + 1].is_punct(':')
+                    && toks[i + 2].is_punct(':')
+                    && toks[i + 3].ident() == Some("rng")
+                    && toks[i + 4].is_punct('(') =>
+            {
+                out.push(Finding {
+                    file: rel.into(),
+                    line: t.line,
+                    rule: "rng-discipline",
+                    token: "rand::rng()".into(),
+                    hint: "the thread-local generator is seeded from OS entropy; \
+                           derive a stream from an explicit seed via aqp_stats::rng",
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `nan-safety`: `partial_cmp` chained into `unwrap`/`expect`, and
+/// `sort_by`-family comparators built on `partial_cmp`.
+fn nan_safety(rel: &str, toks: &[SpannedTok], out: &mut Vec<Finding>) {
+    const SORT_FAMILY: &[&str] = &[
+        "sort_by",
+        "sort_unstable_by",
+        "sort_by_cached_key",
+        "min_by",
+        "max_by",
+        "binary_search_by",
+    ];
+    for (i, t) in toks.iter().enumerate() {
+        let Some(id) = t.ident() else { continue };
+        if id == "partial_cmp" {
+            if let Some(j) = matching_close(toks, i + 1) {
+                if j + 2 < toks.len()
+                    && toks[j + 1].is_punct('.')
+                    && matches!(toks[j + 2].ident(), Some("unwrap") | Some("expect"))
+                {
+                    out.push(Finding {
+                        file: rel.into(),
+                        line: t.line,
+                        rule: "nan-safety",
+                        token: format!(
+                            "partial_cmp(..).{}",
+                            toks[j + 2].ident().unwrap_or_default()
+                        ),
+                        hint: "panics on NaN; use f64::total_cmp (or handle the None arm)",
+                    });
+                }
+            }
+        } else if SORT_FAMILY.contains(&id) {
+            if let Some(j) = matching_close(toks, i + 1) {
+                let arg_has_partial_cmp = toks[i + 1..j]
+                    .iter()
+                    .any(|t| t.ident() == Some("partial_cmp"));
+                // The chained-unwrap case above already reports inside the
+                // comparator; only flag sorts that dodge it some other way
+                // (unwrap_or, matches on Option, ...).
+                let already_reported = toks[i + 1..j].iter().any(|t| {
+                    matches!(t.ident(), Some("unwrap") | Some("expect"))
+                });
+                if arg_has_partial_cmp && !already_reported {
+                    out.push(Finding {
+                        file: rel.into(),
+                        line: t.line,
+                        rule: "nan-safety",
+                        token: format!("{id}(.. partial_cmp ..)"),
+                        hint: "float ordering via partial_cmp is not total under NaN; \
+                               sort with f64::total_cmp",
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// `panic-freedom` for library code of the pipeline crates.
+fn panic_freedom(
+    rel: &str,
+    toks: &[SpannedTok],
+    in_test_mod: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for (i, t) in toks.iter().enumerate() {
+        let Some(id) = t.ident() else { continue };
+        if in_test_mod(t.line) {
+            continue;
+        }
+        let is_macro = i + 1 < toks.len() && toks[i + 1].is_punct('!');
+        match id {
+            "panic" | "unreachable" | "todo" | "unimplemented" if is_macro => {
+                out.push(Finding {
+                    file: rel.into(),
+                    line: t.line,
+                    rule: "panic-freedom",
+                    token: format!("{id}!"),
+                    hint: "library code on the query path must not abort; return a \
+                           typed error (e.g. ExecError) instead",
+                });
+            }
+            "unwrap"
+                if i > 0
+                    && toks[i - 1].is_punct('.')
+                    && i + 2 < toks.len()
+                    && toks[i + 1].is_punct('(')
+                    && toks[i + 2].is_punct(')') =>
+            {
+                out.push(Finding {
+                    file: rel.into(),
+                    line: t.line,
+                    rule: "panic-freedom",
+                    token: ".unwrap()".into(),
+                    hint: "propagate the error (`?`) or use .expect(\"<invariant>\") \
+                           to document why this cannot fail",
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Crate roots: `src/lib.rs` of the repo or of any `crates/*` member.
+pub fn is_crate_root(rel: &str) -> bool {
+    let comps: Vec<&str> = Path::new(rel).iter().filter_map(|c| c.to_str()).collect();
+    comps.as_slice() == ["src", "lib.rs"]
+        || (comps.len() == 4 && comps[0] == "crates" && comps[2] == "src" && comps[3] == "lib.rs")
+}
+
+/// `crate-hygiene` (source half): required crate-root attributes.
+fn crate_root_attrs(rel: &str, masked: &str, out: &mut Vec<Finding>) {
+    let squashed: String = masked.chars().filter(|c| !c.is_whitespace()).collect();
+    for (attr, token) in [
+        ("#![deny(unsafe_code)]", "deny(unsafe_code)"),
+        ("#![warn(missing_docs)]", "warn(missing_docs)"),
+    ] {
+        let want: String = attr.chars().filter(|c| !c.is_whitespace()).collect();
+        if !squashed.contains(&want) {
+            out.push(Finding {
+                file: rel.into(),
+                line: 1,
+                rule: "crate-hygiene",
+                token: token.into(),
+                hint: "every crate root must carry #![deny(unsafe_code)] and \
+                       #![warn(missing_docs)]",
+            });
+        }
+    }
+}
+
+/// `crate-hygiene` (manifest half): every `[dependencies]` /
+/// `[dev-dependencies]` / `[build-dependencies]` entry of a member crate
+/// must route through `[workspace.dependencies]` (`workspace = true`).
+pub fn check_manifest(rel: &str, src: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut in_dep_section = false;
+    for (idx, raw) in src.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            in_dep_section = matches!(
+                line,
+                "[dependencies]" | "[dev-dependencies]" | "[build-dependencies]"
+            );
+            continue;
+        }
+        if !in_dep_section {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else { continue };
+        let key = key.trim();
+        let value = value.trim();
+        let routed = key.ends_with(".workspace") && value == "true"
+            || value.contains("workspace = true")
+            || value.contains("workspace=true");
+        if !routed {
+            out.push(Finding {
+                file: rel.into(),
+                line: idx as u32 + 1,
+                rule: "crate-hygiene",
+                token: key.split('.').next().unwrap_or(key).into(),
+                hint: "declare the version/path once under [workspace.dependencies] \
+                       and use `<name>.workspace = true` here",
+            });
+        }
+    }
+    out
+}
+
+/// Index of the `)` matching the `(` expected at `toks[open]`; `None` if
+/// `toks[open]` is not `(` or the parens never balance.
+fn matching_close(toks: &[SpannedTok], open: usize) -> Option<usize> {
+    if open >= toks.len() || !toks[open].is_punct('(') {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_on(rel: &str, src: &str) -> Vec<Finding> {
+        check_source(rel, src)
+    }
+
+    #[test]
+    fn rng_rule_hits_entropy_constructors() {
+        let f = rules_on("crates/workload/src/x.rs", "let mut r = thread_rng();");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "rng-discipline");
+        let f = rules_on("crates/workload/src/x.rs", "let r = rand::rng();");
+        assert_eq!(f.len(), 1, "{f:?}");
+        let f = rules_on("src/x.rs", "let r = StdRng::seed_from_u64(42);");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn rng_rule_ignores_comments_and_strings() {
+        let f = rules_on(
+            "src/x.rs",
+            "// thread_rng is forbidden\nlet s = \"from_entropy\"; /* seed_from_u64 */",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn nan_rule_hits_chained_unwrap_and_sorts() {
+        let f = rules_on("src/x.rs", "v.sort_by(|a, b| a.partial_cmp(b).unwrap());");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "nan-safety");
+        assert!(f[0].token.contains("unwrap"));
+        let f = rules_on(
+            "src/x.rs",
+            "v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].token.starts_with("sort_by"));
+        let f = rules_on("src/x.rs", "let o = x.partial_cmp(&y).expect(\"no NaN\");");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn nan_rule_allows_propagated_option() {
+        let f = rules_on("src/x.rs", "let o = x.partial_cmp(&y)?; let p = a.partial_cmp(&b).map(flip);");
+        assert!(f.is_empty(), "{f:?}");
+        let f = rules_on("src/x.rs", "v.sort_by(f64::total_cmp);");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn panic_rule_applies_only_to_pipeline_lib_code() {
+        let src = "fn f(o: Option<u32>) -> u32 { o.unwrap() }";
+        assert_eq!(rules_on("crates/exec/src/engine.rs", src).len(), 1);
+        assert_eq!(rules_on("crates/stats/src/ci.rs", "fn g() { panic!(\"x\") }").len(), 1);
+        // Same code in a bench, a test tree, or a non-pipeline crate: clean.
+        assert!(rules_on("crates/exec/benches/b.rs", src).is_empty());
+        assert!(rules_on("tests/properties.rs", src).is_empty());
+        assert!(rules_on("crates/bench/src/util.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_rule_exempts_cfg_test_modules() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { Some(1).unwrap(); panic!(\"boom\") }\n}";
+        let f = rules_on("crates/core/src/session.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn panic_rule_allows_expect_with_message() {
+        let f = rules_on(
+            "crates/exec/src/parallel.rs",
+            "let v = handle.join().expect(\"worker panicked\");",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn hygiene_rule_requires_crate_root_attrs() {
+        let f = rules_on("crates/exec/src/lib.rs", "//! Docs.\n#![deny(unsafe_code)]\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].token, "warn(missing_docs)");
+        let f = rules_on(
+            "src/lib.rs",
+            "//! Docs.\n#![deny(unsafe_code)]\n#![warn(missing_docs)]\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+        // Non-root files carry no attribute obligation.
+        let f = rules_on("crates/exec/src/engine.rs", "fn ok() {}");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn manifest_rule_requires_workspace_deps() {
+        let bad = "[package]\nname = \"x\"\n[dependencies]\nrand = \"0.8\"\nserde = { version = \"1\", features = [\"derive\"] }\n";
+        let f = check_manifest("crates/x/Cargo.toml", bad);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|f| f.rule == "crate-hygiene"));
+        let good = "[dependencies]\nrand.workspace = true\nserde = { workspace = true, features = [\"derive\"] }\n";
+        assert!(check_manifest("crates/x/Cargo.toml", good).is_empty());
+    }
+}

@@ -1,0 +1,368 @@
+//! Comment- and string-literal-aware Rust source scanning.
+//!
+//! The lint rules must not fire on text inside comments, doc comments, or
+//! string/char literals (a doc example mentioning `thread_rng` is not a
+//! violation), so rules never look at raw source. Instead they see either
+//!
+//! * the [`mask`]ed source — comments and literal *contents* replaced by
+//!   spaces, byte-for-byte, so line numbers and byte offsets survive — or
+//! * the [`tokens`] extracted from that masked source: identifiers and
+//!   single-character punctuation with line numbers attached.
+//!
+//! This is not a full Rust lexer; it handles exactly the constructs that
+//! would otherwise cause false positives: line comments, nested block
+//! comments, (raw/byte) string literals with escapes, and char literals
+//! disambiguated from lifetimes.
+
+/// One lexical token of the masked source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword, e.g. `unwrap`, `partial_cmp`, `mod`.
+    Ident(String),
+    /// A single punctuation character, e.g. `.`, `(`, `!`, `:`.
+    Punct(char),
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number in the original file.
+    pub line: u32,
+}
+
+impl SpannedTok {
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s.as_str()),
+            Tok::Punct(_) => None,
+        }
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+}
+
+/// Replace comments and string/char literal contents with spaces,
+/// preserving length and line structure exactly.
+pub fn mask(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 0usize;
+                while i < b.len() {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if starts_raw_string(b, i) => {
+                // r"..." / r#"..."# / br#"..."# — no escapes, terminated by
+                // a quote followed by the same number of hashes.
+                let start = i;
+                while b[i] != b'r' {
+                    i += 1; // skip the 'b' of br
+                }
+                i += 1;
+                let mut hashes = 0usize;
+                while i < b.len() && b[i] == b'#' {
+                    hashes += 1;
+                    i += 1;
+                }
+                i += 1; // opening quote
+                while i < b.len() {
+                    if b[i] == b'"' && b[i + 1..].iter().take(hashes).filter(|&&c| c == b'#').count() == hashes {
+                        i += 1 + hashes;
+                        break;
+                    }
+                    i += 1;
+                }
+                for &c in &b[start..i.min(b.len())] {
+                    out.push(if c == b'\n' { b'\n' } else { b' ' });
+                }
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                while i < b.len() {
+                    match b[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                for &c in &b[start..i.min(b.len())] {
+                    out.push(if c == b'\n' { b'\n' } else { b' ' });
+                }
+            }
+            b'\'' if is_char_literal(b, i) => {
+                let start = i;
+                i += 1;
+                if i < b.len() && b[i] == b'\\' {
+                    i += 2;
+                } else {
+                    // Possibly multi-byte UTF-8 scalar.
+                    i += 1;
+                    while i < b.len() && b[i] & 0xC0 == 0x80 {
+                        i += 1;
+                    }
+                }
+                if i < b.len() && b[i] == b'\'' {
+                    i += 1;
+                }
+                let masked_len = out.len() + (i.min(b.len()) - start);
+                out.resize(masked_len, b' ');
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    // Masking only writes ASCII spaces over removed bytes and copies the
+    // rest verbatim, so the result is valid UTF-8 whenever the input was.
+    String::from_utf8(out).expect("masking preserves UTF-8")
+}
+
+/// Does `b[i..]` begin a raw (byte) string literal?
+fn starts_raw_string(b: &[u8], i: usize) -> bool {
+    // Reject identifiers ending in r/b, e.g. `var"` cannot happen but
+    // `for r in ...` must not treat `r` as a prefix: require the char
+    // before to not be identifier-ish.
+    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+        if j >= b.len() || b[j] != b'r' {
+            // b"..." is an ordinary (byte) string; the `"` arm handles it.
+            return false;
+        }
+    }
+    if b[j] != b'r' {
+        return false;
+    }
+    j += 1;
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"'
+}
+
+/// Is the `'` at `b[i]` a char literal (vs a lifetime)?
+fn is_char_literal(b: &[u8], i: usize) -> bool {
+    if i + 1 >= b.len() {
+        return false;
+    }
+    if b[i + 1] == b'\\' {
+        return true;
+    }
+    // 'x' where the closing quote appears right after one scalar value.
+    let mut j = i + 2;
+    while j < b.len() && b[j] & 0xC0 == 0x80 {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'\''
+}
+
+/// Tokenize masked source into identifiers and punctuation with lines.
+pub fn tokens(masked: &str) -> Vec<SpannedTok> {
+    let b = masked.as_bytes();
+    let mut out = Vec::new();
+    let mut line: u32 = 1;
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            out.push(SpannedTok {
+                tok: Tok::Ident(masked[start..i].to_string()),
+                line,
+            });
+        } else if c.is_ascii_whitespace() || c.is_ascii_digit() || !c.is_ascii() {
+            // Numbers and non-ASCII never matter to the rules; skip.
+            i += 1;
+            while i < b.len() && b[i] & 0xC0 == 0x80 {
+                i += 1;
+            }
+        } else {
+            out.push(SpannedTok { tok: Tok::Punct(c as char), line });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Byte ranges of `#[cfg(test)] mod ... { ... }` regions in masked source.
+///
+/// Returns (start, end) byte offsets; rules use this to exempt unit-test
+/// modules from library-code-only rules. Brace matching runs on masked
+/// source, so braces in strings/comments cannot unbalance it.
+pub fn cfg_test_regions(masked: &str) -> Vec<(usize, usize)> {
+    let b = masked.as_bytes();
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while let Some(pos) = find_cfg_test(masked, i) {
+        // Find the `{` that opens the mod (skip the attribute and header).
+        let mut j = pos;
+        while j < b.len() && b[j] != b'{' {
+            j += 1;
+        }
+        if j == b.len() {
+            break;
+        }
+        let mut depth = 0usize;
+        let start = pos;
+        while j < b.len() {
+            match b[j] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        regions.push((start, j.min(b.len())));
+        i = j.min(b.len()).max(pos + 1);
+    }
+    regions
+}
+
+/// Find the next `#[cfg(test)]` attribute at or after byte `from`,
+/// tolerating arbitrary whitespace between its tokens.
+fn find_cfg_test(masked: &str, from: usize) -> Option<usize> {
+    let b = masked.as_bytes();
+    let mut i = from;
+    while i < b.len() {
+        if b[i] != b'#' {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut j = i + 1;
+        let mut ok = true;
+        for expect in ["[", "cfg", "(", "test", ")", "]"] {
+            while j < b.len() && b[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if masked[j..].starts_with(expect) {
+                j += expect.len();
+            } else {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            return Some(start);
+        }
+        i = start + 1;
+    }
+    None
+}
+
+/// Map a byte offset in (masked) source to a 1-based line number.
+pub fn line_of(masked: &str, offset: usize) -> u32 {
+    1 + masked.as_bytes()[..offset.min(masked.len())]
+        .iter()
+        .filter(|&&c| c == b'\n')
+        .count() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_and_block_comments() {
+        let m = mask("let x = 1; // thread_rng\n/* panic! /* nested */ */ let y = 2;");
+        assert!(!m.contains("thread_rng"));
+        assert!(!m.contains("panic"));
+        assert!(m.contains("let x = 1;"));
+        assert!(m.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn masks_string_contents_preserving_lines() {
+        let src = "let s = \"thread_rng\\\"quoted\";\nlet t = 1;";
+        let m = mask(src);
+        assert!(!m.contains("thread_rng"));
+        assert_eq!(m.lines().count(), src.lines().count());
+        assert_eq!(m.len(), src.len());
+    }
+
+    #[test]
+    fn masks_raw_strings() {
+        let m = mask("let s = r#\"partial_cmp \" inner\"#; let u = unwrap_marker;");
+        assert!(!m.contains("partial_cmp"));
+        assert!(m.contains("unwrap_marker"));
+    }
+
+    #[test]
+    fn char_literals_masked_lifetimes_kept() {
+        let m = mask("fn f<'a>(x: &'a str) { let c = 'p'; let d = '\\n'; }");
+        assert!(m.contains("'a"), "{m}");
+        assert!(!m.contains("'p'"));
+        assert!(!m.contains("\\n"));
+    }
+
+    #[test]
+    fn tokens_carry_lines() {
+        let toks = tokens("a.b\nc!(d)");
+        let idents: Vec<(&str, u32)> = toks
+            .iter()
+            .filter_map(|t| t.ident().map(|s| (s, t.line)))
+            .collect();
+        assert_eq!(idents, vec![("a", 1), ("b", 1), ("c", 2), ("d", 2)]);
+    }
+
+    #[test]
+    fn cfg_test_region_brace_matched() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n  fn t() { let x = { 1 }; }\n}\nfn after() {}";
+        let m = mask(src);
+        let regions = cfg_test_regions(&m);
+        assert_eq!(regions.len(), 1);
+        let (s, e) = regions[0];
+        assert!(m[s..e].contains("fn t"));
+        assert!(!m[s..e].contains("after"));
+        assert!(line_of(&m, s) == 2);
+    }
+}

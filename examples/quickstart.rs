@@ -18,7 +18,10 @@ fn main() {
     println!("building a {rows}-row sessions table ...");
     let table = conviva_sessions_table(rows, 16, 1);
 
-    let session = AqpSession::new(SessionConfig { seed: 42, ..Default::default() });
+    // Seed chosen so the diagnostic accepts the benign AVG (most seeds do;
+    // a few land in its ~few-percent false-negative band and would fall
+    // back to exact, which is safe but defeats this demo).
+    let session = AqpSession::new(SessionConfig { seed: 1, ..Default::default() });
     session.register_table(table).expect("register");
     println!("building uniform samples (2.5% and 5%) ...");
     session.build_samples("sessions", &[rows / 40, rows / 20], 7).expect("sample");

@@ -30,6 +30,9 @@
 //! println!("{}", answer.summary());
 //! ```
 
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use aqp_core::answer::AnswerMode;
 pub use aqp_core::{AqpAnswer, AqpSession, SessionConfig};
 

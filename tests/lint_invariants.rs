@@ -1,0 +1,117 @@
+//! Tier-1 enforcement of the workspace invariants: `cargo run -p xtask
+//! -- lint` must pass on the repository and must fail on code that
+//! violates the rules (exercised against a synthetic fixture tree).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn run_lint(extra: &[&str]) -> Output {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    Command::new(cargo)
+        .current_dir(repo_root())
+        .args(["run", "-p", "xtask", "--offline", "--quiet", "--", "lint"])
+        .args(extra)
+        .output()
+        .expect("spawning cargo run -p xtask")
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let out = run_lint(&[]);
+    assert!(
+        out.status.success(),
+        "lint failed:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("aqp-lint: OK"), "unexpected output: {stdout}");
+    // Budgets must stay tight: a passing run with shrinkable budgets is a
+    // stale allowlist.
+    assert!(
+        !stdout.contains("can shrink") && !stdout.contains("unused"),
+        "allowlist has slack — tighten lint.toml:\n{stdout}"
+    );
+}
+
+/// A fixture tree containing one violation of every rule family.
+fn write_fixture(root: &Path) {
+    let write = |rel: &str, content: &str| {
+        let path = root.join(rel);
+        std::fs::create_dir_all(path.parent().expect("fixture paths have parents"))
+            .expect("mkdir fixture");
+        std::fs::write(path, content).expect("write fixture");
+    };
+    // rng-discipline + nan-safety violations in an ordinary source file.
+    write(
+        "crates/workload/src/gen.rs",
+        "pub fn f() -> u64 {\n    let mut r = rand::rng();\n    let mut v = vec![1.0f64];\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n    r.next_u64()\n}\n",
+    );
+    // panic-freedom violations in pipeline library code (and proof that a
+    // #[cfg(test)] module is exempt).
+    write(
+        "crates/exec/src/engine.rs",
+        "pub fn g(o: Option<u32>) -> u32 {\n    if o.is_none() { panic!(\"no\"); }\n    o.unwrap()\n}\n#[cfg(test)]\nmod tests {\n    fn ok() { None::<u32>.unwrap(); }\n}\n",
+    );
+    // crate-hygiene: root missing the mandatory attributes...
+    write("crates/exec/src/lib.rs", "//! Fixture crate.\npub mod engine;\n");
+    // ...and a manifest dodging [workspace.dependencies].
+    write(
+        "crates/exec/Cargo.toml",
+        "[package]\nname = \"fixture-exec\"\n\n[dependencies]\nrand = \"0.8\"\n",
+    );
+}
+
+#[test]
+fn fixture_violations_fail_the_lint() {
+    let dir = std::env::temp_dir().join(format!("aqp-lint-fixture-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    write_fixture(&dir);
+
+    let out = run_lint(&["--root", dir.to_str().expect("utf-8 temp path")]);
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    std::fs::remove_dir_all(&dir).expect("cleanup fixture");
+
+    assert!(!out.status.success(), "lint accepted a fixture full of violations:\n{stdout}");
+    for rule in ["rng-discipline", "nan-safety", "panic-freedom", "crate-hygiene"] {
+        assert!(stdout.contains(rule), "missing {rule} finding in:\n{stdout}");
+    }
+    // Findings carry file:line coordinates.
+    assert!(stdout.contains("crates/exec/src/engine.rs:2"), "no file:line in:\n{stdout}");
+    // The #[cfg(test)] unwrap must NOT be reported (engine.rs line 7).
+    assert!(!stdout.contains("engine.rs:7"), "test-module code was linted:\n{stdout}");
+}
+
+#[test]
+fn fixture_allowlist_suppresses_budgeted_findings() {
+    let dir = std::env::temp_dir().join(format!("aqp-lint-allow-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("src")).expect("mkdir fixture");
+    std::fs::write(
+        dir.join("src/gen.rs"),
+        "pub fn f() { let _ = seeder.seed_from_u64(7); }\n",
+    )
+    .expect("write fixture");
+    std::fs::write(
+        dir.join("lint.toml"),
+        "[[allow]]\nrule = \"rng-discipline\"\nfile = \"src/gen.rs\"\nmax = 1\nreason = \"fixture\"\n",
+    )
+    .expect("write allowlist");
+
+    let config = dir.join("lint.toml");
+    let out = run_lint(&[
+        "--root",
+        dir.to_str().expect("utf-8 temp path"),
+        "--config",
+        config.to_str().expect("utf-8 temp path"),
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    std::fs::remove_dir_all(&dir).expect("cleanup fixture");
+
+    assert!(out.status.success(), "allowlisted finding still failed:\n{stdout}");
+    assert!(stdout.contains("1 finding(s) allowlisted"), "{stdout}");
+}

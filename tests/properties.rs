@@ -118,7 +118,7 @@ proptest! {
         } else {
             // Nearest-rank on the expansion.
             let mut sorted = expanded.clone();
-            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted.sort_by(f64::total_cmp);
             let target = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
             prop_assert_eq!(wq.unwrap(), sorted[target - 1]);
         }

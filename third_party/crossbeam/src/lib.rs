@@ -1,0 +1,40 @@
+//! Vendored stand-in for `crossbeam`, backed by `std::thread::scope`.
+//!
+//! `aqp-exec` declares the dependency for scoped parallelism; since Rust
+//! 1.63 the standard library's [`std::thread::scope`] covers that use, so
+//! this stub only re-exposes it under the crossbeam-style name.
+//!
+//! See `third_party/README.md` for the vendoring policy.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod thread {
+    //! Scoped threads, `crossbeam::thread::scope`-style.
+
+    /// Run `f` with a scope in which borrowed-data threads can be spawned;
+    /// all spawned threads are joined before this returns.
+    ///
+    /// Unlike crossbeam's original, this delegates to
+    /// [`std::thread::scope`] and therefore returns the closure's value
+    /// directly rather than a `Result` (panics propagate as panics).
+    pub fn scope<'env, F, T>(f: F) -> T
+    where
+        F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> T,
+    {
+        std::thread::scope(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_threads() {
+        let data = [1, 2, 3];
+        let total: i32 = crate::thread::scope(|s| {
+            let h = s.spawn(|| data.iter().sum());
+            h.join().expect("worker thread panicked")
+        });
+        assert_eq!(total, 6);
+    }
+}

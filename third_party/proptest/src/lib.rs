@@ -1,0 +1,171 @@
+//! Vendored minimal property-testing harness, API-compatible with the
+//! subset of `proptest` the workspace's tests use.
+//!
+//! Differences from real proptest, by design (offline, std-only, small):
+//!
+//! * **No shrinking.** A failing case reports its generated inputs and
+//!   case number; it is not minimized.
+//! * **Deterministic.** The RNG seed derives from the test name, so runs
+//!   are reproducible bit-for-bit (matching the workspace's RNG
+//!   discipline); `proptest-regressions` files are ignored.
+//! * **String strategies** accept only the simple `.{lo,hi}` /
+//!   `.*`-style patterns the tests use, generating printable-plus-edge
+//!   characters rather than full regex-generated strings.
+//!
+//! See `third_party/README.md` for the vendoring policy.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::prop;
+    pub use crate::proptest;
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne};
+}
+
+pub mod prop {
+    //! The `prop::` namespace (`prop::collection::vec`, `prop::option::of`).
+
+    pub mod collection {
+        //! Collection strategies.
+        pub use crate::strategy::vec;
+    }
+
+    pub mod option {
+        //! `Option` strategies.
+        pub use crate::strategy::option_of as of;
+    }
+}
+
+/// Assert inside a property; reports the failing inputs via the runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Declare property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+///     #[test]
+///     fn prop(x in 0..10usize, v in prop::collection::vec(0.0..1.0f64, 1..50)) {
+///         prop_assert!(x < 10 && !v.is_empty());
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    // Internal: expand each test fn under a captured config expression.
+    (@cfg ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner =
+                    $crate::test_runner::TestRunner::new(stringify!($name), &config);
+                for _case in 0..config.cases {
+                    let mut rng = runner.next_case();
+                    $(let $arg =
+                        $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                    runner.enter_case(format!(
+                        concat!($(stringify!($arg), " = {:?}, ",)*),
+                        $(&$arg,)*
+                    ));
+                    $body
+                    runner.leave_case();
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_and_collections(
+            x in 1usize..10,
+            f in -2.0..2.0f64,
+            v in prop::collection::vec(0u32..4, 1..20),
+            o in prop::option::of(0i64..5),
+            b in any::<bool>(),
+            s in ".{0,40}",
+        ) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|&w| w < 4));
+            if let Some(i) = o {
+                prop_assert!((0..5).contains(&i));
+            }
+            let _ = b;
+            prop_assert!(s.chars().count() <= 40);
+        }
+
+        #[test]
+        fn tuples_generate(p in (0u32..3, -1.0..1.0f64)) {
+            prop_assert!(p.0 < 3);
+            prop_assert!((-1.0..1.0).contains(&p.1));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let cfg = crate::test_runner::ProptestConfig::default();
+        let mut r1 = crate::test_runner::TestRunner::new("det", &cfg);
+        let mut r2 = crate::test_runner::TestRunner::new("det", &cfg);
+        let s = 0.0..1.0f64;
+        let a: Vec<f64> = (0..10).map(|_| s.generate(&mut r1.next_case())).collect();
+        let b: Vec<f64> = (0..10).map(|_| s.generate(&mut r2.next_case())).collect();
+        assert_eq!(a, b);
+    }
+}

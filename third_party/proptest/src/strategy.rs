@@ -1,0 +1,248 @@
+//! Value-generation strategies.
+//!
+//! A [`Strategy`] produces one value per call from a [`TestRng`]. Ranges
+//! of numbers, tuples, `&str` patterns, `vec`, and `option_of` cover the
+//! workspace's property tests.
+
+use crate::test_runner::TestRng;
+use rand::RngExt;
+
+/// Generates values of an associated type from a [`TestRng`].
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.rng.random_range(self.clone())
+    }
+}
+
+impl Strategy for core::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.rng.random_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// `any::<T>()` — the full uniform domain of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Types with a canonical full-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.rng.random()
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.rng.random()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.rng.random()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite full-range doubles (proptest's any::<f64>() includes
+        // specials; the workspace never relies on that).
+        let m: f64 = rng.rng.random();
+        let e = rng.rng.random_range(-300i32..300);
+        let s = if rng.rng.random::<bool>() { 1.0 } else { -1.0 };
+        s * m * 10f64.powi(e)
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `prop::collection::vec(element, len_range)`.
+pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+/// The strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    len: core::ops::Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = rng.rng.random_range(self.len.clone());
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `prop::option::of(strategy)` — `None` about a quarter of the time.
+pub fn option_of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// The strategy returned by [`option_of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.rng.random_range(0..4u32) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+/// String patterns: `".{lo,hi}"`-style length-bounded arbitrary strings.
+///
+/// Only the shapes used in this workspace are understood: `.{lo,hi}`,
+/// `.*`, and `.+`; anything else generates strings of length 0..=64.
+/// Characters mix printable ASCII with newline/quote/unicode edge cases —
+/// the point of the consuming tests is "never panics on arbitrary input".
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_length_bounds(self);
+        let n = rng.rng.random_range(lo..=hi);
+        const EDGE: &[char] = &['"', '\'', '\\', '\n', '\t', 'é', '→', '\u{1f}', '%'];
+        (0..n)
+            .map(|_| {
+                if rng.rng.random_range(0..8u32) == 0 {
+                    EDGE[rng.rng.random_range(0..EDGE.len())]
+                } else {
+                    char::from(rng.rng.random_range(0x20u8..0x7f))
+                }
+            })
+            .collect()
+    }
+}
+
+fn parse_length_bounds(pattern: &str) -> (usize, usize) {
+    if pattern == ".*" {
+        return (0, 64);
+    }
+    if pattern == ".+" {
+        return (1, 64);
+    }
+    let inner = pattern
+        .strip_prefix(".{")
+        .and_then(|rest| rest.strip_suffix('}'));
+    if let Some(inner) = inner {
+        if let Some((lo, hi)) = inner.split_once(',') {
+            if let (Ok(lo), Ok(hi)) = (lo.trim().parse(), hi.trim().parse()) {
+                return (lo, hi);
+            }
+        }
+    }
+    (0, 64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::{ProptestConfig, TestRunner};
+
+    fn rng() -> TestRng {
+        TestRunner::new("strategy-tests", &ProptestConfig::default()).next_case()
+    }
+
+    #[test]
+    fn length_bounds() {
+        assert_eq!(parse_length_bounds(".{0,200}"), (0, 200));
+        assert_eq!(parse_length_bounds(".{3,7}"), (3, 7));
+        assert_eq!(parse_length_bounds(".*"), (0, 64));
+        assert_eq!(parse_length_bounds(".+"), (1, 64));
+        assert_eq!(parse_length_bounds("[a-z]+"), (0, 64));
+    }
+
+    #[test]
+    fn string_strategy_respects_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = ".{0,10}".generate(&mut r);
+            assert!(s.chars().count() <= 10);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_length() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = vec(0.0..1.0f64, 2..5).generate(&mut r);
+            assert!(v.len() >= 2 && v.len() < 5);
+        }
+    }
+
+    #[test]
+    fn option_strategy_mixes() {
+        let mut r = rng();
+        let vals: Vec<Option<u32>> = (0..200).map(|_| option_of(0u32..9).generate(&mut r)).collect();
+        assert!(vals.iter().any(Option::is_none));
+        assert!(vals.iter().any(Option::is_some));
+    }
+}

@@ -1,0 +1,126 @@
+//! The per-test runner: configuration, deterministic per-case RNGs, and
+//! failure reporting.
+
+use rand::{Rng, SeedableRng, StdRng};
+
+/// Subset of proptest's configuration the workspace uses.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Accepted for API compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 0 }
+    }
+}
+
+/// The RNG handed to strategies. Wraps the workspace's deterministic
+/// [`StdRng`]; public field so strategies can sample directly.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    /// The underlying generator.
+    pub rng: StdRng,
+}
+
+impl TestRng {
+    /// Derive deterministically from a root seed and case index.
+    fn for_case(root: u64, case: u64) -> Self {
+        // splitmix-style avalanche keeps sibling cases uncorrelated.
+        let mut z = root ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        TestRng { rng: StdRng::seed_from_u64(z ^ (z >> 31)) }
+    }
+}
+
+impl Rng for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+/// Drives one property's cases and reports the failing case on panic.
+#[derive(Debug)]
+pub struct TestRunner {
+    root_seed: u64,
+    next_case: u64,
+    current_case: Option<String>,
+}
+
+impl TestRunner {
+    /// A runner whose stream is a deterministic function of the property
+    /// name (FNV-1a), so failures reproduce without a regressions file.
+    pub fn new(name: &str, _config: &ProptestConfig) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner { root_seed: h, next_case: 0, current_case: None }
+    }
+
+    /// The RNG for the next case.
+    pub fn next_case(&mut self) -> TestRng {
+        let rng = TestRng::for_case(self.root_seed, self.next_case);
+        self.next_case += 1;
+        rng
+    }
+
+    /// Record the generated inputs of the case about to run.
+    pub fn enter_case(&mut self, description: String) {
+        self.current_case = Some(description);
+    }
+
+    /// Mark the current case as passed.
+    pub fn leave_case(&mut self) {
+        self.current_case = None;
+    }
+}
+
+impl Drop for TestRunner {
+    fn drop(&mut self) {
+        // If the property body panicked, the case description is still
+        // set; surface it so the failure is diagnosable without shrinking.
+        if std::thread::panicking() {
+            if let Some(desc) = &self.current_case {
+                eprintln!(
+                    "proptest case {} failed with inputs: {}",
+                    self.next_case.saturating_sub(1),
+                    desc
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_stream() {
+        let cfg = ProptestConfig::default();
+        let mut a = TestRunner::new("x", &cfg);
+        let mut b = TestRunner::new("x", &cfg);
+        assert_eq!(a.next_case().next_u64(), b.next_case().next_u64());
+    }
+
+    #[test]
+    fn different_names_different_streams() {
+        let cfg = ProptestConfig::default();
+        let mut a = TestRunner::new("x", &cfg);
+        let mut b = TestRunner::new("y", &cfg);
+        assert_ne!(a.next_case().next_u64(), b.next_case().next_u64());
+    }
+
+    #[test]
+    fn cases_differ() {
+        let cfg = ProptestConfig::default();
+        let mut a = TestRunner::new("x", &cfg);
+        assert_ne!(a.next_case().next_u64(), a.next_case().next_u64());
+    }
+}

@@ -1,0 +1,248 @@
+//! Vendored, deterministic, std-only stand-in for the `rand` crate.
+//!
+//! This workspace builds in offline environments where crates.io is not
+//! reachable, so the subset of the `rand` API the workspace actually uses
+//! is implemented here (see `third_party/README.md` for the policy):
+//!
+//! * [`Rng`] — the core trait (a 64-bit generator),
+//! * [`RngExt`] — extension methods `random`, `random_range`,
+//!   `random_bool` (blanket-implemented for every [`Rng`]),
+//! * [`SeedableRng`] with `seed_from_u64` / `from_seed`,
+//! * [`rngs::StdRng`] — xoshiro256++ seeded through SplitMix64.
+//!
+//! Everything is deterministic: there is deliberately **no** `rng()`,
+//! `thread_rng`, or `from_entropy` entry point. The workspace's RNG
+//! discipline (enforced by `cargo run -p xtask -- lint`) requires every
+//! stream to derive from an explicit seed via `aqp_stats::rng`.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rngs;
+
+pub use rngs::StdRng;
+
+/// A source of 64-bit random words. The only method generators implement.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (upper half of [`Rng::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed;
+
+    /// Construct from a full-width seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a 64-bit seed (expanded internally, SplitMix64).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types samplable uniformly from an [`Rng`] (the `Standard` distribution).
+pub trait FromRng: Sized {
+    /// Draw one value.
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl FromRng for u64 {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl FromRng for u32 {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl FromRng for usize {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl FromRng for bool {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl FromRng for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl FromRng for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types uniformly samplable from half-open/closed bounds (the element
+/// type of [`RngExt::random_range`]). Mirrors rand's `SampleUniform` so
+/// integer-literal ranges infer their type from the call site.
+pub trait SampleUniform: Sized {
+    /// Uniform draw in `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: Rng + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                assert!(if inclusive { lo <= hi } else { lo < hi },
+                    "empty range in random_range");
+                let span = (hi as u128).wrapping_sub(lo as u128) as u64;
+                if inclusive && span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = if inclusive { span + 1 } else { span };
+                // 128-bit multiply-shift keeps the modulo bias below 2^-64.
+                let draw = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                lo.wrapping_add(draw as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        assert!(lo <= hi, "empty range in random_range");
+        let u = f64::from_rng(rng);
+        lo + u * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        assert!(lo <= hi, "empty range in random_range");
+        let u = f32::from_rng(rng);
+        lo + u * (hi - lo)
+    }
+}
+
+/// Range shapes accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_uniform(rng, lo, hi, true)
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// A uniform draw of type `T` (`f64` in `[0,1)`, full-width integers).
+    fn random<T: FromRng>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng(self)
+    }
+
+    /// A uniform draw from a range, e.g. `rng.random_range(0..n)`.
+    fn random_range<T: SampleUniform, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::from_rng(self) < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_interval() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_near_half() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.random::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let k = rng.random_range(3..17usize);
+            assert!((3..17).contains(&k));
+            let v = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let f = rng.random_range(1.5..2.5f64);
+            assert!((1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.random_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+}

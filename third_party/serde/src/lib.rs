@@ -1,0 +1,26 @@
+//! Vendored no-op stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on result types for
+//! downstream consumers, but no serializer crate is in the dependency
+//! tree, so nothing ever invokes serialization at run time. In offline
+//! environments (no crates.io) this crate satisfies the imports and
+//! derive attributes with zero behavior: the traits are blanket-implemented
+//! markers and the derive macros expand to nothing.
+//!
+//! See `third_party/README.md` for the vendoring policy.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize`. Blanket-implemented.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`. Blanket-implemented.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

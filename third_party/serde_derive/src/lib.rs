@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the vendored serde
+//! stand-in. A derive macro's output is *added* to the item, so expanding
+//! to nothing is a valid (and here, intended) implementation: the traits
+//! in the `serde` stub are blanket-implemented markers.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// Accepts and ignores `#[derive(Serialize)]` (plus serde attributes).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and ignores `#[derive(Deserialize)]` (plus serde attributes).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
