@@ -175,4 +175,6 @@ fn main() {
     println!("  Hoeffding / ground-truth sample-size ratio: {:.1}x (mean over targets)", mean(&ratios));
     println!("  closed-form / ground-truth ratio:           {:.2}x", mean(&cf_ratios));
     assert!(mean(&ratios) > 10.0, "Hoeffding ratio should exceed 10x, got {:.1}", mean(&ratios));
+
+    aqp_bench::maybe_write_metrics(&args);
 }

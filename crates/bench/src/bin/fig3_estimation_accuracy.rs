@@ -132,4 +132,6 @@ fn main() {
     println!("  * closed forms must show a large Not-Applicable band (MIN/MAX/percentile/UDF);");
     println!("  * the bootstrap must have no Not-Applicable band but visible failure bands;");
     println!("  * failures concentrate on extreme-value aggregates and heavy tails.");
+
+    aqp_bench::maybe_write_metrics(&args);
 }

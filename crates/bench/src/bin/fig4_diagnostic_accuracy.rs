@@ -120,4 +120,6 @@ fn main() {
         );
         println!("Paper overall: <5.4% false negatives, <3.1% false positives.");
     }
+
+    aqp_bench::maybe_write_metrics(&args);
 }

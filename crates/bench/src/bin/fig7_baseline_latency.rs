@@ -73,4 +73,6 @@ fn main() {
             );
         }
     }
+
+    aqp_bench::maybe_write_metrics(&args);
 }

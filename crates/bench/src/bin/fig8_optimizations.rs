@@ -232,4 +232,6 @@ fn main() {
     let o2 = simulate_query(&p2, PlanMode::Optimized, &untuned, &cfg, 7);
     assert!(n1.diag_s / o1.diag_s > 3.0, "QSet-1 diag speedup degenerated");
     assert!(n2.error_s / o2.error_s > 10.0, "QSet-2 error speedup degenerated");
+
+    aqp_bench::maybe_write_metrics(&args);
 }

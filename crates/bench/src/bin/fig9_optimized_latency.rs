@@ -72,4 +72,6 @@ fn main() {
             mean(&totals)
         );
     }
+
+    aqp_bench::maybe_write_metrics(&args);
 }

@@ -106,4 +106,6 @@ fn main() {
     for q in q2.iter().take(5) {
         println!("  {}", q.sql);
     }
+
+    aqp_bench::maybe_write_metrics(&args);
 }

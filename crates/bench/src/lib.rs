@@ -115,6 +115,19 @@ impl Args {
     }
 }
 
+/// Honour a `--metrics <path>` flag: dump the process-global metrics
+/// registry (counters, diagnostic verdicts, latency histograms with
+/// p50/p95/p99) as a JSONL artifact. Every `fig*` binary calls this at
+/// exit so CI's bench smoke step can upload the snapshot.
+pub fn maybe_write_metrics(args: &Args) {
+    let Some(path) = args.get::<String>("metrics") else { return };
+    let snapshot = aqp_obs::MetricsRegistry::global().snapshot();
+    match std::fs::write(&path, snapshot.to_jsonl()) {
+        Ok(()) => eprintln!("metrics snapshot written to {path}"),
+        Err(e) => eprintln!("failed writing metrics snapshot to {path}: {e}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -76,6 +76,21 @@ fn expected_straggle(cfg: &ClusterConfig) -> f64 {
     1.0 + cfg.straggler_prob * (cfg.straggler_mean_mult - 1.0)
 }
 
+/// Cached global-registry counters for the simulator
+/// (`aqp.cluster.*`).
+fn sim_counters() -> &'static (aqp_obs::Counter, aqp_obs::Counter, aqp_obs::Counter) {
+    use std::sync::OnceLock;
+    static C: OnceLock<(aqp_obs::Counter, aqp_obs::Counter, aqp_obs::Counter)> = OnceLock::new();
+    C.get_or_init(|| {
+        let reg = aqp_obs::MetricsRegistry::global();
+        (
+            reg.counter(aqp_obs::name::CLUSTER_JOBS),
+            reg.counter(aqp_obs::name::CLUSTER_TASKS),
+            reg.counter(aqp_obs::name::CLUSTER_STRAGGLER_TASKS),
+        )
+    })
+}
+
 /// Simulate one job, returning its latency in seconds.
 pub fn simulate_job<R: Rng>(
     job: &Job,
@@ -86,6 +101,9 @@ pub fn simulate_job<R: Rng>(
     if job.tasks.is_empty() {
         return 0.0;
     }
+    let (jobs_c, tasks_c, stragglers_c) = sim_counters();
+    jobs_c.inc();
+    tasks_c.add(job.tasks.len() as u64);
     let machines = tuning.parallelism.min(cfg.machines).max(1);
     let slots = cfg.slots(tuning.parallelism);
     let spill = spill_multiplier(job, tuning, cfg);
@@ -118,14 +136,17 @@ pub fn simulate_job<R: Rng>(
                 if rng.random::<f64>() < cfg.straggler_prob {
                     let sigma = 0.6f64;
                     let mu = cfg.straggler_mean_mult.ln() - 0.5 * sigma * sigma;
-                    nominal * sample_lognormal(rng, mu, sigma).max(1.0)
+                    (nominal * sample_lognormal(rng, mu, sigma).max(1.0), true)
                 } else {
-                    nominal
+                    (nominal, false)
                 }
             };
-            let first = draw(rng);
+            let (first, straggled) = draw(rng);
+            if straggled {
+                stragglers_c.inc();
+            }
             if tuning.straggler_mitigation {
-                first.min(draw(rng))
+                first.min(draw(rng).0)
             } else {
                 first
             }
@@ -156,6 +177,9 @@ pub fn simulate_jobs(
     cfg: &ClusterConfig,
     _seeds: SeedStream,
 ) -> f64 {
+    let (jobs_c, tasks_c, _) = sim_counters();
+    jobs_c.add(jobs.len() as u64);
+    tasks_c.add(jobs.iter().map(|j| j.tasks.len() as u64).sum());
     let machines = tuning.parallelism.min(cfg.machines).max(1) as f64;
     let slots = cfg.slots(tuning.parallelism) as f64;
     let straggle = expected_straggle(cfg);

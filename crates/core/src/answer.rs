@@ -1,6 +1,7 @@
 //! The answer type returned by [`crate::AqpSession::execute`].
 
-use aqp_exec::result::{GroupResult, PhaseTimings};
+use aqp_exec::result::{GroupResult, StageTimings};
+use aqp_obs::QueryTrace;
 
 /// How the session ultimately answered a query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,9 +39,12 @@ pub struct AqpAnswer {
     pub sample_rows: usize,
     /// Rows of the full table.
     pub population_rows: usize,
-    /// Phase timings of the approximate attempt (zeroes for direct exact
-    /// execution).
-    pub timings: PhaseTimings,
+    /// Per-stage timings derived from [`AqpAnswer::trace`] (empty when
+    /// nothing was recorded).
+    pub timings: StageTimings,
+    /// The full lifecycle span tree: parse → plan → sample selection →
+    /// engine stages (grafted) → reliability gate / exact fallback.
+    pub trace: QueryTrace,
     /// The EXPLAIN rendering of the (rewritten) plan that ran.
     pub plan: String,
 }
@@ -118,7 +122,8 @@ mod tests {
             fell_back: false,
             sample_rows: 1_000,
             population_rows: 100_000,
-            timings: PhaseTimings::default(),
+            timings: StageTimings::default(),
+            trace: QueryTrace::default(),
             plan: String::new(),
         }
     }

@@ -1,9 +1,10 @@
 //! The AQP session: registration, sampling, and reliable execution.
 
 use aqp_diagnostics::DiagnosticConfig;
-use aqp_exec::engine::{execute_approx, execute_exact, ApproxOptions, MethodChoice};
-use aqp_exec::result::PhaseTimings;
+use aqp_exec::engine::{execute_approx, execute_exact_observed, ApproxOptions, MethodChoice};
+use aqp_exec::result::StageTimings;
 use aqp_exec::udf::UdfRegistry;
+use aqp_obs::{name, stage, ObsHandle, QueryTrace, TraceRecorder};
 use aqp_sql::logical::{DiagnosticWeights, ErrorMethod, LogicalPlan, ResampleSpec};
 use aqp_sql::rewriter::{rewrite_for_error_estimation, ResamplePlacement};
 use aqp_sql::{parse_query, plan_query, Query};
@@ -35,6 +36,11 @@ pub struct SessionConfig {
     /// Pilot sample rows used when translating an error clause into a
     /// sample size.
     pub pilot_rows: usize,
+    /// Observability context: the clock every stage span reads and the
+    /// registry session counters/histograms land on. Defaults to the
+    /// real clock + process-global registry; tests that assert exact
+    /// metric values use `ObsHandle::isolated(Clock::mock())`.
+    pub obs: ObsHandle,
 }
 
 impl Default for SessionConfig {
@@ -47,6 +53,7 @@ impl Default for SessionConfig {
             run_diagnostics: true,
             default_confidence: 0.95,
             pilot_rows: 2_000,
+            obs: ObsHandle::default(),
         }
     }
 }
@@ -232,24 +239,49 @@ impl AqpSession {
     /// Execute a SQL query, approximately when samples and/or an error
     /// clause allow, with automatic exact fallback on diagnostic
     /// rejection.
+    ///
+    /// Every execution yields a full lifecycle [`QueryTrace`] on the
+    /// returned answer and feeds the session's metrics (see
+    /// `aqp_obs::name::CORE_*`).
     pub fn execute(&self, sql: &str) -> Result<AqpAnswer> {
-        let query = parse_query(sql)?;
+        let obs = &self.config.obs;
+        obs.metrics.counter(name::CORE_QUERIES).inc();
+        let started = obs.clock.now();
+        let rec = obs.recorder();
+        let result = self.execute_traced(sql, &rec);
+        let elapsed = obs.clock.now().duration_since(started);
+        obs.metrics
+            .histogram(name::CORE_QUERY_MS)
+            .record_ms(elapsed.as_secs_f64() * 1e3);
+        finish_with_trace(rec, result)
+    }
+
+    /// The body of [`execute`](AqpSession::execute), recording lifecycle
+    /// stages on `rec`.
+    fn execute_traced(&self, sql: &str, rec: &TraceRecorder) -> Result<AqpAnswer> {
+        let query = rec.in_span(stage::PARSE, || parse_query(sql))?;
         let table_name = leaf_table_name(&query)?;
         let table = self.catalog.table(&table_name)?;
-        let plan = plan_query(&query, table.schema())?;
+        let plan = rec.in_span(stage::PLAN, || plan_query(&query, table.schema()))?;
         let registry = self.registry.lock().clone();
 
         // --- Stratified fast path: a single-column GROUP BY with a
         // matching stratified sample uses per-stratum scaling. ---
         if query.group_by.len() == 1 && !query.is_nested() {
+            let sel = rec.start(stage::SAMPLE_SELECTION);
             let strat = self.catalog.with_samples(&table_name, |set| {
                 Ok(set
                     .stratified_on(&query.group_by[0])
                     .map(|s| (s.meta.clone(), s.data.clone())))
             })?;
             if let Some((meta, sample_table)) = strat {
-                return self.execute_on_sample(&query, &plan, &table, &registry, meta, sample_table);
+                rec.attr(sel, "strategy", "stratified");
+                rec.attr(sel, "sample_rows", meta.rows);
+                rec.end(sel);
+                return self
+                    .execute_on_sample(&query, &plan, &table, &registry, meta, sample_table, rec);
             }
+            rec.end(sel);
         }
 
         let has_samples = self
@@ -257,11 +289,12 @@ impl AqpSession {
             .with_samples(&table_name, |s| Ok(s.uniform_samples().next().is_some()))
             .unwrap_or(false);
         if !has_samples {
-            let answer = self.exact_answer(&plan, &table, &registry, AnswerMode::Exact)?;
+            let answer = self.exact_answer(&plan, &table, &registry, AnswerMode::Exact, rec)?;
             return apply_having(&query, answer);
         }
 
         // --- Sample selection. ---
+        let sel = rec.start(stage::SAMPLE_SELECTION);
         let confidence = query
             .error_clause
             .map(|e| e.confidence)
@@ -269,7 +302,7 @@ impl AqpSession {
         let wanted_rows = match query.error_clause {
             None => usize::MAX, // largest sample
             Some(e) => self
-                .pilot_required_rows(&plan, &table_name, table.num_rows(), &registry, e.relative_error, confidence)?
+                .pilot_required_rows(&plan, &table_name, table.num_rows(), &registry, e.relative_error, confidence, rec)?
                 .unwrap_or(usize::MAX),
         };
         let sample = self.catalog.with_samples(&table_name, |set| {
@@ -280,12 +313,19 @@ impl AqpSession {
             Ok((s.meta.clone(), s.data.clone()))
         })?;
         let (meta, sample_table) = sample;
-        self.execute_on_sample(&query, &plan, &table, &registry, meta, sample_table)
+        rec.attr(sel, "strategy", "uniform");
+        if wanted_rows != usize::MAX {
+            rec.attr(sel, "wanted_rows", wanted_rows);
+        }
+        rec.attr(sel, "sample_rows", meta.rows);
+        rec.end(sel);
+        self.execute_on_sample(&query, &plan, &table, &registry, meta, sample_table, rec)
     }
 
 
     /// Run the approximate pipeline on a chosen sample (uniform or
     /// stratified) with the per-result reliability gate and exact merge.
+    #[allow(clippy::too_many_arguments)]
     fn execute_on_sample(
         &self,
         query: &Query,
@@ -294,6 +334,7 @@ impl AqpSession {
         registry: &UdfRegistry,
         meta: aqp_storage::SampleMeta,
         sample_table: Table,
+        rec: &TraceRecorder,
     ) -> Result<AqpAnswer> {
         let confidence = query
             .error_clause
@@ -344,12 +385,15 @@ impl AqpSession {
             seed: self.config.seed,
             threads: self.config.threads,
             group_contexts,
+            obs: self.config.obs.clone(),
         };
         let approx = execute_approx(&rewritten, &sample_table, table.num_rows(), registry, &opts)?;
+        rec.graft(approx.trace.clone());
 
         // --- Reliability gate, per result (§2.1: each group-aggregate is
         // its own query). Rejected results are replaced with exact values;
         // approved ones keep their error bars. ---
+        let gate = rec.start(stage::RELIABILITY_GATE);
         let total_results: usize = approx.groups.iter().map(|g| g.aggs.len()).sum();
         let rejected: usize = approx
             .groups
@@ -357,7 +401,10 @@ impl AqpSession {
             .flat_map(|g| g.aggs.iter())
             .filter(|a| !a.error_bars_reliable())
             .count();
+        rec.attr(gate, "results", total_results);
+        rec.attr(gate, "rejected", rejected);
         if rejected == 0 {
+            rec.end(gate);
             return apply_having(query, AqpAnswer {
                 groups: approx.groups,
                 mode: if self.config.run_diagnostics {
@@ -369,13 +416,16 @@ impl AqpSession {
                 sample_rows: approx.sample_rows,
                 population_rows: approx.population_rows,
                 timings: approx.timings,
+                trace: QueryTrace::default(),
                 plan: rewritten.explain(),
             });
         }
 
         // Exact execution once; merge per result. The exact run's group
         // set is authoritative (the sample can miss rare groups entirely).
-        let exact = execute_exact(plan, table, registry, self.config.threads)?;
+        let exact =
+            execute_exact_observed(plan, table, registry, self.config.threads, &self.config.obs)?;
+        rec.graft(exact.trace.clone());
         let approx_index: std::collections::HashMap<&str, &aqp_exec::result::GroupResult> =
             approx.groups.iter().map(|g| (g.key.as_str(), g)).collect();
         let merged: Vec<aqp_exec::result::GroupResult> = exact
@@ -414,10 +464,13 @@ impl AqpSession {
             })
             .collect();
         let mode = if rejected == total_results {
+            self.config.obs.metrics.counter(name::CORE_FALLBACKS_EXACT).inc();
             AnswerMode::ExactFallback
         } else {
+            self.config.obs.metrics.counter(name::CORE_FALLBACKS_PARTIAL).inc();
             AnswerMode::PartialFallback
         };
+        rec.end(gate);
         apply_having(query, AqpAnswer {
             groups: merged,
             mode,
@@ -425,6 +478,7 @@ impl AqpSession {
             sample_rows: approx.sample_rows,
             population_rows: approx.population_rows,
             timings: approx.timings,
+            trace: QueryTrace::default(),
             plan: rewritten.explain(),
         })
     }
@@ -432,34 +486,44 @@ impl AqpSession {
     /// Execute on the specific stored uniform sample of `rows` rows
     /// (progressive execution's per-step primitive).
     pub(crate) fn execute_with_sample_rows(&self, sql: &str, rows: usize) -> Result<AqpAnswer> {
-        let query = parse_query(sql)?;
-        let table_name = leaf_table_name(&query)?;
-        let table = self.catalog.table(&table_name)?;
-        let plan = plan_query(&query, table.schema())?;
-        let registry = self.registry.lock().clone();
-        let sample = self.catalog.with_samples(&table_name, |set| {
-            Ok(set
-                .uniform_samples()
-                .find(|s| s.meta.rows == rows)
-                .map(|s| (s.meta.clone(), s.data.clone())))
-        })?;
-        let Some((meta, sample_table)) = sample else {
-            return Err(crate::CoreError::Config(format!(
-                "no stored uniform sample of exactly {rows} rows"
-            )));
-        };
-        self.execute_on_sample(&query, &plan, &table, &registry, meta, sample_table)
+        let rec = self.config.obs.recorder();
+        let result = (|| {
+            let query = rec.in_span(stage::PARSE, || parse_query(sql))?;
+            let table_name = leaf_table_name(&query)?;
+            let table = self.catalog.table(&table_name)?;
+            let plan = rec.in_span(stage::PLAN, || plan_query(&query, table.schema()))?;
+            let registry = self.registry.lock().clone();
+            let sample = rec.in_span(stage::SAMPLE_SELECTION, || {
+                self.catalog.with_samples(&table_name, |set| {
+                    Ok(set
+                        .uniform_samples()
+                        .find(|s| s.meta.rows == rows)
+                        .map(|s| (s.meta.clone(), s.data.clone())))
+                })
+            })?;
+            let Some((meta, sample_table)) = sample else {
+                return Err(crate::CoreError::Config(format!(
+                    "no stored uniform sample of exactly {rows} rows"
+                )));
+            };
+            self.execute_on_sample(&query, &plan, &table, &registry, meta, sample_table, &rec)
+        })();
+        finish_with_trace(rec, result)
     }
 
     /// Execute exactly, ignoring samples.
     pub(crate) fn execute_exact_only(&self, sql: &str) -> Result<AqpAnswer> {
-        let query = parse_query(sql)?;
-        let table_name = leaf_table_name(&query)?;
-        let table = self.catalog.table(&table_name)?;
-        let plan = plan_query(&query, table.schema())?;
-        let registry = self.registry.lock().clone();
-        let answer = self.exact_answer(&plan, &table, &registry, AnswerMode::Exact)?;
-        apply_having(&query, answer)
+        let rec = self.config.obs.recorder();
+        let result = (|| {
+            let query = rec.in_span(stage::PARSE, || parse_query(sql))?;
+            let table_name = leaf_table_name(&query)?;
+            let table = self.catalog.table(&table_name)?;
+            let plan = rec.in_span(stage::PLAN, || plan_query(&query, table.schema()))?;
+            let registry = self.registry.lock().clone();
+            let answer = self.exact_answer(&plan, &table, &registry, AnswerMode::Exact, &rec)?;
+            apply_having(&query, answer)
+        })();
+        finish_with_trace(rec, result)
     }
 
     fn exact_answer(
@@ -468,8 +532,11 @@ impl AqpSession {
         table: &Table,
         registry: &UdfRegistry,
         mode: AnswerMode,
+        rec: &TraceRecorder,
     ) -> Result<AqpAnswer> {
-        let exact = execute_exact(plan, table, registry, self.config.threads)?;
+        let exact =
+            execute_exact_observed(plan, table, registry, self.config.threads, &self.config.obs)?;
+        rec.graft(exact.trace.clone());
         let groups = exact
             .groups
             .iter()
@@ -494,12 +561,14 @@ impl AqpSession {
             fell_back: matches!(mode, AnswerMode::ExactFallback),
             sample_rows: 0,
             population_rows: table.num_rows(),
-            timings: PhaseTimings::default(),
+            timings: StageTimings::default(),
+            trace: QueryTrace::default(),
             plan: plan.explain(),
         })
     }
 
     /// Run the pilot to translate an error clause into required rows.
+    #[allow(clippy::too_many_arguments)]
     fn pilot_required_rows(
         &self,
         plan: &LogicalPlan,
@@ -508,6 +577,7 @@ impl AqpSession {
         registry: &UdfRegistry,
         rel_err: f64,
         confidence: f64,
+        rec: &TraceRecorder,
     ) -> Result<Option<usize>> {
         let pilot = self.catalog.with_samples(table_name, |set| {
             // The smallest stored uniform sample serves as the pilot.
@@ -528,9 +598,13 @@ impl AqpSession {
             seed: self.config.seed ^ 0xB107,
             threads: self.config.threads,
             group_contexts: None,
+            obs: self.config.obs.clone(),
         };
         let approx =
             execute_approx(plan, &pilot.data, population_rows, registry, &opts)?;
+        // The pilot's engine stages nest under the open sample-selection
+        // span — the pilot *is* part of choosing the sample.
+        rec.graft(approx.trace.clone());
         // Use the widest relative interval across groups/aggregates (the
         // binding constraint).
         let mut needed: Option<usize> = None;
@@ -545,6 +619,17 @@ impl AqpSession {
         }
         Ok(needed)
     }
+}
+
+/// Close the lifecycle recorder and attach the finished trace (plus the
+/// stage timings derived from it) to a successful answer.
+fn finish_with_trace(rec: TraceRecorder, result: Result<AqpAnswer>) -> Result<AqpAnswer> {
+    let trace = rec.finish();
+    result.map(|mut a| {
+        a.timings = StageTimings::from_trace(&trace);
+        a.trace = trace;
+        a
+    })
 }
 
 /// Apply a HAVING predicate to an answer's groups: each group becomes a

@@ -163,7 +163,51 @@ pub fn evaluate_from_estimates(
     accepted &= final_proportion_ok;
     // A single-level diagnostic degenerates to the final-proportion check.
 
-    DiagnosticReport { levels: reports, final_proportion_ok, accepted }
+    let report = DiagnosticReport { levels: reports, final_proportion_ok, accepted };
+    record_verdict(&report);
+    report
+}
+
+/// Telemetry for every diagnostic run: the verdict plus per-check
+/// failure counts, on the global metrics registry
+/// (`aqp.diagnostics.*`). Handles are cached; each run costs a handful
+/// of atomic adds.
+fn record_verdict(report: &DiagnosticReport) {
+    use std::sync::OnceLock;
+    struct Handles {
+        accepted: aqp_obs::Counter,
+        rejected: aqp_obs::Counter,
+        deviation: aqp_obs::Counter,
+        spread: aqp_obs::Counter,
+        proportion: aqp_obs::Counter,
+    }
+    static H: OnceLock<Handles> = OnceLock::new();
+    let h = H.get_or_init(|| {
+        let reg = aqp_obs::MetricsRegistry::global();
+        Handles {
+            accepted: reg.counter(aqp_obs::name::DIAG_ACCEPTED),
+            rejected: reg.counter(aqp_obs::name::DIAG_REJECTED),
+            deviation: reg.counter(aqp_obs::name::DIAG_DEVIATION_FAILURES),
+            spread: reg.counter(aqp_obs::name::DIAG_SPREAD_FAILURES),
+            proportion: reg.counter(aqp_obs::name::DIAG_PROPORTION_FAILURES),
+        }
+    });
+    if report.accepted {
+        h.accepted.inc();
+    } else {
+        h.rejected.inc();
+    }
+    let dev_failures = report.levels.iter().filter(|l| !l.deviation_ok).count();
+    let spread_failures = report.levels.iter().filter(|l| !l.spread_ok).count();
+    if dev_failures > 0 {
+        h.deviation.add(dev_failures as u64);
+    }
+    if spread_failures > 0 {
+        h.spread.add(spread_failures as u64);
+    }
+    if !report.final_proportion_ok {
+        h.proportion.inc();
+    }
 }
 
 /// Self-contained Algorithm 1 over a values vector.

@@ -10,10 +10,9 @@
 //! The produced *numbers* are statistically equivalent to the optimized
 //! engine's; only the work wasted to produce them differs.
 
-use std::time::Instant;
-
 use aqp_diagnostics::kleiner::{evaluate_from_estimates, LevelEstimates};
 use aqp_diagnostics::DiagnosticConfig;
+use aqp_obs::trace::stage;
 use aqp_sql::logical::LogicalPlan;
 use aqp_stats::ci::ci_from_draws;
 use aqp_stats::estimator::SampleContext;
@@ -23,7 +22,7 @@ use aqp_storage::Table;
 
 use crate::collect::{collect, AggData, NestedData};
 use crate::engine::{ApproxOptions, MethodChoice};
-use crate::result::{AggResult, ApproxResult, GroupResult, MethodUsed, PhaseTimings};
+use crate::result::{AggResult, ApproxResult, GroupResult, MethodUsed, StageTimings};
 use crate::theta::{closed_form_ci_prepared, PreparedTheta};
 use crate::udf::UdfRegistry;
 use crate::Result;
@@ -57,9 +56,10 @@ pub fn execute_baseline(
     opts: &ApproxOptions,
 ) -> Result<ApproxResult> {
     let seeds = SeedStream::new(opts.seed);
+    let rec = opts.obs.recorder();
 
     // Phase 1 — the query itself (one scan, same as optimized).
-    let t0 = Instant::now();
+    let scan_span = rec.start(stage::SCAN_COLLECT);
     let collected = collect(plan, sample, opts.threads)?;
     let ctx = SampleContext::new(collected.pre_filter_rows, population_rows);
     let thetas: Vec<PreparedTheta> = collected
@@ -78,10 +78,10 @@ pub fn execute_baseline(
                 .collect()
         })
         .collect();
-    let query_time = t0.elapsed();
+    rec.end(scan_span);
 
     // Phase 2 — error estimation via repeated subqueries.
-    let t1 = Instant::now();
+    let err_span = rec.start(stage::ERROR_ESTIMATION);
     let mut cis: Vec<Vec<(Option<aqp_stats::ci::Ci>, MethodUsed)>> = Vec::new();
     for (gi, _group) in collected.groups.iter().enumerate() {
         let mut group_cis = Vec::new();
@@ -111,6 +111,7 @@ pub fn execute_baseline(
             // Naive bootstrap: K subqueries, each a full re-scan of the
             // sample followed by a weighted aggregation.
             let mut rng = seeds.derive(0xBA5E).rng((gi * 64 + ai) as u64);
+            aqp_stats::bootstrap::count_resamples(opts.bootstrap_k);
             let mut replicates = Vec::with_capacity(opts.bootstrap_k);
             for _ in 0..opts.bootstrap_k {
                 let re = collect(plan, sample, opts.threads)?; // the wasted scan
@@ -133,11 +134,11 @@ pub fn execute_baseline(
         }
         cis.push(group_cis);
     }
-    let error_time = t1.elapsed();
+    rec.end(err_span);
 
     // Phase 3 — diagnostics via subqueries: every subsample is extracted
     // by a fresh scan, and (for the bootstrap) resampled K times.
-    let t2 = Instant::now();
+    let diag_span = rec.start(stage::DIAGNOSTICS);
     let mut diags: Vec<Vec<Option<aqp_diagnostics::DiagnosticReport>>> = Vec::new();
     if let Some(cfg) = &opts.diagnostic {
         for (gi, _group) in collected.groups.iter().enumerate() {
@@ -158,8 +159,9 @@ pub fn execute_baseline(
             .map(|g| vec![None; g.aggs.len()])
             .collect();
     }
-    let diag_time = t2.elapsed();
+    rec.end(diag_span);
 
+    let asm_span = rec.start(stage::ASSEMBLE);
     let groups = collected
         .groups
         .iter()
@@ -181,16 +183,15 @@ pub fn execute_baseline(
                 .collect(),
         })
         .collect();
+    rec.end(asm_span);
 
+    let trace = rec.finish();
     Ok(ApproxResult {
         groups,
         sample_rows: collected.pre_filter_rows,
         population_rows,
-        timings: PhaseTimings {
-            query: query_time,
-            error_estimation: error_time,
-            diagnostics: diag_time,
-        },
+        timings: StageTimings::from_trace(&trace),
+        trace,
     })
 }
 
@@ -236,6 +237,7 @@ fn naive_diagnostic(
                 // K resample subqueries over the subsample.
                 let mut rng = level_seeds.rng(j as u64);
                 let center = theta.estimate(&chunk, &sub_ctx);
+                aqp_stats::bootstrap::count_resamples(opts.bootstrap_k);
                 let mut reps = Vec::with_capacity(opts.bootstrap_k);
                 for _ in 0..opts.bootstrap_k {
                     let weights = poisson_weights(&mut rng, chunk.values.len());
@@ -322,10 +324,10 @@ mod tests {
         // The naive path re-scans the sample K times; it must be
         // substantially slower than the single-scan path.
         assert!(
-            base.timings.error_estimation > fast.timings.error_estimation * 3,
+            base.timings.error_estimation() > fast.timings.error_estimation() * 3,
             "baseline {:?} vs optimized {:?}",
-            base.timings.error_estimation,
-            fast.timings.error_estimation
+            base.timings.error_estimation(),
+            fast.timings.error_estimation()
         );
     }
 
@@ -345,6 +347,6 @@ mod tests {
         let bd = base.scalar().unwrap().diagnostic.clone().unwrap();
         let fd = fast.scalar().unwrap().diagnostic.clone().unwrap();
         assert_eq!(bd.accepted, fd.accepted);
-        assert!(base.timings.diagnostics >= fast.timings.diagnostics);
+        assert!(base.timings.diagnostics() >= fast.timings.diagnostics());
     }
 }

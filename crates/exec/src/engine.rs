@@ -6,20 +6,19 @@
 //! diagnostic subsamples — no repeated scans, no tuple duplication.
 
 use std::ops::Range;
-use std::time::Instant;
 
 use aqp_diagnostics::kleiner::{evaluate_from_estimates, LevelEstimates};
 use aqp_diagnostics::DiagnosticConfig;
+use aqp_obs::trace::stage;
+use aqp_obs::{count_stragglers, name, ObsHandle, TraceRecorder};
 use aqp_sql::logical::LogicalPlan;
 use aqp_stats::estimator::SampleContext;
 use aqp_stats::rng::SeedStream;
 use aqp_storage::Table;
 
 use crate::collect::{collect, AggData, Collected};
-use crate::parallel::{default_threads, parallel_map};
-use crate::result::{
-    AggResult, ApproxResult, ExactResult, GroupResult, MethodUsed, PhaseTimings,
-};
+use crate::parallel::{default_threads, parallel_map_observed, WorkerStat};
+use crate::result::{AggResult, ApproxResult, ExactResult, GroupResult, MethodUsed, StageTimings};
 use crate::theta::{bootstrap_ci_prepared, closed_form_ci_prepared, PreparedTheta};
 use crate::udf::UdfRegistry;
 use crate::Result;
@@ -58,6 +57,10 @@ pub struct ApproxOptions {
     /// population with its own rate, so estimates/intervals/diagnostics
     /// for group `key` must scale by its stratum sizes, not the sample's.
     pub group_contexts: Option<std::collections::HashMap<String, (usize, usize)>>,
+    /// Observability context: the clock every stage is timed on and the
+    /// registry executor metrics land in. Defaults to the real clock
+    /// and the process-global registry.
+    pub obs: ObsHandle,
 }
 
 impl Default for ApproxOptions {
@@ -70,6 +73,7 @@ impl Default for ApproxOptions {
             seed: 0,
             threads: default_threads(),
             group_contexts: None,
+            obs: ObsHandle::default(),
         }
     }
 }
@@ -83,18 +87,31 @@ impl ApproxOptions {
 }
 
 /// Execute `plan` exactly over `table` (the fallback path when the
-/// diagnostic rejects, and the ground-truth oracle in tests).
+/// diagnostic rejects, and the ground-truth oracle in tests), timed on
+/// the default (real) clock against the global registry.
 pub fn execute_exact(
     plan: &LogicalPlan,
     table: &Table,
     registry: &UdfRegistry,
     threads: usize,
 ) -> Result<ExactResult> {
-    let start = Instant::now();
+    execute_exact_observed(plan, table, registry, threads, &ObsHandle::default())
+}
+
+/// [`execute_exact`] with an explicit observability context.
+pub fn execute_exact_observed(
+    plan: &LogicalPlan,
+    table: &Table,
+    registry: &UdfRegistry,
+    threads: usize,
+    obs: &ObsHandle,
+) -> Result<ExactResult> {
+    let rec = obs.recorder();
+    let span = rec.start(stage::EXACT_EXECUTION);
     let collected = collect(plan, table, threads)?;
     let ctx = SampleContext::population(collected.pre_filter_rows);
     let thetas = prepare_thetas(&collected, registry)?;
-    let groups = collected
+    let groups: Vec<(String, Vec<f64>)> = collected
         .groups
         .iter()
         .map(|g| {
@@ -107,7 +124,15 @@ pub fn execute_exact(
             (g.key.clone(), vals)
         })
         .collect();
-    Ok(ExactResult { groups, rows_scanned: collected.pre_filter_rows, elapsed: start.elapsed() })
+    rec.attr(span, "rows_scanned", collected.pre_filter_rows);
+    rec.end(span);
+    let trace = rec.finish();
+    Ok(ExactResult {
+        groups,
+        rows_scanned: collected.pre_filter_rows,
+        timings: StageTimings::from_trace(&trace),
+        trace,
+    })
 }
 
 fn prepare_thetas(collected: &Collected, registry: &UdfRegistry) -> Result<Vec<PreparedTheta>> {
@@ -129,10 +154,16 @@ pub fn execute_approx(
     opts: &ApproxOptions,
 ) -> Result<ApproxResult> {
     let seeds = SeedStream::new(opts.seed);
+    opts.obs.metrics.counter(name::EXEC_APPROX_QUERIES).inc();
+    let rec = opts.obs.recorder();
 
-    // Phase 1 — the query itself: one scan, point estimates.
-    let t0 = Instant::now();
+    // Stage 1 — scan + collect: one pass over the sample's partitions.
+    let scan_span = rec.start(stage::SCAN_COLLECT);
     let collected = collect(plan, sample, opts.threads)?;
+    rec.attr(scan_span, "sample_rows", collected.pre_filter_rows);
+    rec.attr(scan_span, "groups", collected.groups.len());
+    rec.end(scan_span);
+
     let default_ctx = SampleContext::new(collected.pre_filter_rows, population_rows);
     let ctx_for = |key: &str| -> SampleContext {
         opts.group_contexts
@@ -141,6 +172,9 @@ pub fn execute_approx(
             .map(|&(s, p)| SampleContext::new(s, p))
             .unwrap_or(default_ctx)
     };
+
+    // Stage 2 — point estimates θ(S) from the collected data.
+    let est_span = rec.start(stage::POINT_ESTIMATE);
     let thetas = prepare_thetas(&collected, registry)?;
     let estimates: Vec<Vec<f64>> = collected
         .groups
@@ -154,48 +188,63 @@ pub fn execute_approx(
                 .collect()
         })
         .collect();
-    let query_time = t0.elapsed();
+    rec.end(est_span);
 
-    // Phase 2 — error estimation, per (group, aggregate), replicates
+    // Stage 3 — error estimation, per (group, aggregate), replicates
     // parallelized across groups.
-    let t1 = Instant::now();
+    let err_span = rec.start(stage::ERROR_ESTIMATION);
     let jobs: Vec<(usize, usize)> = collected
         .groups
         .iter()
         .enumerate()
         .flat_map(|(gi, g)| (0..g.aggs.len()).map(move |ai| (gi, ai)))
         .collect();
-    let cis: Vec<(Option<aqp_stats::ci::Ci>, MethodUsed)> =
-        parallel_map(jobs.clone(), opts.threads, |(gi, ai)| {
+    let (cis, err_workers): (Vec<(Option<aqp_stats::ci::Ci>, MethodUsed)>, Vec<WorkerStat>) =
+        parallel_map_observed(jobs.clone(), opts.threads, &opts.obs.clock, |(gi, ai)| {
             let data = &collected.groups[gi].aggs[ai];
             let theta = &thetas[ai];
             let ctx = ctx_for(&collected.groups[gi].key);
             error_ci(theta, data, &ctx, opts, seeds.derive(0xC1).derive((gi * 64 + ai) as u64))
         });
-    let error_time = t1.elapsed();
+    let bootstrap_jobs = cis.iter().filter(|(_, m)| *m == MethodUsed::Bootstrap).count();
+    rec.attr(err_span, "jobs", jobs.len());
+    rec.attr(err_span, "bootstrap_jobs", bootstrap_jobs);
+    rec.attr(err_span, "resamples", bootstrap_jobs * opts.bootstrap_k);
+    record_workers(&rec, opts, &err_workers);
+    rec.end(err_span);
 
-    // Phase 3 — diagnostics, same job list.
-    let t2 = Instant::now();
+    // Stage 4 — diagnostics, same job list.
+    let diag_span = rec.start(stage::DIAGNOSTICS);
     let diags: Vec<Option<aqp_diagnostics::DiagnosticReport>> = match &opts.diagnostic {
         None => vec![None; jobs.len()],
-        Some(cfg) => parallel_map(jobs.clone(), opts.threads, |(gi, ai)| {
-            let data = &collected.groups[gi].aggs[ai];
-            let theta = &thetas[ai];
-            let ctx = ctx_for(&collected.groups[gi].key);
-            Some(run_diagnostic_on_data(
-                theta,
-                data,
-                &ctx,
-                collected.pre_filter_rows,
-                cfg,
-                opts,
-                seeds.derive(0xD1).derive((gi * 64 + ai) as u64),
-            ))
-        }),
+        Some(cfg) => {
+            let (out, diag_workers) =
+                parallel_map_observed(jobs.clone(), opts.threads, &opts.obs.clock, |(gi, ai)| {
+                    let data = &collected.groups[gi].aggs[ai];
+                    let theta = &thetas[ai];
+                    let ctx = ctx_for(&collected.groups[gi].key);
+                    Some(run_diagnostic_on_data(
+                        theta,
+                        data,
+                        &ctx,
+                        collected.pre_filter_rows,
+                        cfg,
+                        opts,
+                        seeds.derive(0xD1).derive((gi * 64 + ai) as u64),
+                    ))
+                });
+            record_workers(&rec, opts, &diag_workers);
+            out
+        }
     };
-    let diag_time = t2.elapsed();
+    let accepted = diags.iter().flatten().filter(|d| d.accepted).count();
+    let rejected = diags.iter().flatten().count() - accepted;
+    rec.attr(diag_span, "accepted", accepted);
+    rec.attr(diag_span, "rejected", rejected);
+    rec.end(diag_span);
 
-    // Assemble.
+    // Stage 5 — assemble the result rows.
+    let asm_span = rec.start(stage::ASSEMBLE);
     let mut groups: Vec<GroupResult> = Vec::with_capacity(collected.groups.len());
     let mut job_iter = 0usize;
     for (gi, g) in collected.groups.iter().enumerate() {
@@ -218,17 +267,41 @@ pub fn execute_approx(
         }
         groups.push(GroupResult { key: g.key.clone(), aggs });
     }
+    rec.end(asm_span);
 
+    let trace = rec.finish();
     Ok(ApproxResult {
         groups,
         sample_rows: collected.pre_filter_rows,
         population_rows,
-        timings: PhaseTimings {
-            query: query_time,
-            error_estimation: error_time,
-            diagnostics: diag_time,
-        },
+        timings: StageTimings::from_trace(&trace),
+        trace,
     })
+}
+
+/// Workers slower than this factor times the median are counted as
+/// stragglers (`aqp.exec.stragglers_detected`).
+const STRAGGLER_FACTOR: f64 = 2.0;
+
+/// Record per-worker busy times as child spans of the currently open
+/// stage and feed the worker histogram / straggler counter.
+fn record_workers(rec: &TraceRecorder, opts: &ApproxOptions, workers: &[WorkerStat]) {
+    let hist = opts.obs.metrics.histogram(name::EXEC_WORKER_MS);
+    for w in workers {
+        let end = opts.obs.clock.now();
+        let start = aqp_obs::Timestamp::from_nanos(
+            end.nanos().saturating_sub(w.busy.as_nanos() as u64),
+        );
+        let id = rec.record_span("worker", start, end);
+        rec.attr(id, "worker", w.worker);
+        rec.attr(id, "items", w.items);
+        hist.record(w.busy);
+    }
+    let busy: Vec<std::time::Duration> = workers.iter().map(|w| w.busy).collect();
+    let stragglers = count_stragglers(&busy, STRAGGLER_FACTOR);
+    if stragglers > 0 {
+        opts.obs.metrics.counter(name::EXEC_STRAGGLERS).add(stragglers as u64);
+    }
 }
 
 fn error_ci(
@@ -491,7 +564,20 @@ mod tests {
         let d = r.diagnostic.as_ref().unwrap();
         assert!(d.accepted, "{d:#?}");
         assert!(r.error_bars_reliable());
-        assert!(approx.timings.diagnostics > std::time::Duration::ZERO);
+        assert!(approx.timings.diagnostics() > std::time::Duration::ZERO);
+        // The executor trace must name every pipeline stage.
+        let stages: Vec<&str> = approx.trace.stages().iter().map(|&(n, _)| n).collect();
+        for want in [
+            stage::SCAN_COLLECT,
+            stage::POINT_ESTIMATE,
+            stage::ERROR_ESTIMATION,
+            stage::DIAGNOSTICS,
+            stage::ASSEMBLE,
+        ] {
+            assert!(stages.contains(&want), "missing stage {want} in {stages:?}");
+        }
+        let d = approx.trace.find(stage::DIAGNOSTICS).unwrap();
+        assert_eq!(d.attr("accepted"), Some("1"));
     }
 
     #[test]

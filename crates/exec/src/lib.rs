@@ -21,8 +21,14 @@
 //!   bootstrap subquery and per diagnostic subquery, kept as the measured
 //!   baseline for the Fig. 7/8 experiments.
 //! * [`parallel`] — crossbeam-scoped helpers for partition- and
-//!   replicate-parallelism.
-//! * [`result`] — result types with per-phase wall-clock timings.
+//!   replicate-parallelism, with per-worker busy-time observation for
+//!   straggler detection.
+//! * [`result`] — result types with trace-derived per-stage timings.
+//!
+//! Every `execute_approx` call records an `aqp_obs::QueryTrace` (scan →
+//! point estimate → error estimation → diagnostics → assemble, with
+//! per-worker child spans) returned in `ApproxResult::trace`; timing
+//! reads the clock in `ApproxOptions::obs` so tests can use a mock.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,8 +41,10 @@ pub mod result;
 pub mod theta;
 pub mod udf;
 
-pub use engine::{execute_approx, execute_exact, ApproxOptions};
-pub use result::{AggResult, ApproxResult, ExactResult, PhaseTimings};
+pub use engine::{execute_approx, execute_exact, execute_exact_observed, ApproxOptions};
+pub use result::{AggResult, ApproxResult, ExactResult, StageTimings};
+#[allow(deprecated)]
+pub use result::PhaseTimings;
 pub use udf::UdfRegistry;
 
 /// Execution errors.

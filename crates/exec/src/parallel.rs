@@ -4,6 +4,10 @@
 //! bounded — is modeled in `aqp-cluster`; here we simply use the local
 //! machine's cores for partition- and replicate-parallel work.
 
+use std::time::Duration;
+
+use aqp_obs::Clock;
+
 /// Map `f` over `items` using up to `threads` worker threads, preserving
 /// input order in the output.
 ///
@@ -18,9 +22,41 @@ where
     U: Send,
     F: Fn(T) -> U + Sync,
 {
+    parallel_map_observed(items, threads, &Clock::Real, f).0
+}
+
+/// Per-worker statistics from one [`parallel_map_observed`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerStat {
+    /// Worker index (chunk index).
+    pub worker: usize,
+    /// Items this worker processed.
+    pub items: usize,
+    /// Busy wall-clock time on the given clock.
+    pub busy: Duration,
+}
+
+/// Like [`parallel_map`], but also measures each worker's busy time on
+/// `clock` — the raw material for straggler detection (paper §5.4
+/// applied to the in-process pool). The sequential fast path reports a
+/// single worker.
+pub fn parallel_map_observed<T, U, F>(
+    items: Vec<T>,
+    threads: usize,
+    clock: &Clock,
+    f: F,
+) -> (Vec<U>, Vec<WorkerStat>)
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
     let n = items.len();
     if threads <= 1 || n <= 1 {
-        return items.into_iter().map(f).collect();
+        let start = clock.now();
+        let out: Vec<U> = items.into_iter().map(f).collect();
+        let busy = clock.now().duration_since(start);
+        return (out, vec![WorkerStat { worker: 0, items: n, busy }]);
     }
     let threads = threads.min(n);
     let chunk_size = n.div_ceil(threads);
@@ -34,17 +70,33 @@ where
         chunks.push(c);
     }
     let f_ref = &f;
-    let results: Vec<Vec<U>> = std::thread::scope(|scope| {
+    let per_worker: Vec<(Vec<U>, WorkerStat)> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .into_iter()
-            .map(|c| scope.spawn(move || c.into_iter().map(f_ref).collect::<Vec<U>>()))
+            .enumerate()
+            .map(|(w, c)| {
+                let clock = clock.clone();
+                scope.spawn(move || {
+                    let start = clock.now();
+                    let items = c.len();
+                    let out: Vec<U> = c.into_iter().map(f_ref).collect();
+                    let busy = clock.now().duration_since(start);
+                    (out, WorkerStat { worker: w, items, busy })
+                })
+            })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("parallel_map worker panicked"))
             .collect()
     });
-    results.into_iter().flatten().collect()
+    let mut out = Vec::with_capacity(n);
+    let mut stats = Vec::with_capacity(per_worker.len());
+    for (chunk_out, stat) in per_worker {
+        out.extend(chunk_out);
+        stats.push(stat);
+    }
+    (out, stats)
 }
 
 /// A sensible default worker count: the machine's logical cores, capped.
@@ -101,5 +153,36 @@ mod tests {
     fn default_threads_reasonable() {
         let t = default_threads();
         assert!((1..=16).contains(&t));
+    }
+
+    #[test]
+    fn observed_reports_one_stat_per_worker() {
+        let (out, stats) = parallel_map_observed((0..20).collect(), 4, &Clock::Real, |i: i32| i);
+        assert_eq!(out, (0..20).collect::<Vec<_>>());
+        assert_eq!(stats.len(), 4);
+        assert_eq!(stats.iter().map(|s| s.items).sum::<usize>(), 20);
+        for (w, s) in stats.iter().enumerate() {
+            assert_eq!(s.worker, w);
+        }
+    }
+
+    #[test]
+    fn observed_sequential_path_reports_single_worker() {
+        let (out, stats) = parallel_map_observed(vec![7], 8, &Clock::Real, |i: i32| i * 3);
+        assert_eq!(out, vec![21]);
+        assert_eq!(stats, vec![WorkerStat { worker: 0, items: 1, busy: stats[0].busy }]);
+    }
+
+    #[test]
+    fn observed_worker_counters_increment_concurrently() {
+        // Workers hammer a shared metrics counter from inside the pool;
+        // the count must be lossless.
+        let reg = aqp_obs::MetricsRegistry::new();
+        let c = reg.counter("aqp.exec.test_hits");
+        let (_, stats) = parallel_map_observed((0..1_000).collect(), 8, &Clock::Real, |_: i32| {
+            c.inc();
+        });
+        assert_eq!(c.get(), 1_000);
+        assert!(stats.len() > 1);
     }
 }

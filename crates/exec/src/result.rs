@@ -3,6 +3,8 @@
 use std::time::Duration;
 
 use aqp_diagnostics::DiagnosticReport;
+use aqp_obs::trace::stage;
+use aqp_obs::QueryTrace;
 use aqp_stats::ci::Ci;
 use serde::{Deserialize, Serialize};
 
@@ -17,25 +19,69 @@ pub enum MethodUsed {
     None,
 }
 
-/// Per-phase wall-clock timings, mirroring the decomposition of
-/// Fig. 7/9: query execution, error-estimation overhead, diagnostics
-/// overhead.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct PhaseTimings {
-    /// Scan + aggregate (the approximate answer itself).
-    pub query: Duration,
-    /// Additional time for the error estimate.
-    pub error_estimation: Duration,
-    /// Additional time for the diagnostic.
-    pub diagnostics: Duration,
+/// Per-stage wall-clock timings, populated from the query's
+/// [`QueryTrace`]. Generalizes the old three-phase decomposition of
+/// Fig. 7/9 (query / error estimation / diagnostics) to arbitrarily
+/// many named stages while keeping those three as accessors.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// `(stage name, duration)` in execution order.
+    pub stages: Vec<(String, Duration)>,
 }
 
-impl PhaseTimings {
+impl StageTimings {
+    /// The top-level stages of `trace`, in recording order.
+    pub fn from_trace(trace: &QueryTrace) -> Self {
+        StageTimings {
+            stages: trace
+                .stages()
+                .into_iter()
+                .map(|(name, d)| (name.to_string(), d))
+                .collect(),
+        }
+    }
+
+    /// Append a stage.
+    pub fn push(&mut self, name: &str, d: Duration) {
+        self.stages.push((name.to_string(), d));
+    }
+
+    /// Total duration of every stage with this name (zero if absent).
+    pub fn get(&self, name: &str) -> Duration {
+        self.stages
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|&(_, d)| d)
+            .sum()
+    }
+
+    /// Time spent producing the answer itself (everything that is not
+    /// error estimation or diagnostics) — the Fig. 7/9 "query" bar.
+    pub fn query(&self) -> Duration {
+        self.total()
+            .saturating_sub(self.error_estimation())
+            .saturating_sub(self.diagnostics())
+    }
+
+    /// Additional time for the error estimate.
+    pub fn error_estimation(&self) -> Duration {
+        self.get(stage::ERROR_ESTIMATION)
+    }
+
+    /// Additional time for the diagnostic.
+    pub fn diagnostics(&self) -> Duration {
+        self.get(stage::DIAGNOSTICS)
+    }
+
     /// End-to-end total.
     pub fn total(&self) -> Duration {
-        self.query + self.error_estimation + self.diagnostics
+        self.stages.iter().map(|&(_, d)| d).sum()
     }
 }
+
+/// The pre-trace name for the three-phase timing breakdown.
+#[deprecated(note = "phases are now trace-derived; use StageTimings")]
+pub type PhaseTimings = StageTimings;
 
 /// The approximate result for one aggregate of one group.
 #[derive(Debug, Clone)]
@@ -78,8 +124,10 @@ pub struct ApproxResult {
     pub sample_rows: usize,
     /// Population rows the estimates are scaled to.
     pub population_rows: usize,
-    /// Wall-clock decomposition.
-    pub timings: PhaseTimings,
+    /// Wall-clock decomposition, derived from `trace`.
+    pub timings: StageTimings,
+    /// The executor's span tree for this query.
+    pub trace: QueryTrace,
 }
 
 impl ApproxResult {
@@ -99,8 +147,10 @@ pub struct ExactResult {
     pub groups: Vec<(String, Vec<f64>)>,
     /// Rows scanned.
     pub rows_scanned: usize,
-    /// Wall-clock time.
-    pub elapsed: Duration,
+    /// Per-stage wall-clock timings.
+    pub timings: StageTimings,
+    /// The executor's span tree for this query.
+    pub trace: QueryTrace,
 }
 
 impl ExactResult {
@@ -111,20 +161,57 @@ impl ExactResult {
             _ => None,
         }
     }
+
+    /// The old single wall-time number.
+    #[deprecated(note = "use .timings (per-stage) or .trace instead")]
+    pub fn elapsed(&self) -> Duration {
+        self.timings.total()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn timings(entries: &[(&str, u64)]) -> StageTimings {
+        let mut t = StageTimings::default();
+        for &(n, ms) in entries {
+            t.push(n, Duration::from_millis(ms));
+        }
+        t
+    }
+
     #[test]
-    fn timings_total() {
-        let t = PhaseTimings {
-            query: Duration::from_millis(10),
-            error_estimation: Duration::from_millis(20),
-            diagnostics: Duration::from_millis(30),
-        };
+    fn stage_timings_accessors() {
+        let t = timings(&[
+            (stage::SCAN_COLLECT, 8),
+            (stage::POINT_ESTIMATE, 2),
+            (stage::ERROR_ESTIMATION, 20),
+            (stage::DIAGNOSTICS, 30),
+        ]);
         assert_eq!(t.total(), Duration::from_millis(60));
+        assert_eq!(t.query(), Duration::from_millis(10));
+        assert_eq!(t.error_estimation(), Duration::from_millis(20));
+        assert_eq!(t.diagnostics(), Duration::from_millis(30));
+        assert_eq!(t.get("missing"), Duration::ZERO);
+    }
+
+    #[test]
+    fn stage_timings_from_trace_takes_roots() {
+        use aqp_obs::{Clock, TraceRecorder};
+        let clock = Clock::mock();
+        let rec = TraceRecorder::new(clock.clone());
+        let a = rec.start(stage::SCAN_COLLECT);
+        let _nested = rec.start("partition"); // child: not a stage
+        clock.advance(Duration::from_millis(5));
+        rec.end(a);
+        let b = rec.start(stage::DIAGNOSTICS);
+        clock.advance(Duration::from_millis(3));
+        rec.end(b);
+        let t = StageTimings::from_trace(&rec.finish());
+        assert_eq!(t.stages.len(), 2);
+        assert_eq!(t.diagnostics(), Duration::from_millis(3));
+        assert_eq!(t.query(), Duration::from_millis(5));
     }
 
     #[test]
@@ -147,13 +234,18 @@ mod tests {
         let r = ExactResult {
             groups: vec![(String::new(), vec![42.0])],
             rows_scanned: 10,
-            elapsed: Duration::ZERO,
+            timings: timings(&[(stage::EXACT_EXECUTION, 4)]),
+            trace: QueryTrace::default(),
         };
         assert_eq!(r.scalar(), Some(42.0));
+        #[allow(deprecated)]
+        let e = r.elapsed();
+        assert_eq!(e, Duration::from_millis(4));
         let r2 = ExactResult {
             groups: vec![(String::new(), vec![1.0, 2.0])],
             rows_scanned: 10,
-            elapsed: Duration::ZERO,
+            timings: StageTimings::default(),
+            trace: QueryTrace::default(),
         };
         assert_eq!(r2.scalar(), None);
     }

@@ -315,6 +315,7 @@ pub fn bootstrap_ci_prepared(
             if center.is_nan() {
                 return None;
             }
+            aqp_stats::bootstrap::count_resamples(k);
             let p1 = Poisson1::new();
             let mut weights = vec![0u32; data.values.len()];
             let replicates: Vec<f64> = (0..k)

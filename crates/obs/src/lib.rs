@@ -1,0 +1,188 @@
+//! `aqp-obs`: the observability substrate of the AQP pipeline.
+//!
+//! The paper's pitch is *knowing when you're wrong*; this crate makes
+//! sure the system also knows *where time goes and how often the
+//! diagnostic fires*. It is std-only and provides three pieces:
+//!
+//! * [`Clock`] — a monotonic time source with a deterministic mock, so
+//!   every timing in the workspace is steerable in tests. The
+//!   `timing-discipline` lint rule forbids raw `std::time::Instant` /
+//!   `SystemTime` outside this crate.
+//! * [`MetricsRegistry`] — lock-cheap counters, gauges, and
+//!   fixed-bucket latency histograms with p50/p95/p99 snapshots,
+//!   exported as JSONL or a human-readable table. Metric names follow
+//!   `aqp.<crate>.<name>` (see [`name`]).
+//! * [`QueryTrace`] / [`TraceRecorder`] — a span tree over the query
+//!   lifecycle: parse → plan/rewrite → sample selection → scan/exec
+//!   (per-operator, per-worker) → error estimation (closed-form vs
+//!   bootstrap, resample count) → diagnostic verdict.
+//!
+//! # Wiring
+//!
+//! [`ObsHandle`] bundles a clock with a registry and rides inside
+//! `ApproxOptions` / `SessionConfig`. Its default shares the
+//! process-global registry; tests use [`ObsHandle::isolated`] with a
+//! mock clock for full determinism. Leaf crates that have no handle in
+//! scope (sql, stats, diagnostics, cluster) increment well-known
+//! counters on the global registry directly.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use clock::{Clock, Timestamp};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+};
+pub use trace::{stage, QueryTrace, Span, SpanId, TraceRecorder};
+
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Well-known metric names (`aqp.<crate>.<name>`), so producers and
+/// dashboards agree on spelling.
+pub mod name {
+    /// Queries executed through `AqpSession::execute`.
+    pub const CORE_QUERIES: &str = "aqp.core.queries_executed";
+    /// Full exact fallbacks after a rejected diagnostic.
+    pub const CORE_FALLBACKS_EXACT: &str = "aqp.core.fallbacks_exact";
+    /// Partial (per-group) fallbacks.
+    pub const CORE_FALLBACKS_PARTIAL: &str = "aqp.core.fallbacks_partial";
+    /// End-to-end session query latency histogram (ms).
+    pub const CORE_QUERY_MS: &str = "aqp.core.query_ms";
+    /// Queries parsed by `sql::parse_query`.
+    pub const SQL_QUERIES_PARSED: &str = "aqp.sql.queries_parsed";
+    /// Logical plans produced by `sql::plan_query`.
+    pub const SQL_PLANS_BUILT: &str = "aqp.sql.plans_built";
+    /// Plans rewritten for single-scan error estimation.
+    pub const SQL_PLANS_REWRITTEN: &str = "aqp.sql.plans_rewritten";
+    /// `execute_approx` invocations.
+    pub const EXEC_APPROX_QUERIES: &str = "aqp.exec.approx_queries";
+    /// Per-worker busy-time histogram (ms) from `exec::parallel`.
+    pub const EXEC_WORKER_MS: &str = "aqp.exec.worker_ms";
+    /// Workers whose busy time exceeded the straggler threshold.
+    pub const EXEC_STRAGGLERS: &str = "aqp.exec.stragglers_detected";
+    /// Bootstrap resamples drawn (replicates across all estimators).
+    pub const STATS_BOOTSTRAP_RESAMPLES: &str = "aqp.stats.bootstrap_resamples";
+    /// Diagnostic runs that accepted the error estimate.
+    pub const DIAG_ACCEPTED: &str = "aqp.diagnostics.accepted";
+    /// Diagnostic runs that rejected the error estimate.
+    pub const DIAG_REJECTED: &str = "aqp.diagnostics.rejected";
+    /// Per-level deviation checks that failed (|θ−θS| too large).
+    pub const DIAG_DEVIATION_FAILURES: &str = "aqp.diagnostics.deviation_check_failures";
+    /// Per-level spread checks that failed (ξ widths not shrinking).
+    pub const DIAG_SPREAD_FAILURES: &str = "aqp.diagnostics.spread_check_failures";
+    /// Final-proportion checks that failed (too few OK subsamples).
+    pub const DIAG_PROPORTION_FAILURES: &str = "aqp.diagnostics.proportion_check_failures";
+    /// Cluster-sim jobs simulated.
+    pub const CLUSTER_JOBS: &str = "aqp.cluster.jobs_simulated";
+    /// Cluster-sim tasks simulated.
+    pub const CLUSTER_TASKS: &str = "aqp.cluster.tasks_simulated";
+    /// Cluster-sim tasks that drew a straggler delay.
+    pub const CLUSTER_STRAGGLER_TASKS: &str = "aqp.cluster.straggler_tasks";
+}
+
+/// A clock plus a metrics registry: the observability context that
+/// rides inside `SessionConfig` / `ApproxOptions`.
+#[derive(Debug, Clone)]
+pub struct ObsHandle {
+    /// The time source for every stage/span measurement.
+    pub clock: Clock,
+    /// Where counters/gauges/histograms are registered.
+    pub metrics: Arc<MetricsRegistry>,
+}
+
+impl Default for ObsHandle {
+    fn default() -> Self {
+        ObsHandle::global()
+    }
+}
+
+impl ObsHandle {
+    /// Real clock + the process-global registry (the production
+    /// default).
+    pub fn global() -> Self {
+        ObsHandle {
+            clock: Clock::Real,
+            metrics: MetricsRegistry::global(),
+        }
+    }
+
+    /// A fresh private registry with the given clock — used by tests
+    /// that assert exact metric values.
+    pub fn isolated(clock: Clock) -> Self {
+        ObsHandle {
+            clock,
+            metrics: Arc::new(MetricsRegistry::new()),
+        }
+    }
+
+    /// Same registry, different clock.
+    pub fn with_clock(&self, clock: Clock) -> Self {
+        ObsHandle {
+            clock,
+            metrics: Arc::clone(&self.metrics),
+        }
+    }
+
+    /// A trace recorder reading this handle's clock.
+    pub fn recorder(&self) -> TraceRecorder {
+        TraceRecorder::new(self.clock.clone())
+    }
+}
+
+/// Count stragglers among per-worker busy times: workers slower than
+/// `factor × median` (paper §5.4's straggler heuristic, applied to the
+/// in-process worker pool). Returns 0 for fewer than two workers —
+/// a lone worker cannot straggle relative to its peers.
+pub fn count_stragglers(busy: &[Duration], factor: f64) -> usize {
+    if busy.len() < 2 {
+        return 0;
+    }
+    let mut sorted: Vec<Duration> = busy.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2].as_secs_f64();
+    let threshold = median * factor;
+    busy.iter().filter(|d| d.as_secs_f64() > threshold).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_handle_shares_the_global_registry() {
+        let a = ObsHandle::default();
+        let b = ObsHandle::global();
+        a.metrics.counter("aqp.test.shared_handle").add(2);
+        assert!(b.metrics.counter("aqp.test.shared_handle").get() >= 2);
+        assert!(!a.clock.is_mock());
+    }
+
+    #[test]
+    fn isolated_handles_do_not_leak_into_global() {
+        let iso = ObsHandle::isolated(Clock::mock());
+        iso.metrics.counter("aqp.test.isolated_only").inc();
+        assert_eq!(
+            MetricsRegistry::global().snapshot().counter("aqp.test.isolated_only"),
+            None
+        );
+        assert_eq!(iso.metrics.snapshot().counter("aqp.test.isolated_only"), Some(1));
+        assert!(iso.clock.is_mock());
+    }
+
+    #[test]
+    fn straggler_count_uses_median_factor() {
+        let ms = |n: u64| Duration::from_millis(n);
+        // median 10ms; factor 2 → threshold 20ms.
+        let busy = [ms(9), ms(10), ms(11), ms(50)];
+        assert_eq!(count_stragglers(&busy, 2.0), 1);
+        assert_eq!(count_stragglers(&busy, 10.0), 0);
+        assert_eq!(count_stragglers(&[ms(100)], 0.5), 0);
+        assert_eq!(count_stragglers(&[], 2.0), 0);
+    }
+}

@@ -16,6 +16,7 @@ use crate::{Result, SqlError};
 /// inner block is planned first and the outer block consumes its output
 /// columns (aggregate aliases and group keys).
 pub fn plan_query(query: &Query, base_schema: &Schema) -> Result<LogicalPlan> {
+    crate::parser::count_one(aqp_obs::name::SQL_PLANS_BUILT);
     match &query.from {
         TableRef::Table(name) => plan_block(query, name, base_schema),
         TableRef::Subquery(inner) => {

@@ -37,6 +37,7 @@ pub fn rewrite_for_error_estimation(
     alpha: f64,
     placement: ResamplePlacement,
 ) -> LogicalPlan {
+    crate::parser::count_one(aqp_obs::name::SQL_PLANS_REWRITTEN);
     let with_resample = match placement {
         ResamplePlacement::AboveScan => insert_above_scan(plan, &spec),
         ResamplePlacement::PushedDown => insert_pushed_down(plan, &spec),

@@ -5,6 +5,8 @@
 //! the symmetric centered confidence interval around θ(S) covering α of
 //! the replicate distribution.
 
+use std::sync::OnceLock;
+
 use rand::Rng;
 
 use crate::ci::{ci_from_draws, Ci};
@@ -14,6 +16,17 @@ use crate::estimator::{QueryEstimator, SampleContext};
 /// Default number of bootstrap resamples (the paper uses K = 100 and notes
 /// it "can be tuned automatically").
 pub const DEFAULT_REPLICATES: usize = 100;
+
+/// Count resamples drawn on the global metrics registry
+/// (`aqp.stats.bootstrap_resamples`). The handle is cached so the hot
+/// path pays one atomic add, no registry lock.
+pub fn count_resamples(k: usize) {
+    static C: OnceLock<aqp_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        aqp_obs::MetricsRegistry::global().counter(aqp_obs::name::STATS_BOOTSTRAP_RESAMPLES)
+    })
+    .add(k as u64);
+}
 
 /// Compute `k` bootstrap replicate estimates θ(S₁), …, θ(S_k) of `theta`
 /// on `values` using Poissonized resampling.
@@ -28,6 +41,7 @@ pub fn bootstrap_replicates<R: Rng>(
     theta: &dyn QueryEstimator,
     k: usize,
 ) -> Vec<f64> {
+    count_resamples(k);
     let p1 = Poisson1::new();
     let mut weights = vec![0u32; values.len()];
     (0..k)

@@ -16,12 +16,15 @@
 //! * `crate-hygiene` — crate roots carry `#![deny(unsafe_code)]` and
 //!   `#![warn(missing_docs)]`; manifests route every dependency through
 //!   `[workspace.dependencies]`.
+//! * `timing-discipline` — raw `std::time::Instant` / `SystemTime` are
+//!   forbidden outside `crates/obs`; every measurement must read an
+//!   `aqp_obs::Clock` so tests can steer time deterministically.
 
 use crate::scanner::{cfg_test_regions, line_of, mask, tokens, SpannedTok};
 use std::path::Path;
 
 /// Crates whose library code must be panic-free (the request path).
-const PANIC_FREE_CRATES: &[&str] = &["exec", "core", "stats", "storage"];
+const PANIC_FREE_CRATES: &[&str] = &["exec", "core", "stats", "storage", "obs"];
 
 /// One lint finding.
 #[derive(Debug, Clone)]
@@ -89,6 +92,7 @@ pub fn check_source(rel: &str, src: &str) -> Vec<Finding> {
     let mut out = Vec::new();
     rng_discipline(rel, &toks, &mut out);
     nan_safety(rel, &toks, &mut out);
+    timing_discipline(rel, &toks, &mut out);
     if classify(rel) == FileKind::PanicFreeLib {
         panic_freedom(rel, &toks, &in_test_mod, &mut out);
     }
@@ -195,6 +199,31 @@ fn nan_safety(rel: &str, toks: &[SpannedTok], out: &mut Vec<Finding>) {
                     });
                 }
             }
+        }
+    }
+}
+
+/// `timing-discipline`: raw monotonic/wall clocks outside `crates/obs`.
+///
+/// `aqp_obs::Clock` is the only sanctioned time source: it has a
+/// deterministic mock, so any measurement routed through it is
+/// steerable in tests. A bare `Instant::now()` is not.
+fn timing_discipline(rel: &str, toks: &[SpannedTok], out: &mut Vec<Finding>) {
+    let comps: Vec<&str> = Path::new(rel).iter().filter_map(|c| c.to_str()).collect();
+    if comps.len() >= 2 && comps[0] == "crates" && comps[1] == "obs" {
+        return; // the Clock implementation itself
+    }
+    for t in toks {
+        let Some(id) = t.ident() else { continue };
+        if matches!(id, "Instant" | "SystemTime") {
+            out.push(Finding {
+                file: rel.into(),
+                line: t.line,
+                rule: "timing-discipline",
+                token: id.into(),
+                hint: "raw std::time clocks cannot be mocked; measure through \
+                       aqp_obs::Clock (e.g. an ObsHandle's clock) instead",
+            });
         }
     }
 }
@@ -409,6 +438,21 @@ mod tests {
             "crates/exec/src/parallel.rs",
             "let v = handle.join().expect(\"worker panicked\");",
         );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn timing_rule_forbids_raw_clocks_outside_obs() {
+        let f = rules_on("examples/quickstart.rs", "let t = std::time::Instant::now();");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "timing-discipline");
+        let f = rules_on("crates/exec/src/engine.rs", "let t = SystemTime::now();");
+        assert_eq!(f.len(), 1, "{f:?}");
+        // The Clock implementation is the one sanctioned call site.
+        let f = rules_on("crates/obs/src/clock.rs", "let a = Instant::now();");
+        assert!(f.is_empty(), "{f:?}");
+        // Comments and strings are masked out.
+        let f = rules_on("src/x.rs", "// Instant is forbidden\nlet s = \"SystemTime\";");
         assert!(f.is_empty(), "{f:?}");
     }
 

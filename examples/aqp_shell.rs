@@ -126,11 +126,10 @@ fn main() {
             continue;
         }
         // Plain SQL.
-        let t = std::time::Instant::now();
         match session.execute(line.trim_end_matches(';')) {
             Ok(answer) => {
                 print!("{}", answer.summary());
-                println!("({:?})", t.elapsed());
+                println!("({:?})", answer.timings.total());
             }
             Err(e) => println!("error: {e}"),
         }

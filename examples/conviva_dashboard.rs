@@ -34,12 +34,13 @@ fn main() {
         ),
     ];
 
+    let clock = reliable_aqp::obs::Clock::real();
     let mut total = std::time::Duration::ZERO;
     for (title, sql) in panels {
-        let t = std::time::Instant::now();
+        let t = clock.now();
         match session.execute(sql) {
             Ok(answer) => {
-                let wall = t.elapsed();
+                let wall = clock.now().duration_since(t);
                 total += wall;
                 println!("== {title} ==  [{:?}, {:?}]", answer.mode, wall);
                 // Show at most 4 groups per panel.

@@ -15,8 +15,9 @@ use reliable_aqp::workload::facebook_events_table;
 
 fn run(session: &AqpSession, sql: &str) {
     println!("\n>>> {sql}");
-    let t = std::time::Instant::now();
     let answer = session.execute(sql).expect("execute");
+    // The answer carries its own trace-derived timings: no ad-hoc clock.
+    let elapsed = answer.timings.total();
     let r = answer.scalar().expect("single result");
     match answer.mode {
         AnswerMode::Approximate | AnswerMode::ApproximateUnchecked => {
@@ -26,7 +27,7 @@ fn run(session: &AqpSession, sql: &str) {
                 r.estimate,
                 ci.half_width,
                 r.method,
-                t.elapsed()
+                elapsed
             );
             if let Some(d) = &r.diagnostic {
                 for l in &d.levels {
@@ -41,7 +42,7 @@ fn run(session: &AqpSession, sql: &str) {
             println!(
                 "    REJECTED by diagnostic -> exact fallback: {:.4} (no error bars shown), {:?}",
                 r.estimate,
-                t.elapsed()
+                elapsed
             );
         }
         AnswerMode::Exact => println!("    exact: {:.4}", r.estimate),

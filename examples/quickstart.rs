@@ -9,11 +9,22 @@
 //! (`SELECT AVG(Time) FROM Sessions WHERE City = 'NYC'`) three ways:
 //! exactly, approximately with a 10% error bound, and approximately with
 //! a tight bound that forces the bigger sample.
+//!
+//! Pass `--metrics out.jsonl` to dump the session's metrics snapshot
+//! (counters, fallback rates, latency percentiles) as JSONL.
 
-use reliable_aqp::{AqpSession, SessionConfig};
+use reliable_aqp::obs::{Clock, MetricsRegistry};
 use reliable_aqp::workload::conviva_sessions_table;
+use reliable_aqp::{AqpSession, SessionConfig};
 
 fn main() {
+    let metrics_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--metrics")
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let clock = Clock::real();
     let rows = 2_000_000;
     println!("building a {rows}-row sessions table ...");
     let table = conviva_sessions_table(rows, 16, 1);
@@ -29,7 +40,7 @@ fn main() {
     let query = "SELECT AVG(time) FROM sessions WHERE city = 'NYC'";
 
     // Exact ground truth (scans everything).
-    let t0 = std::time::Instant::now();
+    let t0 = clock.now();
     let exact_session = AqpSession::new(SessionConfig::default());
     exact_session
         .register_table(conviva_sessions_table(rows, 16, 1))
@@ -38,34 +49,43 @@ fn main() {
     println!(
         "\nEXACT      {query}\n  -> {:.4}   ({:?} wall)",
         exact.scalar().unwrap().estimate,
-        t0.elapsed()
+        clock.now().duration_since(t0)
     );
 
     // Approximate with a 10% error bound: picks the smallest sufficient
     // sample, runs the single-scan error estimation + diagnostic.
-    let t1 = std::time::Instant::now();
+    let t1 = clock.now();
     let approx = session
         .execute(&format!("{query} WITHIN 10% ERROR AT CONFIDENCE 95%"))
         .expect("approx");
     println!(
         "\nAPPROX 10% {query}\n{}  ({:?} wall)",
         approx.summary(),
-        t1.elapsed()
+        clock.now().duration_since(t1)
     );
 
     // Tight 1% bound: needs the larger sample.
-    let t2 = std::time::Instant::now();
+    let t2 = clock.now();
     let tight = session
         .execute(&format!("{query} WITHIN 1% ERROR AT CONFIDENCE 95%"))
         .expect("approx tight");
     println!(
         "APPROX 1%  {query}\n{}  ({:?} wall)",
         tight.summary(),
-        t2.elapsed()
+        clock.now().duration_since(t2)
     );
 
     println!("plan used:\n{}", tight.plan);
+    println!("lifecycle trace of the tight query:\n{}", tight.trace.render_table());
     let truth = exact.scalar().unwrap().estimate;
     let est = approx.scalar().unwrap().estimate;
     println!("relative deviation from truth at 10% bound: {:.3}%", 100.0 * (est - truth).abs() / truth);
+
+    if let Some(path) = metrics_path {
+        let snapshot = MetricsRegistry::global().snapshot();
+        match std::fs::write(&path, snapshot.to_jsonl()) {
+            Ok(()) => println!("metrics snapshot written to {path}"),
+            Err(e) => eprintln!("failed writing metrics snapshot to {path}: {e}"),
+        }
+    }
 }

@@ -36,6 +36,8 @@
 pub use aqp_core::answer::AnswerMode;
 pub use aqp_core::{AqpAnswer, AqpSession, SessionConfig};
 
+/// Observability: clock abstraction, metrics registry, query traces.
+pub use aqp_obs as obs;
 /// Columnar storage substrate.
 pub use aqp_storage as storage;
 /// Statistical substrate (bootstrap, closed forms, large deviations).

@@ -57,6 +57,16 @@ fn write_fixture(root: &Path) {
         "crates/exec/src/engine.rs",
         "pub fn g(o: Option<u32>) -> u32 {\n    if o.is_none() { panic!(\"no\"); }\n    o.unwrap()\n}\n#[cfg(test)]\nmod tests {\n    fn ok() { None::<u32>.unwrap(); }\n}\n",
     );
+    // timing-discipline: a raw Instant outside crates/obs (and proof
+    // that the Clock implementation itself is exempt).
+    write(
+        "crates/bench/src/timer.rs",
+        "pub fn h() -> std::time::Instant {\n    std::time::Instant::now()\n}\n",
+    );
+    write(
+        "crates/obs/src/clock.rs",
+        "pub fn anchor() -> std::time::Instant {\n    std::time::Instant::now()\n}\n",
+    );
     // crate-hygiene: root missing the mandatory attributes...
     write("crates/exec/src/lib.rs", "//! Fixture crate.\npub mod engine;\n");
     // ...and a manifest dodging [workspace.dependencies].
@@ -77,9 +87,17 @@ fn fixture_violations_fail_the_lint() {
     std::fs::remove_dir_all(&dir).expect("cleanup fixture");
 
     assert!(!out.status.success(), "lint accepted a fixture full of violations:\n{stdout}");
-    for rule in ["rng-discipline", "nan-safety", "panic-freedom", "crate-hygiene"] {
+    for rule in [
+        "rng-discipline",
+        "nan-safety",
+        "panic-freedom",
+        "crate-hygiene",
+        "timing-discipline",
+    ] {
         assert!(stdout.contains(rule), "missing {rule} finding in:\n{stdout}");
     }
+    // The exempt Clock implementation must NOT be reported.
+    assert!(!stdout.contains("crates/obs/src/clock.rs"), "obs was linted:\n{stdout}");
     // Findings carry file:line coordinates.
     assert!(stdout.contains("crates/exec/src/engine.rs:2"), "no file:line in:\n{stdout}");
     // The #[cfg(test)] unwrap must NOT be reported (engine.rs line 7).
