@@ -1,0 +1,84 @@
+//! Deterministic, seedable audit sampling.
+//!
+//! Each completed query gets an ordinal; whether it is audited is a
+//! pure function of `(seed, ordinal)`, so replaying a trace with the
+//! same seed audits exactly the same queries regardless of timing or
+//! thread interleaving, and the audited subset is an unbiased `rate`
+//! fraction in expectation.
+
+/// Decides which query ordinals are audited.
+#[derive(Debug, Clone, Copy)]
+pub struct AuditSampler {
+    seed: u64,
+    rate: f64,
+}
+
+impl AuditSampler {
+    /// A sampler auditing a `rate` fraction (clamped to `[0, 1]`).
+    pub fn new(seed: u64, rate: f64) -> Self {
+        AuditSampler {
+            seed,
+            rate: if rate.is_finite() { rate.clamp(0.0, 1.0) } else { 0.0 },
+        }
+    }
+
+    /// Should the query with this ordinal be audited?
+    pub fn selects(&self, ordinal: u64) -> bool {
+        // splitmix64 of (seed ⊕ stride·ordinal): top 53 bits → U[0,1).
+        let h = splitmix64(self.seed ^ ordinal.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < self.rate
+    }
+}
+
+/// The splitmix64 finalizer: a well-mixed 64-bit hash.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_ordinal() {
+        let a = AuditSampler::new(7, 0.25);
+        let b = AuditSampler::new(7, 0.25);
+        for i in 0..1000 {
+            assert_eq!(a.selects(i), b.selects(i));
+        }
+    }
+
+    #[test]
+    fn rate_zero_and_one_are_exact() {
+        let none = AuditSampler::new(1, 0.0);
+        let all = AuditSampler::new(1, 1.0);
+        assert!((0..500).all(|i| !none.selects(i)));
+        assert!((0..500).all(|i| all.selects(i)));
+    }
+
+    #[test]
+    fn hit_rate_tracks_the_configured_fraction() {
+        let s = AuditSampler::new(42, 0.1);
+        let hits = (0..20_000).filter(|&i| s.selects(i)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.1).abs() < 0.01, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn different_seeds_pick_different_subsets() {
+        let a = AuditSampler::new(1, 0.5);
+        let b = AuditSampler::new(2, 0.5);
+        let differ = (0..1000).filter(|&i| a.selects(i) != b.selects(i)).count();
+        assert!(differ > 100, "only {differ} ordinals differ");
+    }
+
+    #[test]
+    fn nonfinite_rate_disables_sampling() {
+        let s = AuditSampler::new(3, f64::NAN);
+        assert!((0..100).all(|i| !s.selects(i)));
+    }
+}

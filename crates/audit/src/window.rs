@@ -1,0 +1,223 @@
+//! Sliding-window and cumulative aggregation of audit scores.
+
+use std::collections::VecDeque;
+
+use aqp_diagnostics::DiagnosticOutcome;
+
+use crate::score::AuditScore;
+
+/// Counts of the four diagnostic confusion-matrix cells.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionCounts {
+    /// Diagnostic accepted, CI covered.
+    pub true_accepts: u64,
+    /// Diagnostic rejected, CI missed.
+    pub true_rejects: u64,
+    /// Diagnostic accepted, CI missed (dangerous).
+    pub false_positives: u64,
+    /// Diagnostic rejected, CI covered (wasteful).
+    pub false_negatives: u64,
+}
+
+impl ConfusionCounts {
+    /// Record one confusion cell.
+    pub fn add(&mut self, o: DiagnosticOutcome) {
+        match o {
+            DiagnosticOutcome::TrueAccept => self.true_accepts += 1,
+            DiagnosticOutcome::TrueReject => self.true_rejects += 1,
+            DiagnosticOutcome::FalsePositive => self.false_positives += 1,
+            DiagnosticOutcome::FalseNegative => self.false_negatives += 1,
+        }
+    }
+
+    /// Remove one previously recorded cell (window eviction).
+    pub fn remove(&mut self, o: DiagnosticOutcome) {
+        match o {
+            DiagnosticOutcome::TrueAccept => {
+                self.true_accepts = self.true_accepts.saturating_sub(1)
+            }
+            DiagnosticOutcome::TrueReject => {
+                self.true_rejects = self.true_rejects.saturating_sub(1)
+            }
+            DiagnosticOutcome::FalsePositive => {
+                self.false_positives = self.false_positives.saturating_sub(1)
+            }
+            DiagnosticOutcome::FalseNegative => {
+                self.false_negatives = self.false_negatives.saturating_sub(1)
+            }
+        }
+    }
+
+    /// Total scored cells.
+    pub fn total(&self) -> u64 {
+        self.true_accepts + self.true_rejects + self.false_positives + self.false_negatives
+    }
+
+    /// False-positive rate among diagnostic *accepts* (the paper's
+    /// dangerous direction), `None` with no accepts.
+    pub fn false_positive_rate(&self) -> Option<f64> {
+        let accepts = self.true_accepts + self.false_positives;
+        (accepts > 0).then(|| self.false_positives as f64 / accepts as f64)
+    }
+
+    /// False-negative rate among diagnostic *rejects* (needless
+    /// fallbacks), `None` with no rejects.
+    pub fn false_negative_rate(&self) -> Option<f64> {
+        let rejects = self.true_rejects + self.false_negatives;
+        (rejects > 0).then(|| self.false_negatives as f64 / rejects as f64)
+    }
+}
+
+/// A fixed-capacity sliding window over [`AuditScore`]s with O(1)
+/// aggregate queries (running sums maintained on push/evict).
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    cap: usize,
+    entries: VecDeque<AuditScore>,
+    hits: u64,
+    misses: u64,
+    ratio_sum: f64,
+    ratio_n: u64,
+    confusion: ConfusionCounts,
+}
+
+impl SlidingWindow {
+    /// A window keeping the last `cap` scores (capacity at least 1).
+    pub fn new(cap: usize) -> Self {
+        SlidingWindow {
+            cap: cap.max(1),
+            entries: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+            ratio_sum: 0.0,
+            ratio_n: 0,
+            confusion: ConfusionCounts::default(),
+        }
+    }
+
+    /// Push one score, evicting the oldest at capacity.
+    pub fn push(&mut self, s: AuditScore) {
+        if self.entries.len() == self.cap {
+            if let Some(old) = self.entries.pop_front() {
+                match old.covered {
+                    Some(true) => self.hits = self.hits.saturating_sub(1),
+                    Some(false) => self.misses = self.misses.saturating_sub(1),
+                    None => {}
+                }
+                if let Some(r) = old.error_ratio {
+                    self.ratio_sum -= r;
+                    self.ratio_n = self.ratio_n.saturating_sub(1);
+                }
+                if let Some(o) = old.outcome {
+                    self.confusion.remove(o);
+                }
+            }
+        }
+        match s.covered {
+            Some(true) => self.hits += 1,
+            Some(false) => self.misses += 1,
+            None => {}
+        }
+        if let Some(r) = s.error_ratio {
+            self.ratio_sum += r;
+            self.ratio_n += 1;
+        }
+        if let Some(o) = s.outcome {
+            self.confusion.add(o);
+        }
+        self.entries.push_back(s);
+    }
+
+    /// Scores currently in the window.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the window empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Scores in the window that carry a coverage verdict (had a CI).
+    pub fn coverage_verdicts(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// CI coverage rate over the window (`None` with no CI verdicts).
+    pub fn coverage(&self) -> Option<f64> {
+        let n = self.hits + self.misses;
+        (n > 0).then(|| self.hits as f64 / n as f64)
+    }
+
+    /// Mean error ratio over the window (`None` with no ratios).
+    pub fn mean_error_ratio(&self) -> Option<f64> {
+        (self.ratio_n > 0).then(|| self.ratio_sum / self.ratio_n as f64)
+    }
+
+    /// Confusion-cell counts over the window.
+    pub fn confusion(&self) -> ConfusionCounts {
+        self.confusion
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(covered: bool, ratio: f64, outcome: DiagnosticOutcome) -> AuditScore {
+        AuditScore {
+            covered: Some(covered),
+            rel_error: Some(ratio * 0.1),
+            error_ratio: Some(ratio),
+            outcome: Some(outcome),
+        }
+    }
+
+    #[test]
+    fn coverage_over_window() {
+        let mut w = SlidingWindow::new(4);
+        assert_eq!(w.coverage(), None);
+        for covered in [true, true, true, false] {
+            w.push(s(covered, 0.5, DiagnosticOutcome::TrueAccept));
+        }
+        assert_eq!(w.coverage(), Some(0.75));
+        assert_eq!(w.len(), 4);
+    }
+
+    #[test]
+    fn eviction_slides_the_stats() {
+        let mut w = SlidingWindow::new(2);
+        w.push(s(false, 4.0, DiagnosticOutcome::FalsePositive));
+        w.push(s(true, 0.5, DiagnosticOutcome::TrueAccept));
+        w.push(s(true, 0.5, DiagnosticOutcome::TrueAccept));
+        // The miss (and its FP cell, and its 4.0 ratio) fell out.
+        assert_eq!(w.coverage(), Some(1.0));
+        assert_eq!(w.confusion().false_positives, 0);
+        assert!((w.mean_error_ratio().unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn scores_without_verdicts_occupy_slots_but_not_rates() {
+        let mut w = SlidingWindow::new(3);
+        w.push(AuditScore { covered: None, rel_error: None, error_ratio: None, outcome: None });
+        w.push(s(true, 1.0, DiagnosticOutcome::TrueAccept));
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.coverage(), Some(1.0));
+        assert_eq!(w.mean_error_ratio(), Some(1.0));
+        assert_eq!(w.confusion().total(), 1);
+    }
+
+    #[test]
+    fn confusion_rates() {
+        let mut c = ConfusionCounts::default();
+        c.add(DiagnosticOutcome::TrueAccept);
+        c.add(DiagnosticOutcome::TrueAccept);
+        c.add(DiagnosticOutcome::FalsePositive);
+        c.add(DiagnosticOutcome::TrueReject);
+        assert_eq!(c.total(), 4);
+        assert!((c.false_positive_rate().unwrap() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c.false_negative_rate(), Some(0.0));
+        assert_eq!(ConfusionCounts::default().false_positive_rate(), None);
+    }
+}

@@ -1,5 +1,6 @@
 //! The AQP session: registration, sampling, and reliable execution.
 
+use aqp_audit::{AuditConfig, AuditReport, AuditedAggregate, Auditor, QueryAudit};
 use aqp_diagnostics::DiagnosticConfig;
 use aqp_exec::engine::{execute_approx, execute_exact_observed, ApproxOptions, MethodChoice};
 use aqp_exec::result::StageTimings;
@@ -41,6 +42,11 @@ pub struct SessionConfig {
     /// real clock + process-global registry; tests that assert exact
     /// metric values use `ObsHandle::isolated(Clock::mock())`.
     pub obs: ObsHandle,
+    /// Continuous accuracy auditing: replay a deterministic fraction of
+    /// approximate answers at full data and score CI coverage and
+    /// diagnostic verdicts (`None` = off, the default; auditing adds
+    /// replay cost proportional to its sample rate).
+    pub audit: Option<AuditConfig>,
 }
 
 impl Default for SessionConfig {
@@ -54,6 +60,7 @@ impl Default for SessionConfig {
             default_confidence: 0.95,
             pilot_rows: 2_000,
             obs: ObsHandle::default(),
+            audit: None,
         }
     }
 }
@@ -63,21 +70,33 @@ pub struct AqpSession {
     catalog: Catalog,
     registry: Mutex<UdfRegistry>,
     config: SessionConfig,
+    auditor: Option<Auditor>,
 }
 
 impl AqpSession {
     /// Create a session.
     pub fn new(config: SessionConfig) -> Self {
+        let auditor = config
+            .audit
+            .clone()
+            .map(|cfg| Auditor::new(cfg, &config.obs));
         AqpSession {
             catalog: Catalog::new(),
             registry: Mutex::new(UdfRegistry::default()),
             config,
+            auditor,
         }
     }
 
     /// The session's catalog handle.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// The accuracy auditor's scorekeeping so far (`None` when auditing
+    /// is off).
+    pub fn audit_report(&self) -> Option<AuditReport> {
+        self.auditor.as_ref().map(|a| a.report())
     }
 
     /// Register an aggregate UDF.
@@ -278,8 +297,9 @@ impl AqpSession {
                 rec.attr(sel, "strategy", "stratified");
                 rec.attr(sel, "sample_rows", meta.rows);
                 rec.end(sel);
-                return self
-                    .execute_on_sample(&query, &plan, &table, &registry, meta, sample_table, rec);
+                return self.execute_on_sample(
+                    sql, &query, &plan, &table, &registry, meta, sample_table, rec,
+                );
             }
             rec.end(sel);
         }
@@ -319,7 +339,7 @@ impl AqpSession {
         }
         rec.attr(sel, "sample_rows", meta.rows);
         rec.end(sel);
-        self.execute_on_sample(&query, &plan, &table, &registry, meta, sample_table, rec)
+        self.execute_on_sample(sql, &query, &plan, &table, &registry, meta, sample_table, rec)
     }
 
 
@@ -328,6 +348,7 @@ impl AqpSession {
     #[allow(clippy::too_many_arguments)]
     fn execute_on_sample(
         &self,
+        sql: &str,
         query: &Query,
         plan: &LogicalPlan,
         table: &Table,
@@ -405,6 +426,7 @@ impl AqpSession {
         rec.attr(gate, "rejected", rejected);
         if rejected == 0 {
             rec.end(gate);
+            self.maybe_audit(sql, &approx, None, plan, table, registry, rec);
             return apply_having(query, AqpAnswer {
                 groups: approx.groups,
                 mode: if self.config.run_diagnostics {
@@ -426,6 +448,9 @@ impl AqpSession {
         let exact =
             execute_exact_observed(plan, table, registry, self.config.threads, &self.config.obs)?;
         rec.graft(exact.trace.clone());
+        // The fallback already paid for full-data truth; the auditor can
+        // score this query for free.
+        self.maybe_audit(sql, &approx, Some(&exact), plan, table, registry, rec);
         let approx_index: std::collections::HashMap<&str, &aqp_exec::result::GroupResult> =
             approx.groups.iter().map(|g| (g.key.as_str(), g)).collect();
         let merged: Vec<aqp_exec::result::GroupResult> = exact
@@ -506,7 +531,7 @@ impl AqpSession {
                     "no stored uniform sample of exactly {rows} rows"
                 )));
             };
-            self.execute_on_sample(&query, &plan, &table, &registry, meta, sample_table, &rec)
+            self.execute_on_sample(sql, &query, &plan, &table, &registry, meta, sample_table, &rec)
         })();
         finish_with_trace(rec, result)
     }
@@ -565,6 +590,69 @@ impl AqpSession {
             trace: QueryTrace::default(),
             plan: plan.explain(),
         })
+    }
+
+    /// Consider a completed approximate query for auditing; when the
+    /// deterministic sampler selects it, obtain full-data truth (reusing
+    /// `exact` if the fallback path already computed it, otherwise
+    /// replaying under an `audit_replay` span) and hand the scored pairs
+    /// to the auditor. Infallible by design: an audit failure must never
+    /// fail or alter the query it audits.
+    #[allow(clippy::too_many_arguments)]
+    fn maybe_audit(
+        &self,
+        sql: &str,
+        approx: &aqp_exec::result::ApproxResult,
+        exact: Option<&aqp_exec::result::ExactResult>,
+        plan: &LogicalPlan,
+        table: &Table,
+        registry: &UdfRegistry,
+        rec: &TraceRecorder,
+    ) {
+        let Some(auditor) = &self.auditor else { return };
+        let Some(ordinal) = auditor.should_audit() else { return };
+        let obs = &self.config.obs;
+        let (truth_groups, replay_ms) = match exact {
+            Some(e) => (e.groups.clone(), 0.0),
+            None => {
+                let span = rec.start(stage::AUDIT_REPLAY);
+                let started = obs.clock.now();
+                let replay =
+                    execute_exact_observed(plan, table, registry, self.config.threads, obs);
+                let ms = obs.clock.now().duration_since(started).as_secs_f64() * 1e3;
+                rec.end(span);
+                match replay {
+                    Ok(e) => (e.groups, ms),
+                    Err(_) => return,
+                }
+            }
+        };
+        let truth_index: std::collections::HashMap<&str, &Vec<f64>> =
+            truth_groups.iter().map(|(k, v)| (k.as_str(), v)).collect();
+        let cfg = auditor.config();
+        let mut aggregates = Vec::new();
+        for g in &approx.groups {
+            let Some(vals) = truth_index.get(g.key.as_str()) else { continue };
+            for (ai, a) in g.aggs.iter().enumerate() {
+                let Some(&truth) = vals.get(ai) else { continue };
+                let (agg, column) = split_agg_name(&a.name);
+                aggregates.push(AuditedAggregate {
+                    agg: agg.to_string(),
+                    column: column.to_string(),
+                    family: cfg.family_of(column).to_string(),
+                    estimate: a.estimate,
+                    ci: a.ci,
+                    diagnostic_accepted: a.diagnostic.as_ref().map(|d| d.accepted),
+                    truth,
+                });
+            }
+        }
+        auditor.ingest(QueryAudit {
+            ordinal,
+            sql: sql.to_string(),
+            replay_ms,
+            aggregates,
+        });
     }
 
     /// Run the pilot to translate an error clause into required rows.
@@ -733,6 +821,16 @@ fn apply_having_inner(query: &Query, mut answer: AqpAnswer) -> Result<AqpAnswer>
     }
     answer.groups = kept;
     Ok(answer)
+}
+
+/// Split a display name like `AVG(time)` into `("AVG", "time")`
+/// (`COUNT(*)` → `("COUNT", "*")`; names without parens keep an empty
+/// column).
+fn split_agg_name(name: &str) -> (&str, &str) {
+    match name.split_once('(') {
+        Some((f, rest)) => (f, rest.strip_suffix(')').unwrap_or(rest)),
+        None => (name, ""),
+    }
 }
 
 fn leaf_table_name(query: &Query) -> Result<String> {

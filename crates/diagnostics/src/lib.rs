@@ -30,4 +30,5 @@ pub mod ground_truth;
 pub mod kleiner;
 
 pub use config::DiagnosticConfig;
+pub use ground_truth::DiagnosticOutcome;
 pub use kleiner::{run_diagnostic, DiagnosticReport, LevelEstimates, LevelReport};

@@ -1,10 +1,11 @@
 //! Minimal hand-rolled JSON emission helpers.
 //!
 //! The workspace's vendored `serde` is a no-op stub, so every exporter
-//! builds its JSON by hand through these helpers.
+//! (metrics/trace JSONL here, the audit log in `aqp-audit`) builds its
+//! JSON by hand through these helpers.
 
 /// Append `s` as a JSON string literal (with escaping) onto `out`.
-pub(crate) fn push_str_lit(out: &mut String, s: &str) {
+pub fn push_str_lit(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -24,7 +25,7 @@ pub(crate) fn push_str_lit(out: &mut String, s: &str) {
 
 /// Append a JSON number for `v`; non-finite values become `null`
 /// (JSON has no NaN/Infinity).
-pub(crate) fn push_f64(out: &mut String, v: f64) {
+pub fn push_f64(out: &mut String, v: f64) {
     if v.is_finite() {
         out.push_str(&format!("{v}"));
     } else {
@@ -41,6 +42,36 @@ mod tests {
         let mut s = String::new();
         push_str_lit(&mut s, "a\"b\\c\nd\u{1}");
         assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn every_control_char_is_escaped() {
+        for code in 0u32..0x20 {
+            let c = char::from_u32(code).unwrap();
+            let mut s = String::new();
+            push_str_lit(&mut s, &c.to_string());
+            // No raw control byte may survive into the literal...
+            assert!(
+                s.chars().all(|c| (c as u32) >= 0x20),
+                "raw control char 0x{code:02x} leaked into {s:?}"
+            );
+            // ...and the escape must be one of the JSON short forms or \u00xx.
+            let body = &s[1..s.len() - 1];
+            let ok = matches!(body, "\\n" | "\\r" | "\\t")
+                || body == format!("\\u{code:04x}");
+            assert!(ok, "unexpected escape {body:?} for 0x{code:02x}");
+        }
+    }
+
+    #[test]
+    fn quotes_and_backslashes_round_trip_unambiguously() {
+        let mut s = String::new();
+        push_str_lit(&mut s, r#"a"b\c"#);
+        assert_eq!(s, r#""a\"b\\c""#);
+        // Already-escaped input is escaped again, not passed through.
+        let mut s2 = String::new();
+        push_str_lit(&mut s2, "\\n");
+        assert_eq!(s2, "\"\\\\n\"");
     }
 
     #[test]

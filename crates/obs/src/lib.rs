@@ -30,14 +30,16 @@
 #![warn(missing_docs)]
 
 pub mod clock;
-mod json;
+pub mod json;
 pub mod metrics;
+pub mod sink;
 pub mod trace;
 
 pub use clock::{Clock, Timestamp};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
 };
+pub use sink::JsonlSink;
 pub use trace::{stage, QueryTrace, Span, SpanId, TraceRecorder};
 
 use std::sync::Arc;
@@ -84,6 +86,34 @@ pub mod name {
     pub const CLUSTER_TASKS: &str = "aqp.cluster.tasks_simulated";
     /// Cluster-sim tasks that drew a straggler delay.
     pub const CLUSTER_STRAGGLER_TASKS: &str = "aqp.cluster.straggler_tasks";
+    /// Approximate answers the accuracy auditor considered for sampling.
+    pub const AUDIT_CONSIDERED: &str = "aqp.audit.queries_considered";
+    /// Queries the auditor actually replayed at full data.
+    pub const AUDIT_AUDITED: &str = "aqp.audit.queries_audited";
+    /// Individual group-aggregate results scored by the auditor.
+    pub const AUDIT_RESULTS_SCORED: &str = "aqp.audit.results_scored";
+    /// Claimed confidence intervals that covered the replayed truth.
+    pub const AUDIT_COVERAGE_HITS: &str = "aqp.audit.coverage_hits";
+    /// Claimed confidence intervals that missed the replayed truth.
+    pub const AUDIT_COVERAGE_MISSES: &str = "aqp.audit.coverage_misses";
+    /// Audited results where the diagnostic accepted and the CI covered.
+    pub const AUDIT_TRUE_ACCEPTS: &str = "aqp.audit.diag_true_accepts";
+    /// Audited results where the diagnostic rejected and the CI missed.
+    pub const AUDIT_TRUE_REJECTS: &str = "aqp.audit.diag_true_rejects";
+    /// Audited results where the diagnostic accepted a missing CI (the
+    /// dangerous cell).
+    pub const AUDIT_FALSE_POSITIVES: &str = "aqp.audit.diag_false_positives";
+    /// Audited results where the diagnostic rejected a covering CI (the
+    /// wasteful cell).
+    pub const AUDIT_FALSE_NEGATIVES: &str = "aqp.audit.diag_false_negatives";
+    /// Threshold alerts fired by the auditor's sliding windows.
+    pub const AUDIT_ALERTS_FIRED: &str = "aqp.audit.alerts_fired";
+    /// Overall sliding-window CI coverage rate (gauge, 0..1).
+    pub const AUDIT_WINDOW_COVERAGE: &str = "aqp.audit.window_coverage";
+    /// Full-data replay latency per audited query (histogram, ms).
+    pub const AUDIT_REPLAY_MS: &str = "aqp.audit.replay_ms";
+    /// Audit-log lines that failed to write (sink I/O errors).
+    pub const AUDIT_LOG_ERRORS: &str = "aqp.audit.log_write_errors";
 }
 
 /// A clock plus a metrics registry: the observability context that

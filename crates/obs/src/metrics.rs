@@ -478,6 +478,22 @@ mod tests {
     }
 
     #[test]
+    fn jsonl_escapes_hostile_metric_names() {
+        let reg = MetricsRegistry::new();
+        reg.counter("aqp.\"weird\\name\"\n.hits").add(1);
+        reg.gauge("g\tauge").set(1.0);
+        let j = reg.snapshot().to_jsonl();
+        // One object per line: escaped newlines must not split a record.
+        assert_eq!(j.lines().count(), 2);
+        assert!(j.contains(r#""name":"aqp.\"weird\\name\"\n.hits""#), "{j}");
+        assert!(j.contains(r#""name":"g\tauge""#), "{j}");
+        assert!(
+            j.chars().all(|c| c == '\n' || (c as u32) >= 0x20),
+            "raw control characters leaked into JSONL"
+        );
+    }
+
+    #[test]
     fn concurrent_counter_increments_are_lossless() {
         let reg = MetricsRegistry::new();
         let c = reg.counter("hits");

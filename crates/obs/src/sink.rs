@@ -1,0 +1,191 @@
+//! Append-only, size-rotated JSONL sinks.
+//!
+//! The audit subsystem (and any other long-running producer) persists
+//! one JSON object per line through a [`JsonlSink`]. The sink appends —
+//! never rewrites — and rotates the live file to `<path>.1`,
+//! `<path>.2`, … when it would grow past a byte budget, dropping the
+//! oldest rotation. All I/O errors are surfaced as `io::Result`; the
+//! sink never panics on the write path.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// An append-only JSONL file with size-based rotation.
+///
+/// `append` writes one line per call (a trailing newline is added when
+/// missing). When the live file would exceed `max_bytes`, it is rotated
+/// to `<path>.1` first (existing rotations shift up, the oldest beyond
+/// `max_rotations` is dropped), so a line is never split across files.
+#[derive(Debug)]
+pub struct JsonlSink {
+    path: PathBuf,
+    max_bytes: u64,
+    max_rotations: usize,
+    file: File,
+    written: u64,
+}
+
+impl JsonlSink {
+    /// Open (or create) the sink at `path`, appending to any existing
+    /// content. `max_bytes` bounds the live file (at least 1);
+    /// `max_rotations` is how many rotated files to keep (0 truncates in
+    /// place on overflow).
+    pub fn open(
+        path: impl Into<PathBuf>,
+        max_bytes: u64,
+        max_rotations: usize,
+    ) -> io::Result<Self> {
+        let path = path.into();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let written = file.metadata()?.len();
+        Ok(JsonlSink {
+            path,
+            max_bytes: max_bytes.max(1),
+            max_rotations,
+            file,
+            written,
+        })
+    }
+
+    /// The live file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Bytes currently in the live file.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Append one JSONL line, rotating first if it would overflow the
+    /// live file. A non-empty live file always accepts at least one
+    /// line after rotation, so oversized lines are written, not lost.
+    pub fn append(&mut self, line: &str) -> io::Result<()> {
+        let extra = u64::from(!line.ends_with('\n'));
+        let n = line.len() as u64 + extra;
+        if self.written > 0 && self.written + n > self.max_bytes {
+            self.rotate()?;
+        }
+        self.file.write_all(line.as_bytes())?;
+        if extra == 1 {
+            self.file.write_all(b"\n")?;
+        }
+        self.written += n;
+        Ok(())
+    }
+
+    /// Flush buffered bytes to the OS.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.file.flush()
+    }
+
+    fn rotate(&mut self) -> io::Result<()> {
+        self.file.flush()?;
+        if self.max_rotations == 0 {
+            self.file = File::create(&self.path)?;
+        } else {
+            for i in (1..self.max_rotations).rev() {
+                let from = rotated(&self.path, i);
+                if from.exists() {
+                    std::fs::rename(&from, rotated(&self.path, i + 1))?;
+                }
+            }
+            std::fs::rename(&self.path, rotated(&self.path, 1))?;
+            self.file = OpenOptions::new().create(true).append(true).open(&self.path)?;
+        }
+        self.written = 0;
+        Ok(())
+    }
+}
+
+/// `foo.jsonl` → `foo.jsonl.<i>`.
+fn rotated(path: &Path, i: usize) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(format!(".{i}"));
+    PathBuf::from(os)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("aqp-obs-sink-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn appends_lines_with_newlines() {
+        let p = tmp("append.jsonl");
+        let _ = std::fs::remove_file(&p);
+        let mut s = JsonlSink::open(&p, 1 << 20, 2).unwrap();
+        s.append("{\"a\":1}").unwrap();
+        s.append("{\"b\":2}\n").unwrap();
+        s.flush().unwrap();
+        let body = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(body, "{\"a\":1}\n{\"b\":2}\n");
+        assert_eq!(s.written(), body.len() as u64);
+    }
+
+    #[test]
+    fn reopen_appends_to_existing_content() {
+        let p = tmp("reopen.jsonl");
+        let _ = std::fs::remove_file(&p);
+        {
+            let mut s = JsonlSink::open(&p, 1 << 20, 2).unwrap();
+            s.append("one").unwrap();
+        }
+        let mut s = JsonlSink::open(&p, 1 << 20, 2).unwrap();
+        s.append("two").unwrap();
+        s.flush().unwrap();
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "one\ntwo\n");
+    }
+
+    #[test]
+    fn rotates_at_the_byte_budget_and_drops_oldest() {
+        let p = tmp("rotate.jsonl");
+        for i in 0..4 {
+            let _ = std::fs::remove_file(rotated(&p, i));
+        }
+        let _ = std::fs::remove_file(&p);
+        // Each line is 8 bytes with newline; budget fits exactly one.
+        let mut s = JsonlSink::open(&p, 8, 2).unwrap();
+        for line in ["line001", "line002", "line003", "line004"] {
+            s.append(line).unwrap();
+        }
+        s.flush().unwrap();
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "line004\n");
+        assert_eq!(std::fs::read_to_string(rotated(&p, 1)).unwrap(), "line003\n");
+        assert_eq!(std::fs::read_to_string(rotated(&p, 2)).unwrap(), "line002\n");
+        // line001's rotation fell off the end.
+        assert!(!rotated(&p, 3).exists());
+    }
+
+    #[test]
+    fn zero_rotations_truncates_in_place() {
+        let p = tmp("truncate.jsonl");
+        let _ = std::fs::remove_file(&p);
+        let mut s = JsonlSink::open(&p, 8, 0).unwrap();
+        s.append("line001").unwrap();
+        s.append("line002").unwrap();
+        s.flush().unwrap();
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "line002\n");
+        assert!(!rotated(&p, 1).exists());
+    }
+
+    #[test]
+    fn oversized_line_is_still_written() {
+        let p = tmp("oversize.jsonl");
+        let _ = std::fs::remove_file(&p);
+        let _ = std::fs::remove_file(rotated(&p, 1));
+        let mut s = JsonlSink::open(&p, 4, 1).unwrap();
+        s.append("a-very-long-line-beyond-budget").unwrap();
+        s.flush().unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&p).unwrap(),
+            "a-very-long-line-beyond-budget\n"
+        );
+    }
+}

@@ -35,6 +35,8 @@ pub mod stage {
     pub const EXACT_EXECUTION: &str = "exact_execution";
     /// Post-exec reliability gate + fallback merging in the session.
     pub const RELIABILITY_GATE: &str = "reliability_gate";
+    /// Full-data replay + scoring performed by the accuracy auditor.
+    pub const AUDIT_REPLAY: &str = "audit_replay";
 }
 
 /// One recorded span.

@@ -19,6 +19,11 @@
 //! * `timing-discipline` — raw `std::time::Instant` / `SystemTime` are
 //!   forbidden outside `crates/obs`; every measurement must read an
 //!   `aqp_obs::Clock` so tests can steer time deterministically.
+//! * `metric-naming` — string literals registered via
+//!   `counter`/`gauge`/`histogram`/`histogram_with` must follow the
+//!   `aqp.<crate>.<snake_case>` convention so dashboards can group
+//!   series by crate; computed names and `#[cfg(test)]` modules are
+//!   exempt.
 
 use crate::scanner::{cfg_test_regions, line_of, mask, tokens, SpannedTok};
 use std::path::Path;
@@ -93,6 +98,7 @@ pub fn check_source(rel: &str, src: &str) -> Vec<Finding> {
     rng_discipline(rel, &toks, &mut out);
     nan_safety(rel, &toks, &mut out);
     timing_discipline(rel, &toks, &mut out);
+    metric_naming(rel, src, &masked, &in_test_mod, &mut out);
     if classify(rel) == FileKind::PanicFreeLib {
         panic_freedom(rel, &toks, &in_test_mod, &mut out);
     }
@@ -226,6 +232,104 @@ fn timing_discipline(rel: &str, toks: &[SpannedTok], out: &mut Vec<Finding>) {
             });
         }
     }
+}
+
+/// `metric-naming`: literal names passed to the metric registration
+/// methods (`.counter(` / `.gauge(` / `.histogram(` / `.histogram_with(`)
+/// must match `aqp.<crate>.<snake_case>`.
+///
+/// The masked source blanks string literals byte-for-byte, so a call
+/// site found in the masked text shares its byte offsets with the raw
+/// source; the literal itself is read back from the raw bytes. Computed
+/// names (constants, `format!`) are skipped — the `aqp_obs::name`
+/// constants are the sanctioned indirection — and `#[cfg(test)]`
+/// modules may register throwaway names.
+fn metric_naming(
+    rel: &str,
+    src: &str,
+    masked: &str,
+    in_test_mod: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    const REG_FNS: &[&str] = &["counter", "gauge", "histogram", "histogram_with"];
+    let mb = masked.as_bytes();
+    let rb = src.as_bytes();
+    let mut i = 0;
+    while i < mb.len() {
+        if !(mb[i].is_ascii_alphabetic() || mb[i] == b'_') {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < mb.len() && (mb[i].is_ascii_alphanumeric() || mb[i] == b'_') {
+            i += 1;
+        }
+        let word = &masked[start..i];
+        if !REG_FNS.contains(&word) {
+            continue;
+        }
+        // Only method-call positions (`.counter(...)`): skip fn
+        // definitions and unrelated identifiers.
+        let prev = mb[..start].iter().rev().find(|c| !c.is_ascii_whitespace());
+        if prev != Some(&b'.') {
+            continue;
+        }
+        let mut j = i;
+        while j < mb.len() && mb[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if j >= mb.len() || mb[j] != b'(' {
+            continue;
+        }
+        j += 1;
+        // Advance over raw whitespace only: the masked text blanks the
+        // literal itself to spaces, so skipping masked whitespace here
+        // would swallow the very argument we came to inspect.
+        while j < rb.len() && rb[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        // First argument must be a plain string literal to be judged;
+        // anything else (a `name::*` constant, a variable) is exempt.
+        if j >= rb.len() || rb[j] != b'"' {
+            continue;
+        }
+        let line = line_of(masked, start);
+        if in_test_mod(line) {
+            continue;
+        }
+        let lit_start = j + 1;
+        let mut k = lit_start;
+        while k < rb.len() && rb[k] != b'"' {
+            if rb[k] == b'\\' {
+                k += 1;
+            }
+            k += 1;
+        }
+        let name = &src[lit_start..k.min(rb.len())];
+        if !valid_metric_name(name) {
+            out.push(Finding {
+                file: rel.into(),
+                line,
+                rule: "metric-naming",
+                token: format!("{word}(\"{name}\")"),
+                hint: "metric names must be `aqp.<crate>.<snake_case>` (≥3 dot-separated \
+                       lowercase segments); prefer the aqp_obs::name constants",
+            });
+        }
+    }
+}
+
+/// `aqp.<crate>.<snake_case>`: at least three dot-separated segments,
+/// the first literally `aqp`, the rest lowercase snake_case starting
+/// with a letter.
+fn valid_metric_name(name: &str) -> bool {
+    let segs: Vec<&str> = name.split('.').collect();
+    segs.len() >= 3
+        && segs[0] == "aqp"
+        && segs[1..].iter().all(|s| {
+            s.as_bytes().first().is_some_and(|c| c.is_ascii_lowercase())
+                && s.bytes().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == b'_')
+        })
 }
 
 /// `panic-freedom` for library code of the pipeline crates.
@@ -453,6 +557,45 @@ mod tests {
         assert!(f.is_empty(), "{f:?}");
         // Comments and strings are masked out.
         let f = rules_on("src/x.rs", "// Instant is forbidden\nlet s = \"SystemTime\";");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn metric_rule_enforces_the_naming_convention() {
+        // Conforming literals pass.
+        let f = rules_on(
+            "crates/exec/src/engine.rs",
+            "let c = reg.counter(\"aqp.exec.rows_scanned\");\n\
+             let h = m.histogram_with(\"aqp.exec.scan_ms\", &[1.0]);",
+        );
+        assert!(f.is_empty(), "{f:?}");
+        // Wrong prefix, too few segments, or non-snake-case all fail.
+        for bad in ["exec.rows", "aqp.rows", "aqp.Exec.rows", "aqp.exec.rowsScanned", "aqp.exec."] {
+            let src = format!("let c = reg.counter(\"{bad}\");");
+            let f = rules_on("crates/exec/src/engine.rs", &src);
+            assert_eq!(f.len(), 1, "{bad}: {f:?}");
+            assert_eq!(f[0].rule, "metric-naming");
+            assert!(f[0].token.contains(bad));
+        }
+        // Gauges and plain histograms are covered too.
+        let f = rules_on("src/x.rs", "reg.gauge(\"bad\"); reg.histogram(\"also_bad\");");
+        assert_eq!(f.len(), 2, "{f:?}");
+    }
+
+    #[test]
+    fn metric_rule_skips_computed_names_and_test_modules() {
+        // A constant or computed name is the sanctioned indirection.
+        let f = rules_on(
+            "crates/core/src/session.rs",
+            "let c = m.counter(name::FALLBACKS); let h = m.histogram(&format!(\"aqp.core.{stage}_ms\"));",
+        );
+        assert!(f.is_empty(), "{f:?}");
+        // cfg(test) modules may register throwaway names.
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n  fn t() { reg.counter(\"hits\"); }\n}";
+        let f = rules_on("crates/obs/src/metrics.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+        // `fn counter(...)` definitions are not call sites.
+        let f = rules_on("src/x.rs", "fn counter(\"nonsense\") {}");
         assert!(f.is_empty(), "{f:?}");
     }
 

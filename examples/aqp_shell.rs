@@ -16,6 +16,9 @@
 //! \schema                     show the sessions schema
 //! \quit                       exit
 //! ```
+//!
+//! Launch with `--metrics out.jsonl` to dump the session's metrics
+//! snapshot as JSONL when the shell exits.
 
 use std::io::{BufRead, Write};
 
@@ -23,6 +26,12 @@ use reliable_aqp::{AqpSession, SessionConfig};
 use reliable_aqp::workload::conviva_sessions_table;
 
 fn main() {
+    let metrics_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--metrics")
+            .and_then(|i| args.get(i + 1).cloned())
+    };
     let rows = 1_000_000;
     eprintln!("loading {rows}-row synthetic `sessions` table ...");
     let session = AqpSession::new(SessionConfig { seed: 1, ..Default::default() });
@@ -132,6 +141,13 @@ fn main() {
                 println!("({:?})", answer.timings.total());
             }
             Err(e) => println!("error: {e}"),
+        }
+    }
+    if let Some(path) = metrics_path {
+        let snapshot = reliable_aqp::obs::MetricsRegistry::global().snapshot();
+        match std::fs::write(&path, snapshot.to_jsonl()) {
+            Ok(()) => eprintln!("metrics snapshot written to {path}"),
+            Err(e) => eprintln!("failed writing metrics snapshot to {path}: {e}"),
         }
     }
     eprintln!("bye");

@@ -10,6 +10,9 @@
 //! exploratory/monitoring queries where "close-enough" answers in a
 //! couple of seconds beat exact answers in minutes — as long as the
 //! system can tell which error bars to trust.
+//!
+//! Pass `--metrics out.jsonl` to dump the refresh's metrics snapshot
+//! (per-stage latency histograms, fallback counters) as JSONL.
 
 use reliable_aqp::{AqpSession, SessionConfig};
 use reliable_aqp::workload::conviva_sessions_table;
@@ -68,4 +71,17 @@ fn main() {
         }
     }
     println!("\ndashboard refresh total: {total:?}");
+
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--metrics")
+        .and_then(|i| args.get(i + 1).cloned())
+    {
+        let snapshot = reliable_aqp::obs::MetricsRegistry::global().snapshot();
+        match std::fs::write(&path, snapshot.to_jsonl()) {
+            Ok(()) => println!("metrics snapshot written to {path}"),
+            Err(e) => eprintln!("failed writing metrics snapshot to {path}: {e}"),
+        }
+    }
 }

@@ -9,6 +9,9 @@
 //! §3 of the paper shows bootstrap error estimation failing for 86% of
 //! MIN/MAX queries on production data — precisely the case the diagnostic
 //! exists to catch before a user ever sees the bogus error bars.
+//!
+//! Pass `--metrics out.jsonl` to dump the metrics snapshot (diagnostic
+//! accept/reject counters, fallback rates) as JSONL.
 
 use reliable_aqp::{AnswerMode, AqpSession, SessionConfig};
 use reliable_aqp::workload::facebook_events_table;
@@ -69,4 +72,23 @@ fn main() {
 
     // Also pathological: MIN over a continuous unbounded-support column.
     run(&session, "SELECT MIN(payload_kb) FROM events");
+
+    write_metrics_if_requested();
+}
+
+/// Honour a `--metrics <path>` flag with a JSONL metrics snapshot.
+fn write_metrics_if_requested() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(path) = args
+        .iter()
+        .position(|a| a == "--metrics")
+        .and_then(|i| args.get(i + 1).cloned())
+    else {
+        return;
+    };
+    let snapshot = reliable_aqp::obs::MetricsRegistry::global().snapshot();
+    match std::fs::write(&path, snapshot.to_jsonl()) {
+        Ok(()) => println!("metrics snapshot written to {path}"),
+        Err(e) => eprintln!("failed writing metrics snapshot to {path}: {e}"),
+    }
 }

@@ -38,6 +38,8 @@ pub use aqp_core::{AqpAnswer, AqpSession, SessionConfig};
 
 /// Observability: clock abstraction, metrics registry, query traces.
 pub use aqp_obs as obs;
+/// Continuous error-bar coverage auditing and diagnostic scorekeeping.
+pub use aqp_audit as audit;
 /// Columnar storage substrate.
 pub use aqp_storage as storage;
 /// Statistical substrate (bootstrap, closed forms, large deviations).

@@ -1,0 +1,159 @@
+//! End-to-end acceptance for the continuous accuracy auditor: off by
+//! default, deterministic under a fixed seed, alert-bearing on
+//! miscalibrated error bars, and cheap enough to leave on (<5% of
+//! wall-clock at a 10% sampling rate).
+
+use reliable_aqp::audit::AuditConfig;
+use reliable_aqp::obs::{name, stage, Clock, ObsHandle};
+use reliable_aqp::workload::{conviva_sessions_table, facebook_events_table};
+use reliable_aqp::{AqpSession, SessionConfig};
+
+/// A session over the Conviva-style table with its own isolated metrics
+/// registry, so counter assertions are exact rather than deltas.
+fn conviva_session(obs: ObsHandle, audit: Option<AuditConfig>) -> AqpSession {
+    let s = AqpSession::new(SessionConfig {
+        seed: 5,
+        threads: 1,
+        diagnostic_p: 50,
+        obs,
+        audit,
+        ..Default::default()
+    });
+    s.register_table(conviva_sessions_table(20_000, 4, 5)).unwrap();
+    s.build_samples("sessions", &[4_000], 9).unwrap();
+    s
+}
+
+#[test]
+fn auditing_is_off_by_default() {
+    let obs = ObsHandle::isolated(Clock::mock());
+    let s = conviva_session(obs.clone(), None);
+    for _ in 0..5 {
+        s.execute("SELECT AVG(time) FROM sessions").unwrap();
+    }
+    assert!(s.audit_report().is_none(), "no auditor was configured");
+    // Not a single audit metric may even be registered: the feature must
+    // leave zero footprint when disabled.
+    let snap = obs.metrics.snapshot();
+    assert!(
+        snap.counters.iter().all(|(k, _)| !k.starts_with("aqp.audit.")),
+        "audit counters leaked into a non-audited session: {:?}",
+        snap.counters
+    );
+    assert_eq!(snap.counter(name::AUDIT_CONSIDERED), None);
+}
+
+#[test]
+fn same_seed_audits_bit_identically() {
+    let run = || {
+        let obs = ObsHandle::isolated(Clock::mock());
+        let s = conviva_session(
+            obs.clone(),
+            Some(AuditConfig {
+                sample_rate: 0.3,
+                seed: 17,
+                window: 32,
+                ..Default::default()
+            }),
+        );
+        for i in 0..40 {
+            let sql = match i % 3 {
+                0 => "SELECT AVG(time) FROM sessions",
+                1 => "SELECT SUM(time) FROM sessions",
+                _ => "SELECT COUNT(*) FROM sessions WHERE is_mobile = true",
+            };
+            s.execute(sql).unwrap();
+        }
+        let snap = obs.metrics.snapshot();
+        (s.audit_report().unwrap(), snap)
+    };
+    let (r1, m1) = run();
+    let (r2, m2) = run();
+    assert_eq!(r1.render_table(), r2.render_table());
+    assert_eq!(r1.considered, 40);
+    assert_eq!(r1.audited, r2.audited);
+    assert!(r1.audited >= 1, "a 30% rate over 40 queries must audit something");
+    for c in [
+        name::AUDIT_CONSIDERED,
+        name::AUDIT_AUDITED,
+        name::AUDIT_RESULTS_SCORED,
+        name::AUDIT_COVERAGE_HITS,
+        name::AUDIT_COVERAGE_MISSES,
+    ] {
+        assert_eq!(m1.counter(c), m2.counter(c), "counter {c} diverged");
+    }
+}
+
+#[test]
+fn miscalibrated_error_bars_fire_an_alert() {
+    let obs = ObsHandle::isolated(Clock::mock());
+    // The paper's cautionary tale as a live workload: bootstrap MAX over
+    // a Pareto tail with the diagnostic disabled. Coverage collapses.
+    let s = AqpSession::new(SessionConfig {
+        seed: 3,
+        threads: 1,
+        bootstrap_k: 40,
+        run_diagnostics: false,
+        obs: obs.clone(),
+        audit: Some(AuditConfig {
+            sample_rate: 1.0,
+            window: 16,
+            coverage_alert_below: 0.9,
+            min_window_for_alert: 8,
+            column_families: vec![("payload_kb".into(), "pareto".into())],
+            ..Default::default()
+        }),
+        ..Default::default()
+    });
+    s.register_table(facebook_events_table(20_000, 4, 2)).unwrap();
+    s.build_samples("events", &[4_000], 7).unwrap();
+    for _ in 0..25 {
+        s.execute("SELECT MAX(payload_kb) FROM events").unwrap();
+    }
+    let r = s.audit_report().unwrap();
+    assert_eq!(r.audited, 25, "rate 1.0 audits every query");
+    let cov = r.overall.coverage.expect("scored results exist");
+    assert!(cov < 0.5, "MAX over a Pareto tail should not be covered, got {cov}");
+    assert!(
+        !r.alerts.is_empty(),
+        "coverage {cov} below threshold over a full window must alert"
+    );
+    assert!(r.alerts.iter().any(|a| a.key.contains("pareto") || a.key == "ALL"));
+    let fired = obs.metrics.snapshot().counter(name::AUDIT_ALERTS_FIRED).unwrap_or(0);
+    assert!(fired >= 1, "alert counter must record the firing");
+}
+
+#[test]
+fn audit_overhead_is_bounded_at_ten_percent_sampling() {
+    // Bootstrap-heavy workload (trimmed_mean forces resampling), real
+    // clock: the full-data replays the auditor pays for must stay under
+    // 5% of total wall-clock when 10% of queries are audited.
+    let obs = ObsHandle::isolated(Clock::real());
+    let s = AqpSession::new(SessionConfig {
+        seed: 11,
+        threads: 1,
+        run_diagnostics: false,
+        obs: obs.clone(),
+        audit: Some(AuditConfig { sample_rate: 0.1, seed: 2, ..Default::default() }),
+        ..Default::default()
+    });
+    s.register_table(conviva_sessions_table(30_000, 4, 3)).unwrap();
+    s.build_samples("sessions", &[6_000], 13).unwrap();
+
+    let mut total = std::time::Duration::ZERO;
+    let mut replay = std::time::Duration::ZERO;
+    for _ in 0..50 {
+        let a = s.execute("SELECT trimmed_mean(time) FROM sessions").unwrap();
+        total += a.timings.total();
+        replay += a.timings.get(stage::AUDIT_REPLAY);
+    }
+    let audited = obs.metrics.snapshot().counter(name::AUDIT_AUDITED).unwrap_or(0);
+    assert!(audited >= 2, "a 10% rate over 50 queries should audit a few ({audited})");
+    assert!(replay > std::time::Duration::ZERO, "fresh replays must be traced");
+    let overhead = replay.as_secs_f64() / total.as_secs_f64();
+    assert!(
+        overhead < 0.05,
+        "audit replay took {:.2}% of wall-clock (audited {audited}/50)",
+        overhead * 100.0
+    );
+}

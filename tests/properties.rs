@@ -307,6 +307,80 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Histogram quantiles are monotone (p50 ≤ p95 ≤ p99) and each one
+    /// lands inside the bucket that contains the corresponding
+    /// nearest-rank order statistic of the recorded observations
+    /// (clamping to the last finite boundary for overflow data).
+    #[test]
+    fn histogram_quantiles_monotone_and_bucket_bounded(
+        obs in prop::collection::vec(0.0..2_000.0f64, 1..300),
+    ) {
+        use reliable_aqp::obs::MetricsRegistry;
+        let boundaries = [1.0, 5.0, 25.0, 100.0, 500.0, 1_000.0];
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram_with("aqp.test.lat_ms", &boundaries);
+        for &ms in &obs {
+            h.record_ms(ms);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count, obs.len() as u64);
+        prop_assert!(
+            s.p50 <= s.p95 && s.p95 <= s.p99,
+            "quantiles not monotone: p50={} p95={} p99={}", s.p50, s.p95, s.p99
+        );
+
+        let mut sorted = obs.clone();
+        sorted.sort_by(f64::total_cmp);
+        let last_finite = *boundaries.last().unwrap();
+        for (q, got) in [(0.50, s.p50), (0.95, s.p95), (0.99, s.p99)] {
+            // The nearest-rank order statistic the estimate targets.
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let x = sorted[rank - 1];
+            // Its containing bucket, under the recorder's rule that a
+            // value exactly on a boundary belongs to that bucket.
+            let idx = boundaries.partition_point(|&b| b < x);
+            let lo = if idx == 0 { 0.0 } else { boundaries[idx - 1] };
+            match boundaries.get(idx) {
+                // Finite bucket: the interpolated estimate stays inside.
+                Some(&hi) => prop_assert!(
+                    got >= lo && got <= hi,
+                    "q={q}: estimate {got} outside bucket ({lo}, {hi}] of rank-{rank} obs {x}"
+                ),
+                // Overflow bucket: clamps to the last finite boundary.
+                None => prop_assert!(
+                    (got - last_finite).abs() < 1e-12,
+                    "q={q}: overflow estimate {got} != clamp {last_finite}"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_histogram_quantiles_are_zero() {
+    let reg = reliable_aqp::obs::MetricsRegistry::new();
+    let s = reg.histogram_with("aqp.test.empty_ms", &[1.0, 10.0]).snapshot();
+    assert_eq!(s.count, 0);
+    assert_eq!((s.p50, s.p95, s.p99), (0.0, 0.0, 0.0));
+    assert_eq!(s.mean_ms(), 0.0);
+}
+
+#[test]
+fn single_sample_histogram_quantiles_share_its_bucket() {
+    let reg = reliable_aqp::obs::MetricsRegistry::new();
+    let h = reg.histogram_with("aqp.test.single_ms", &[1.0, 10.0, 100.0]);
+    h.record_ms(7.5); // lives in the (1, 10] bucket
+    let s = h.snapshot();
+    assert_eq!(s.count, 1);
+    for q in [s.p50, s.p95, s.p99] {
+        assert!(q > 1.0 && q <= 10.0, "single-sample quantile {q} escaped its bucket");
+    }
+    assert_eq!(s.p50, s.p99); // one observation -> one answer everywhere
+}
+
 #[test]
 fn poisson1_moments_are_correct() {
     // Deterministic (non-proptest) statistical check with a large n.
