@@ -2,6 +2,7 @@
 
 use aqp_exec::result::{GroupResult, StageTimings};
 use aqp_obs::QueryTrace;
+use aqp_prof::OpProfile;
 
 /// How the session ultimately answered a query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +48,10 @@ pub struct AqpAnswer {
     pub trace: QueryTrace,
     /// The EXPLAIN rendering of the (rewritten) plan that ran.
     pub plan: String,
+    /// The EXPLAIN ANALYZE operator profile assembled from
+    /// [`AqpAnswer::trace`] — populated only when the session's
+    /// [`ExplainMode`](aqp_prof::ExplainMode) is not `Off`.
+    pub profile: Option<OpProfile>,
 }
 
 impl AqpAnswer {
@@ -125,6 +130,7 @@ mod tests {
             timings: StageTimings::default(),
             trace: QueryTrace::default(),
             plan: String::new(),
+            profile: None,
         }
     }
 

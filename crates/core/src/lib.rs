@@ -46,6 +46,8 @@ pub use progressive::{ProgressiveResult, ProgressiveStep};
 pub use sample_selection::required_sample_rows;
 pub use session::{AqpSession, SessionConfig};
 
+pub use aqp_prof::{ExplainMode, OpProfile};
+
 /// Errors from the session layer.
 #[derive(Debug)]
 pub enum CoreError {

@@ -6,6 +6,7 @@ use aqp_exec::engine::{execute_approx, execute_exact_observed, ApproxOptions, Me
 use aqp_exec::result::StageTimings;
 use aqp_exec::udf::UdfRegistry;
 use aqp_obs::{name, stage, ObsHandle, QueryTrace, TraceRecorder};
+use aqp_prof::{ExplainMode, OpProfile};
 use aqp_sql::logical::{DiagnosticWeights, ErrorMethod, LogicalPlan, ResampleSpec};
 use aqp_sql::rewriter::{rewrite_for_error_estimation, ResamplePlacement};
 use aqp_sql::{parse_query, plan_query, Query};
@@ -47,6 +48,11 @@ pub struct SessionConfig {
     /// diagnostic verdicts (`None` = off, the default; auditing adds
     /// replay cost proportional to its sample rate).
     pub audit: Option<AuditConfig>,
+    /// EXPLAIN ANALYZE: when not [`ExplainMode::Off`], every answer
+    /// carries an operator-level profile tree assembled from its trace
+    /// (see [`AqpAnswer::profile`]). `Text` vs `Json` only affects how
+    /// front ends render it; profile assembly is identical.
+    pub explain: ExplainMode,
 }
 
 impl Default for SessionConfig {
@@ -61,6 +67,7 @@ impl Default for SessionConfig {
             pilot_rows: 2_000,
             obs: ObsHandle::default(),
             audit: None,
+            explain: ExplainMode::Off,
         }
     }
 }
@@ -272,7 +279,7 @@ impl AqpSession {
         obs.metrics
             .histogram(name::CORE_QUERY_MS)
             .record_ms(elapsed.as_secs_f64() * 1e3);
-        finish_with_trace(rec, result)
+        finish_with_trace(rec, result, self.config.explain)
     }
 
     /// The body of [`execute`](AqpSession::execute), recording lifecycle
@@ -440,6 +447,7 @@ impl AqpSession {
                 timings: approx.timings,
                 trace: QueryTrace::default(),
                 plan: rewritten.explain(),
+                profile: None,
             });
         }
 
@@ -505,6 +513,7 @@ impl AqpSession {
             timings: approx.timings,
             trace: QueryTrace::default(),
             plan: rewritten.explain(),
+            profile: None,
         })
     }
 
@@ -533,7 +542,7 @@ impl AqpSession {
             };
             self.execute_on_sample(sql, &query, &plan, &table, &registry, meta, sample_table, &rec)
         })();
-        finish_with_trace(rec, result)
+        finish_with_trace(rec, result, self.config.explain)
     }
 
     /// Execute exactly, ignoring samples.
@@ -548,7 +557,7 @@ impl AqpSession {
             let answer = self.exact_answer(&plan, &table, &registry, AnswerMode::Exact, &rec)?;
             apply_having(&query, answer)
         })();
-        finish_with_trace(rec, result)
+        finish_with_trace(rec, result, self.config.explain)
     }
 
     fn exact_answer(
@@ -589,6 +598,7 @@ impl AqpSession {
             timings: StageTimings::default(),
             trace: QueryTrace::default(),
             plan: plan.explain(),
+            profile: None,
         })
     }
 
@@ -620,6 +630,12 @@ impl AqpSession {
                 let replay =
                     execute_exact_observed(plan, table, registry, self.config.threads, obs);
                 let ms = obs.clock.now().duration_since(started).as_secs_f64() * 1e3;
+                // Nest the replay's own engine spans under the
+                // audit-replay span so `StageTimings::audit_replay()`
+                // and the operator profile both see the replay cost.
+                if let Ok(e) = &replay {
+                    rec.graft(e.trace.clone());
+                }
                 rec.end(span);
                 match replay {
                     Ok(e) => (e.groups, ms),
@@ -710,11 +726,19 @@ impl AqpSession {
 }
 
 /// Close the lifecycle recorder and attach the finished trace (plus the
-/// stage timings derived from it) to a successful answer.
-fn finish_with_trace(rec: TraceRecorder, result: Result<AqpAnswer>) -> Result<AqpAnswer> {
+/// stage timings derived from it, and — when `explain` asks for one —
+/// the operator profile) to a successful answer.
+fn finish_with_trace(
+    rec: TraceRecorder,
+    result: Result<AqpAnswer>,
+    explain: ExplainMode,
+) -> Result<AqpAnswer> {
     let trace = rec.finish();
     result.map(|mut a| {
         a.timings = StageTimings::from_trace(&trace);
+        if explain != ExplainMode::Off {
+            a.profile = OpProfile::from_trace(&trace);
+        }
         a.trace = trace;
         a
     })

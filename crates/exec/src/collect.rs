@@ -7,13 +7,15 @@
 //! replicate, and every diagnostic subsample (§5.3.1).
 
 use std::collections::HashMap;
+use std::time::Duration;
 
+use aqp_obs::Clock;
 use aqp_sql::ast::{AggExpr, AggFunc};
 use aqp_sql::expr::{eval, eval_predicate};
 use aqp_sql::logical::LogicalPlan;
 use aqp_storage::{Batch, Table};
 
-use crate::parallel::parallel_map;
+use crate::parallel::{parallel_map_observed, WorkerStat};
 use crate::{ExecError, Result};
 
 /// Inner-group encoding for nested (two-level) aggregates.
@@ -82,6 +84,51 @@ pub struct Collected {
     pub nested: bool,
     /// The inner aggregate of a nested plan.
     pub inner_agg: Option<AggExpr>,
+}
+
+/// Per-operator counters accumulated across all partitions of one scan,
+/// in chain (scan-first) order — the raw material for `aqp-prof`'s
+/// `EXPLAIN ANALYZE` tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpStats {
+    /// Preorder node id of the operator within the executed plan.
+    pub node_id: usize,
+    /// Bare operator name (`Scan`, `Filter`, …).
+    pub name: &'static str,
+    /// One-line operator description (`LogicalPlan::describe`).
+    pub detail: String,
+    /// Rows entering the operator (summed over partitions).
+    pub rows_in: u64,
+    /// Rows leaving the operator.
+    pub rows_out: u64,
+    /// Partition batches processed.
+    pub batches: u64,
+    /// Estimated bytes moved (8-byte cells: `rows_out × columns`).
+    pub bytes: u64,
+    /// Busy time spent inside the operator, summed over partitions (on
+    /// the collection clock; exceeds wall time under parallelism).
+    pub busy: Duration,
+}
+
+/// Scan-side observability: per-chain-operator stats plus the worker
+/// pool's busy splits.
+#[derive(Debug, Clone, Default)]
+pub struct CollectObs {
+    /// One entry per pass-through chain operator, scan first (descending
+    /// plan node ids).
+    pub ops: Vec<OpStats>,
+    /// Per-worker stats from the partition pool.
+    pub workers: Vec<WorkerStat>,
+}
+
+/// Per-partition counter deltas for one chain operator.
+#[derive(Debug, Clone, Copy, Default)]
+struct OpDelta {
+    rows_in: u64,
+    rows_out: u64,
+    batches: u64,
+    bytes: u64,
+    busy: Duration,
 }
 
 /// The decomposed plan shape the executor supports.
@@ -165,11 +212,19 @@ fn decompose(plan: &LogicalPlan) -> Result<PlanShape<'_>> {
 
 /// Apply the pass-through chain to one partition batch (filters and
 /// projections; `Resample` is a no-op here). Also returns, per surviving
-/// row, its original row index within the partition.
-fn apply_chain(chain: &[&LogicalPlan], batch: &Batch) -> Result<(Batch, Vec<u32>)> {
+/// row, its original row index within the partition, and per chain
+/// operator the rows/bytes/busy-time deltas for this partition.
+fn apply_chain(
+    chain: &[&LogicalPlan],
+    batch: &Batch,
+    clock: &Clock,
+) -> Result<(Batch, Vec<u32>, Vec<OpDelta>)> {
     let mut current = batch.clone();
     let mut positions: Vec<u32> = (0..batch.num_rows() as u32).collect();
+    let mut deltas = Vec::with_capacity(chain.len());
     for node in chain {
+        let start = clock.now();
+        let rows_in = current.num_rows() as u64;
         match node {
             LogicalPlan::Scan { .. } | LogicalPlan::Resample { .. } => {}
             LogicalPlan::TableSample { rate, seed, .. } => {
@@ -214,8 +269,16 @@ fn apply_chain(chain: &[&LogicalPlan], batch: &Batch) -> Result<(Batch, Vec<u32>
                 return Err(ExecError::Unsupported(format!("{other:?} in pass-through chain")))
             }
         }
+        let rows_out = current.num_rows() as u64;
+        deltas.push(OpDelta {
+            rows_in,
+            rows_out,
+            batches: 1,
+            bytes: rows_out * current.columns().len() as u64 * 8,
+            busy: clock.now().duration_since(start),
+        });
     }
-    Ok((current, positions))
+    Ok((current, positions, deltas))
 }
 
 /// Render a composite group key for row `i` from the key columns.
@@ -253,6 +316,47 @@ struct PartitionCollect {
     // For nested: per (group, agg) the raw inner key strings; codes are
     // assigned globally at merge time.
     nested_keys: Vec<Vec<Vec<String>>>,
+    // Per chain operator, this partition's counter deltas.
+    op_deltas: Vec<OpDelta>,
+}
+
+/// Sum per-partition deltas into chain-order [`OpStats`], resolving each
+/// chain node's preorder id within the executed plan.
+fn chain_stats(
+    plan: &LogicalPlan,
+    chain: &[&LogicalPlan],
+    partials: &[Result<PartitionCollect>],
+) -> Vec<OpStats> {
+    let mut totals = vec![OpDelta::default(); chain.len()];
+    for p in partials.iter().flatten() {
+        for (i, d) in p.op_deltas.iter().enumerate() {
+            if let Some(t) = totals.get_mut(i) {
+                t.rows_in += d.rows_in;
+                t.rows_out += d.rows_out;
+                t.batches += d.batches;
+                t.bytes += d.bytes;
+                t.busy += d.busy;
+            }
+        }
+    }
+    chain
+        .iter()
+        .zip(totals)
+        .enumerate()
+        .map(|(i, (node, t))| OpStats {
+            // Chain order is scan-first, so preorder ids descend; the
+            // fallback preserves that when a node is not reachable from
+            // `plan` (never the case for plans built by `decompose`).
+            node_id: node.node_id_in(plan).unwrap_or(chain.len() - 1 - i),
+            name: node.op_name(),
+            detail: node.describe(),
+            rows_in: t.rows_in,
+            rows_out: t.rows_out,
+            batches: t.batches,
+            bytes: t.bytes,
+            busy: t.busy,
+        })
+        .collect()
 }
 
 /// Collect aggregation inputs from `plan` over `table`.
@@ -260,6 +364,18 @@ struct PartitionCollect {
 /// Supported shapes: `Aggregate(chain)` and `Aggregate(Aggregate(chain))`
 /// (one nesting level, outer without GROUP BY).
 pub fn collect(plan: &LogicalPlan, table: &Table, threads: usize) -> Result<Collected> {
+    collect_observed(plan, table, threads, &Clock::Real).map(|(c, _)| c)
+}
+
+/// [`collect`], additionally reporting per-operator and per-worker stats
+/// measured on `clock` — the engine turns these into `op:`/`worker`
+/// trace spans for `aqp-prof`.
+pub fn collect_observed(
+    plan: &LogicalPlan,
+    table: &Table,
+    threads: usize,
+    clock: &Clock,
+) -> Result<(Collected, CollectObs)> {
     let shape = decompose(plan)?;
     let (top_group_by, top_aggs) = match shape.top_agg {
         LogicalPlan::Aggregate { group_by, aggs, .. } => (group_by.clone(), aggs.clone()),
@@ -289,16 +405,25 @@ pub fn collect(plan: &LogicalPlan, table: &Table, threads: usize) -> Result<Coll
                 "nested inner block must have exactly one aggregate and one group key".into(),
             ));
         }
-        return collect_nested(&shape, table, &top_aggs, &inner_aggs[0], &inner_group_by[0], threads);
+        return collect_nested(
+            plan,
+            &shape,
+            table,
+            &top_aggs,
+            &inner_aggs[0],
+            &inner_group_by[0],
+            threads,
+            clock,
+        );
     }
 
     // --- Simple (single-level) collection. ---
     let chain = &shape.chain;
     let parts_with_offsets = partitions_with_offsets(table);
-    let partials: Vec<Result<PartitionCollect>> =
-        parallel_map(parts_with_offsets, threads, |(part, offset)| {
+    let (partials, workers): (Vec<Result<PartitionCollect>>, Vec<WorkerStat>) =
+        parallel_map_observed(parts_with_offsets, threads, clock, |(part, offset)| {
             let rows_scanned = part.num_rows();
-            let (filtered, local_pos) = apply_chain(chain, part.batch())?;
+            let (filtered, local_pos, op_deltas) = apply_chain(chain, part.batch(), clock)?;
             let key_cols: Vec<usize> = top_group_by
                 .iter()
                 .map(|k| filtered.schema().index_of(k).map_err(ExecError::Storage))
@@ -343,9 +468,10 @@ pub fn collect(plan: &LogicalPlan, table: &Table, threads: usize) -> Result<Coll
                     }
                 }
             }
-            Ok(PartitionCollect { rows_scanned, groups, nested_keys: Vec::new() })
+            Ok(PartitionCollect { rows_scanned, groups, nested_keys: Vec::new(), op_deltas })
         });
 
+    let ops = chain_stats(plan, chain, &partials);
     let mut collected = merge_partials(partials, top_aggs, false, None)?;
     // SQL semantics: a global aggregate over zero surviving rows still
     // produces one output row (COUNT 0, AVG NULL).
@@ -355,17 +481,20 @@ pub fn collect(plan: &LogicalPlan, table: &Table, threads: usize) -> Result<Coll
             aggs: vec![AggData::default(); collected.agg_exprs.len()],
         });
     }
-    Ok(collected)
+    Ok((collected, CollectObs { ops, workers }))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn collect_nested(
+    plan: &LogicalPlan,
     shape: &PlanShape<'_>,
     table: &Table,
     top_aggs: &[AggExpr],
     inner_agg: &AggExpr,
     inner_key: &str,
     threads: usize,
-) -> Result<Collected> {
+    clock: &Clock,
+) -> Result<(Collected, CollectObs)> {
     if top_aggs.iter().any(|a| a.arg.is_none() && !matches!(a.func, AggFunc::Count)) {
         return Err(ExecError::Unsupported("outer aggregate without argument".into()));
     }
@@ -374,10 +503,10 @@ fn collect_nested(
     let inner_key_owned = inner_key.to_owned();
 
     let parts_with_offsets = partitions_with_offsets(table);
-    let partials: Vec<Result<PartitionCollect>> =
-        parallel_map(parts_with_offsets, threads, |(part, offset)| {
+    let (partials, workers): (Vec<Result<PartitionCollect>>, Vec<WorkerStat>) =
+        parallel_map_observed(parts_with_offsets, threads, clock, |(part, offset)| {
             let rows_scanned = part.num_rows();
-            let (filtered, local_pos) = apply_chain(chain, part.batch())?;
+            let (filtered, local_pos, op_deltas) = apply_chain(chain, part.batch(), clock)?;
             let key_col = filtered
                 .schema()
                 .index_of(&inner_key_owned)
@@ -410,9 +539,11 @@ fn collect_nested(
                 rows_scanned,
                 groups: vec![group],
                 nested_keys: vec![vec![keys]],
+                op_deltas,
             })
         });
 
+    let ops = chain_stats(plan, chain, &partials);
     let mut collected = merge_partials(partials, top_aggs.to_vec(), true, Some(inner_agg.clone()))?;
     if collected.groups.is_empty() {
         collected.groups.push(Group {
@@ -420,7 +551,7 @@ fn collect_nested(
             aggs: vec![AggData::default(); collected.agg_exprs.len()],
         });
     }
-    Ok(collected)
+    Ok((collected, CollectObs { ops, workers }))
 }
 
 fn merge_partials(

@@ -10,13 +10,13 @@ use std::ops::Range;
 use aqp_diagnostics::kleiner::{evaluate_from_estimates, LevelEstimates};
 use aqp_diagnostics::DiagnosticConfig;
 use aqp_obs::trace::stage;
-use aqp_obs::{count_stragglers, name, ObsHandle, TraceRecorder};
+use aqp_obs::{count_stragglers, name, Clock, ObsHandle, SpanId, Timestamp, TraceRecorder};
 use aqp_sql::logical::LogicalPlan;
 use aqp_stats::estimator::SampleContext;
 use aqp_stats::rng::SeedStream;
 use aqp_storage::Table;
 
-use crate::collect::{collect, AggData, Collected};
+use crate::collect::{collect_observed, AggData, Collected, OpStats};
 use crate::parallel::{default_threads, parallel_map_observed, WorkerStat};
 use crate::result::{AggResult, ApproxResult, ExactResult, GroupResult, MethodUsed, StageTimings};
 use crate::theta::{bootstrap_ci_prepared, closed_form_ci_prepared, PreparedTheta};
@@ -108,7 +108,11 @@ pub fn execute_exact_observed(
 ) -> Result<ExactResult> {
     let rec = obs.recorder();
     let span = rec.start(stage::EXACT_EXECUTION);
-    let collected = collect(plan, table, threads)?;
+    let scan_start = obs.clock.now();
+    let (collected, scan_obs) = collect_observed(plan, table, threads, &obs.clock)?;
+    record_chain_ops(&rec, &obs.clock, scan_start, plan, &scan_obs.ops, None);
+    record_workers(&rec, obs, &scan_obs.workers);
+    let agg_start = obs.clock.now();
     let ctx = SampleContext::population(collected.pre_filter_rows);
     let thetas = prepare_thetas(&collected, registry)?;
     let groups: Vec<(String, Vec<f64>)> = collected
@@ -124,6 +128,15 @@ pub fn execute_exact_observed(
             (g.key.clone(), vals)
         })
         .collect();
+    record_plan_op(
+        &rec,
+        &obs.clock,
+        agg_start,
+        plan,
+        "Aggregate",
+        total_values(&collected),
+        groups.len() as u64,
+    );
     rec.attr(span, "rows_scanned", collected.pre_filter_rows);
     rec.end(span);
     let trace = rec.finish();
@@ -159,9 +172,14 @@ pub fn execute_approx(
 
     // Stage 1 — scan + collect: one pass over the sample's partitions.
     let scan_span = rec.start(stage::SCAN_COLLECT);
-    let collected = collect(plan, sample, opts.threads)?;
+    let scan_start = opts.obs.clock.now();
+    let (collected, scan_obs) = collect_observed(plan, sample, opts.threads, &opts.obs.clock)?;
     rec.attr(scan_span, "sample_rows", collected.pre_filter_rows);
     rec.attr(scan_span, "groups", collected.groups.len());
+    let sample_fraction = (population_rows > 0)
+        .then(|| collected.pre_filter_rows as f64 / population_rows as f64);
+    record_chain_ops(&rec, &opts.obs.clock, scan_start, plan, &scan_obs.ops, sample_fraction);
+    record_workers(&rec, &opts.obs, &scan_obs.workers);
     rec.end(scan_span);
 
     let default_ctx = SampleContext::new(collected.pre_filter_rows, population_rows);
@@ -175,6 +193,7 @@ pub fn execute_approx(
 
     // Stage 2 — point estimates θ(S) from the collected data.
     let est_span = rec.start(stage::POINT_ESTIMATE);
+    let est_start = opts.obs.clock.now();
     let thetas = prepare_thetas(&collected, registry)?;
     let estimates: Vec<Vec<f64>> = collected
         .groups
@@ -188,11 +207,21 @@ pub fn execute_approx(
                 .collect()
         })
         .collect();
+    record_plan_op(
+        &rec,
+        &opts.obs.clock,
+        est_start,
+        plan,
+        "Aggregate",
+        total_values(&collected),
+        collected.groups.len() as u64,
+    );
     rec.end(est_span);
 
     // Stage 3 — error estimation, per (group, aggregate), replicates
     // parallelized across groups.
     let err_span = rec.start(stage::ERROR_ESTIMATION);
+    let err_start = opts.obs.clock.now();
     let jobs: Vec<(usize, usize)> = collected
         .groups
         .iter()
@@ -210,11 +239,23 @@ pub fn execute_approx(
     rec.attr(err_span, "jobs", jobs.len());
     rec.attr(err_span, "bootstrap_jobs", bootstrap_jobs);
     rec.attr(err_span, "resamples", bootstrap_jobs * opts.bootstrap_k);
-    record_workers(&rec, opts, &err_workers);
+    if let Some(id) = record_plan_op(
+        &rec,
+        &opts.obs.clock,
+        err_start,
+        plan,
+        "ErrorEstimate",
+        jobs.len() as u64,
+        cis.iter().filter(|(ci, _)| ci.is_some()).count() as u64,
+    ) {
+        rec.attr(id, "resamples", bootstrap_jobs * opts.bootstrap_k);
+    }
+    record_workers(&rec, &opts.obs, &err_workers);
     rec.end(err_span);
 
     // Stage 4 — diagnostics, same job list.
     let diag_span = rec.start(stage::DIAGNOSTICS);
+    let diag_start = opts.obs.clock.now();
     let diags: Vec<Option<aqp_diagnostics::DiagnosticReport>> = match &opts.diagnostic {
         None => vec![None; jobs.len()],
         Some(cfg) => {
@@ -233,7 +274,7 @@ pub fn execute_approx(
                         seeds.derive(0xD1).derive((gi * 64 + ai) as u64),
                     ))
                 });
-            record_workers(&rec, opts, &diag_workers);
+            record_workers(&rec, &opts.obs, &diag_workers);
             out
         }
     };
@@ -241,6 +282,20 @@ pub fn execute_approx(
     let rejected = diags.iter().flatten().count() - accepted;
     rec.attr(diag_span, "accepted", accepted);
     rec.attr(diag_span, "rejected", rejected);
+    if opts.diagnostic.is_some() {
+        if let Some(id) = record_plan_op(
+            &rec,
+            &opts.obs.clock,
+            diag_start,
+            plan,
+            "Diagnostic",
+            jobs.len() as u64,
+            (accepted + rejected) as u64,
+        ) {
+            rec.attr(id, "accepted", accepted);
+            rec.attr(id, "rejected", rejected);
+        }
+    }
     rec.end(diag_span);
 
     // Stage 5 — assemble the result rows.
@@ -285,13 +340,11 @@ const STRAGGLER_FACTOR: f64 = 2.0;
 
 /// Record per-worker busy times as child spans of the currently open
 /// stage and feed the worker histogram / straggler counter.
-fn record_workers(rec: &TraceRecorder, opts: &ApproxOptions, workers: &[WorkerStat]) {
-    let hist = opts.obs.metrics.histogram(name::EXEC_WORKER_MS);
+fn record_workers(rec: &TraceRecorder, obs: &ObsHandle, workers: &[WorkerStat]) {
+    let hist = obs.metrics.histogram(name::EXEC_WORKER_MS);
     for w in workers {
-        let end = opts.obs.clock.now();
-        let start = aqp_obs::Timestamp::from_nanos(
-            end.nanos().saturating_sub(w.busy.as_nanos() as u64),
-        );
+        let end = obs.clock.now();
+        let start = Timestamp::from_nanos(end.nanos().saturating_sub(w.busy.as_nanos() as u64));
         let id = rec.record_span("worker", start, end);
         rec.attr(id, "worker", w.worker);
         rec.attr(id, "items", w.items);
@@ -300,8 +353,91 @@ fn record_workers(rec: &TraceRecorder, opts: &ApproxOptions, workers: &[WorkerSt
     let busy: Vec<std::time::Duration> = workers.iter().map(|w| w.busy).collect();
     let stragglers = count_stragglers(&busy, STRAGGLER_FACTOR);
     if stragglers > 0 {
-        opts.obs.metrics.counter(name::EXEC_STRAGGLERS).add(stragglers as u64);
+        obs.metrics.counter(name::EXEC_STRAGGLERS).add(stragglers as u64);
     }
+}
+
+/// Record one `op:` span per pass-through chain operator inside the
+/// currently open stage span, laid out sequentially from `stage_start`.
+/// Per-operator busy times (summed across parallel partitions) are
+/// scaled down when they overcommit the elapsed stage time, so the sum
+/// of operator durations never exceeds the stage's wall time.
+fn record_chain_ops(
+    rec: &TraceRecorder,
+    clock: &Clock,
+    stage_start: Timestamp,
+    plan: &LogicalPlan,
+    ops: &[OpStats],
+    sample_fraction: Option<f64>,
+) {
+    let total = clock.now().duration_since(stage_start).as_nanos() as u64;
+    let busy_sum: u64 = ops.iter().map(|o| o.busy.as_nanos() as u64).sum();
+    let scale = if busy_sum > total { total as f64 / busy_sum as f64 } else { 1.0 };
+    let nodes = plan.nodes_preorder();
+    let mut cursor = stage_start.nanos();
+    for op in ops {
+        let dur = (op.busy.as_nanos() as f64 * scale) as u64;
+        let start = Timestamp::from_nanos(cursor);
+        let end = Timestamp::from_nanos(cursor.saturating_add(dur));
+        cursor = end.nanos();
+        let id = rec.record_span(&format!("op:{}", op.name), start, end);
+        rec.attr(id, "node_id", op.node_id);
+        rec.attr(id, "detail", &op.detail);
+        rec.attr(id, "rows_in", op.rows_in);
+        rec.attr(id, "rows_out", op.rows_out);
+        rec.attr(id, "batches", op.batches);
+        rec.attr(id, "bytes", op.bytes);
+        if op.name == "Scan" {
+            if let Some(f) = sample_fraction {
+                rec.attr(id, "sample_fraction", f);
+            }
+        }
+        if op.name == "Resample" {
+            if let Some(LogicalPlan::Resample { spec, .. }) =
+                nodes.iter().find(|(i, _)| *i == op.node_id).map(|(_, n)| *n)
+            {
+                rec.attr(id, "resamples", spec.weight_columns());
+            }
+        }
+    }
+}
+
+/// Record one `op:` span for the plan node named `name` (e.g. the
+/// `Aggregate` driving the point-estimate stage), spanning
+/// `[start, now]` inside the currently open stage span. Returns `None`
+/// without recording when the plan has no such node (engines running
+/// unrewritten plans simply skip those operators).
+fn record_plan_op(
+    rec: &TraceRecorder,
+    clock: &Clock,
+    start: Timestamp,
+    plan: &LogicalPlan,
+    name: &str,
+    rows_in: u64,
+    rows_out: u64,
+) -> Option<SpanId> {
+    let (node_id, node) = plan
+        .nodes_preorder()
+        .into_iter()
+        .find(|(_, n)| n.op_name() == name)?;
+    let id = rec.record_span(&format!("op:{name}"), start, clock.now());
+    rec.attr(id, "node_id", node_id);
+    rec.attr(id, "detail", node.describe());
+    rec.attr(id, "rows_in", rows_in);
+    rec.attr(id, "rows_out", rows_out);
+    rec.attr(id, "batches", 1u64);
+    rec.attr(id, "bytes", rows_out * 8);
+    Some(id)
+}
+
+/// Total collected values across all groups' first aggregate: the row
+/// count entering the aggregation operator.
+fn total_values(collected: &Collected) -> u64 {
+    collected
+        .groups
+        .iter()
+        .map(|g| g.aggs.first().map_or(0, |a| a.values.len() as u64))
+        .sum()
 }
 
 fn error_ci(
@@ -608,6 +744,93 @@ mod tests {
         let r = approx.scalar().unwrap();
         assert_eq!(r.method, MethodUsed::Bootstrap);
         assert!(r.ci.is_some());
+    }
+
+    #[test]
+    fn approx_trace_carries_operator_spans_with_counters() {
+        use aqp_sql::logical::{DiagnosticWeights, ErrorMethod, ResampleSpec};
+        use aqp_sql::rewriter::{rewrite_for_error_estimation, ResamplePlacement};
+
+        let pop = population(20_000, 30);
+        let sample = sample_of(&pop, 5_000, 31);
+        let mut spec = ResampleSpec::bootstrap(20, 31);
+        spec.diagnostic = Some(DiagnosticWeights { subsample_rows: vec![100, 200], p: 20 });
+        let plan = rewrite_for_error_estimation(
+            plan_of("SELECT AVG(time) FROM sessions WHERE city = 'NYC'", &pop),
+            spec,
+            ErrorMethod::Bootstrap,
+            0.95,
+            ResamplePlacement::PushedDown,
+        );
+        let registry = UdfRegistry::default();
+        let opts = ApproxOptions {
+            seed: 32,
+            threads: 2,
+            method: MethodChoice::Bootstrap,
+            bootstrap_k: 20,
+            ..Default::default()
+        }
+        .with_scaled_diagnostic(5_000, 20);
+        let approx = execute_approx(&plan, &sample, pop.num_rows(), &registry, &opts).unwrap();
+
+        // One op: span per plan operator, each tagged with its preorder
+        // node id and row counters.
+        let ops: Vec<&aqp_obs::Span> = approx
+            .trace
+            .spans
+            .iter()
+            .filter(|s| s.name.starts_with("op:"))
+            .collect();
+        let names: Vec<&str> = ops.iter().map(|s| s.name.as_str()).collect();
+        for want in ["op:Scan", "op:Filter", "op:Resample", "op:Aggregate", "op:ErrorEstimate", "op:Diagnostic"]
+        {
+            assert!(names.contains(&want), "missing {want} in {names:?}");
+        }
+        let scan = ops.iter().find(|s| s.name == "op:Scan").unwrap();
+        assert_eq!(scan.attr("rows_in"), Some("5000"));
+        assert_eq!(scan.attr("rows_out"), Some("5000"));
+        assert_eq!(scan.attr("sample_fraction"), Some("0.25"));
+        assert_eq!(scan.attr("detail"), Some("Scan[sessions]"));
+        let filter = ops.iter().find(|s| s.name == "op:Filter").unwrap();
+        assert_eq!(filter.attr("rows_in"), Some("5000"));
+        let survivors: usize = filter.attr("rows_out").unwrap().parse().unwrap();
+        assert!(survivors > 0 && survivors < 5_000);
+        // Node ids within one execution strictly descend (scan-first).
+        let ids: Vec<usize> =
+            ops.iter().map(|s| s.attr("node_id").unwrap().parse().unwrap()).collect();
+        assert!(ids.windows(2).all(|w| w[1] < w[0]), "ids not descending: {ids:?}");
+        // The error-estimate op carries the attributed resample count
+        // (one bootstrap job × K = 20), the resample op its weight count.
+        let err = ops.iter().find(|s| s.name == "op:ErrorEstimate").unwrap();
+        assert_eq!(err.attr("resamples"), Some("20"));
+        // The resample op's weight count: K=20 bootstrap + 2 levels × p=20
+        // diagnostic columns (Fig. 6(a)).
+        let rs = ops.iter().find(|s| s.name == "op:Resample").unwrap();
+        assert_eq!(rs.attr("resamples"), Some("60"));
+        // The diagnostic op reports its verdict tallies.
+        let diag = ops.iter().find(|s| s.name == "op:Diagnostic").unwrap();
+        assert!(diag.attr("accepted").is_some());
+        assert_eq!(diag.attr("rows_out"), Some("1"));
+        // Per-stage reconciliation: op spans under a stage never sum past
+        // the stage's wall time (sequential scaled layout).
+        for (p, stage_span) in approx.trace.spans.iter().enumerate() {
+            if stage_span.name.starts_with("op:") || stage_span.name == "worker" {
+                continue;
+            }
+            let op_total: std::time::Duration = approx
+                .trace
+                .spans
+                .iter()
+                .filter(|s| s.parent == Some(p) && s.name.starts_with("op:"))
+                .map(|s| s.duration())
+                .sum();
+            assert!(
+                op_total <= stage_span.duration(),
+                "{}: ops {op_total:?} > wall {:?}",
+                stage_span.name,
+                stage_span.duration()
+            );
+        }
     }
 
     #[test]

@@ -73,6 +73,12 @@ impl StageTimings {
         self.get(stage::DIAGNOSTICS)
     }
 
+    /// Time spent replaying audited queries at full data (zero when the
+    /// auditor did not fire on this query).
+    pub fn audit_replay(&self) -> Duration {
+        self.get(stage::AUDIT_REPLAY)
+    }
+
     /// End-to-end total.
     pub fn total(&self) -> Duration {
         self.stages.iter().map(|&(_, d)| d).sum()

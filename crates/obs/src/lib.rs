@@ -180,6 +180,26 @@ pub fn count_stragglers(busy: &[Duration], factor: f64) -> usize {
     busy.iter().filter(|d| d.as_secs_f64() > threshold).count()
 }
 
+/// The straggler slowdown factor of a worker pool: slowest worker's busy
+/// time over the median busy time. `None` when there are fewer than two
+/// workers or the median is zero (a lone worker cannot straggle; a zero
+/// median — e.g. an unadvanced mock clock — makes the ratio meaningless).
+/// This is the factor the profiling layer (`aqp-prof`) annotates on the
+/// operator that drove the pool.
+pub fn slowdown_factor(busy: &[Duration]) -> Option<f64> {
+    if busy.len() < 2 {
+        return None;
+    }
+    let mut sorted: Vec<Duration> = busy.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2].as_secs_f64();
+    let max = sorted[sorted.len() - 1].as_secs_f64();
+    if median <= 0.0 {
+        return None;
+    }
+    Some(max / median)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,5 +234,16 @@ mod tests {
         assert_eq!(count_stragglers(&busy, 10.0), 0);
         assert_eq!(count_stragglers(&[ms(100)], 0.5), 0);
         assert_eq!(count_stragglers(&[], 2.0), 0);
+    }
+
+    #[test]
+    fn slowdown_factor_is_max_over_median() {
+        let ms = |n: u64| Duration::from_millis(n);
+        // median of [10, 10, 10, 50] (upper of the two middles) is 10ms.
+        assert_eq!(slowdown_factor(&[ms(10), ms(10), ms(10), ms(50)]), Some(5.0));
+        assert_eq!(slowdown_factor(&[ms(10), ms(10)]), Some(1.0));
+        assert_eq!(slowdown_factor(&[ms(100)]), None); // lone worker
+        assert_eq!(slowdown_factor(&[]), None);
+        assert_eq!(slowdown_factor(&[ms(0), ms(0), ms(7)]), None); // zero median
     }
 }

@@ -177,6 +177,90 @@ impl LogicalPlan {
         self.input().and_then(|i| i.find(pred))
     }
 
+    /// The bare operator name, without parameters (`"Scan"`, `"Filter"`,
+    /// …). Stable identifiers for the profiling layer's `op:<name>`
+    /// spans.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            LogicalPlan::Scan { .. } => "Scan",
+            LogicalPlan::Filter { .. } => "Filter",
+            LogicalPlan::Project { .. } => "Project",
+            LogicalPlan::Resample { .. } => "Resample",
+            LogicalPlan::TableSample { .. } => "TableSample",
+            LogicalPlan::Aggregate { .. } => "Aggregate",
+            LogicalPlan::ErrorEstimate { .. } => "ErrorEstimate",
+            LogicalPlan::Diagnostic { .. } => "Diagnostic",
+        }
+    }
+
+    /// One-line description of this node alone (the `explain()` line
+    /// without indentation or children).
+    pub fn describe(&self) -> String {
+        match self {
+            LogicalPlan::Scan { table } => format!("Scan[{table}]"),
+            LogicalPlan::Filter { predicate, .. } => format!("Filter[{predicate}]"),
+            LogicalPlan::Project { exprs, .. } => {
+                let items: Vec<String> =
+                    exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
+                format!("Project[{}]", items.join(", "))
+            }
+            LogicalPlan::Resample { spec, .. } => {
+                let diag = spec
+                    .diagnostic
+                    .as_ref()
+                    .map(|d| format!(", diag={}x{}", d.subsample_rows.len(), d.p))
+                    .unwrap_or_default();
+                format!("Resample[K={}{diag}, seed={}]", spec.bootstrap_k, spec.seed)
+            }
+            LogicalPlan::TableSample { rate, seed, .. } => {
+                format!("TableSamplePoissonized[rate={rate}, seed={seed}]")
+            }
+            LogicalPlan::Aggregate { group_by, aggs, .. } => {
+                let items: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
+                if group_by.is_empty() {
+                    format!("Aggregate[{}]", items.join(", "))
+                } else {
+                    format!("Aggregate[{}] groups=[{}]", items.join(", "), group_by.join(", "))
+                }
+            }
+            LogicalPlan::ErrorEstimate { method, alpha, .. } => {
+                format!("ErrorEstimate[{method:?}, alpha={alpha}]")
+            }
+            LogicalPlan::Diagnostic { .. } => "Diagnostic[]".to_string(),
+        }
+    }
+
+    /// Preorder node id of this node within the plan rooted at `root`:
+    /// the root is 0, its input 1, and so on down the (linear) chain.
+    /// Returns `None` when `self` is not a node of `root`.
+    ///
+    /// Plans are linear chains, so the preorder id doubles as the depth.
+    /// The profiling layer (`aqp-prof`) uses these ids to stitch operator
+    /// spans back into a plan-shaped tree.
+    pub fn node_id_in(&self, root: &LogicalPlan) -> Option<usize> {
+        let mut id = 0usize;
+        let mut cur = Some(root);
+        while let Some(node) = cur {
+            if std::ptr::eq(node, self) {
+                return Some(id);
+            }
+            id += 1;
+            cur = node.input();
+        }
+        None
+    }
+
+    /// Every node of the plan paired with its preorder id, root first.
+    pub fn nodes_preorder(&self) -> Vec<(usize, &LogicalPlan)> {
+        let mut out = Vec::new();
+        let mut cur = Some(self);
+        while let Some(node) = cur {
+            out.push((out.len(), node));
+            cur = node.input();
+        }
+        out
+    }
+
     /// Render the plan as an indented EXPLAIN tree.
     pub fn explain(&self) -> String {
         let mut out = String::new();
@@ -185,53 +269,11 @@ impl LogicalPlan {
     }
 
     fn explain_into(&self, out: &mut String, depth: usize) {
-        use std::fmt::Write;
         for _ in 0..depth {
             out.push_str("  ");
         }
-        match self {
-            LogicalPlan::Scan { table } => {
-                let _ = writeln!(out, "Scan[{table}]");
-            }
-            LogicalPlan::Filter { predicate, .. } => {
-                let _ = writeln!(out, "Filter[{predicate}]");
-            }
-            LogicalPlan::Project { exprs, .. } => {
-                let items: Vec<String> =
-                    exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
-                let _ = writeln!(out, "Project[{}]", items.join(", "));
-            }
-            LogicalPlan::Resample { spec, .. } => {
-                let diag = spec
-                    .diagnostic
-                    .as_ref()
-                    .map(|d| format!(", diag={}x{}", d.subsample_rows.len(), d.p))
-                    .unwrap_or_default();
-                let _ = writeln!(out, "Resample[K={}{diag}, seed={}]", spec.bootstrap_k, spec.seed);
-            }
-            LogicalPlan::TableSample { rate, seed, .. } => {
-                let _ = writeln!(out, "TableSamplePoissonized[rate={rate}, seed={seed}]");
-            }
-            LogicalPlan::Aggregate { group_by, aggs, .. } => {
-                let items: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
-                if group_by.is_empty() {
-                    let _ = writeln!(out, "Aggregate[{}]", items.join(", "));
-                } else {
-                    let _ = writeln!(
-                        out,
-                        "Aggregate[{}] groups=[{}]",
-                        items.join(", "),
-                        group_by.join(", ")
-                    );
-                }
-            }
-            LogicalPlan::ErrorEstimate { method, alpha, .. } => {
-                let _ = writeln!(out, "ErrorEstimate[{method:?}, alpha={alpha}]");
-            }
-            LogicalPlan::Diagnostic { .. } => {
-                let _ = writeln!(out, "Diagnostic[]");
-            }
-        }
+        out.push_str(&self.describe());
+        out.push('\n');
         if let Some(i) = self.input() {
             i.explain_into(out, depth + 1);
         }
@@ -300,5 +342,30 @@ mod tests {
         let plan = sample_plan();
         assert!(plan.find(&|p| matches!(p, LogicalPlan::Filter { .. })).is_some());
         assert!(plan.find(&|p| matches!(p, LogicalPlan::Resample { .. })).is_none());
+    }
+
+    #[test]
+    fn preorder_ids_follow_the_chain() {
+        let plan = sample_plan();
+        let nodes = plan.nodes_preorder();
+        assert_eq!(nodes.len(), 3);
+        assert_eq!(nodes[0].1.op_name(), "Aggregate");
+        assert_eq!(nodes[1].1.op_name(), "Filter");
+        assert_eq!(nodes[2].1.op_name(), "Scan");
+        for (id, node) in &nodes {
+            assert_eq!(node.node_id_in(&plan), Some(*id));
+        }
+        let other = LogicalPlan::Scan { table: "other".into() };
+        assert_eq!(other.node_id_in(&plan), None);
+    }
+
+    #[test]
+    fn describe_matches_explain_lines() {
+        let plan = sample_plan();
+        let rendered = plan.explain();
+        let lines: Vec<&str> = rendered.lines().map(str::trim_start).collect();
+        let descs: Vec<String> =
+            plan.nodes_preorder().iter().map(|(_, n)| n.describe()).collect();
+        assert_eq!(lines, descs);
     }
 }

@@ -1,16 +1,25 @@
-//! `xtask` — the workspace invariant checker.
+//! `xtask` — workspace invariant checking and benchmark tooling.
 //!
-//! Run as `cargo run -p xtask -- lint`. Scans every `.rs` file and crate
-//! manifest in the repository (skipping `target/`, `third_party/`, and
-//! VCS metadata) and enforces the four rule families described in
-//! `src/rules.rs`, with per-(rule, file) finding budgets read from
-//! `crates/xtask/lint.toml`. Exits nonzero when any unallowlisted
-//! finding remains, printing `file:line: [rule] token — hint` for each.
+//! Subcommands:
+//!
+//! * `lint` — scans every `.rs` file and crate manifest in the
+//!   repository (skipping `target/`, `third_party/`, and VCS metadata)
+//!   and enforces the rule families described in `src/rules.rs`, with
+//!   per-(rule, file) finding budgets read from
+//!   `crates/xtask/lint.toml`. Also verifies `docs/METRICS.md` is
+//!   current. Exits nonzero when any unallowlisted finding remains,
+//!   printing `file:line: [rule] token — hint` for each.
+//! * `bench-compare` — diff two `BENCH_aqp.json` trajectory documents
+//!   and fail on latency/coverage regressions beyond a threshold.
+//! * `metrics-inventory` — regenerate (or `--check`) `docs/METRICS.md`
+//!   from the metric constants in `aqp_obs::name`.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bench_compare;
 mod config;
+mod metrics_inventory;
 mod rules;
 mod scanner;
 
@@ -23,9 +32,24 @@ use rules::Finding;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) => match cmd.as_str() {
+            "lint" => lint_cmd(rest),
+            "bench-compare" => bench_compare::run(rest),
+            "metrics-inventory" => metrics_inventory::run(rest),
+            other => {
+                eprintln!("xtask: unknown command `{other}`");
+                usage()
+            }
+        },
+        None => usage(),
+    }
+}
+
+/// Parse `lint`'s flags and run it.
+fn lint_cmd(args: &[String]) -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut cfg_path: Option<PathBuf> = None;
-    let mut cmd: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -37,24 +61,12 @@ fn main() -> ExitCode {
                 cfg_path = Some(PathBuf::from(&args[i + 1]));
                 i += 2;
             }
-            flag if flag.starts_with('-') => {
-                eprintln!("xtask: unknown flag `{flag}`");
-                return usage();
-            }
-            sub if cmd.is_none() => {
-                cmd = Some(sub.to_string());
-                i += 1;
-            }
             extra => {
                 eprintln!("xtask: unexpected argument `{extra}`");
                 return usage();
             }
         }
     }
-    if cmd.as_deref() != Some("lint") {
-        return usage();
-    }
-
     let root = root.unwrap_or_else(default_root);
     let cfg_path = cfg_path.unwrap_or_else(|| root.join("crates/xtask/lint.toml"));
     match lint(&root, &cfg_path) {
@@ -68,7 +80,11 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: cargo run -p xtask -- lint [--root PATH] [--config PATH]");
+    eprintln!("usage: cargo run -p xtask -- <command>");
+    eprintln!("commands:");
+    eprintln!("  lint [--root PATH] [--config PATH]");
+    eprintln!("  bench-compare <old.json> <new.json> [--threshold FRAC] [--warn-only]");
+    eprintln!("  metrics-inventory [--root PATH] [--check]");
     ExitCode::from(2)
 }
 
@@ -107,6 +123,21 @@ fn lint(root: &Path, cfg_path: &Path) -> Result<bool, String> {
         let src = std::fs::read_to_string(root.join(rel))
             .map_err(|e| format!("reading {rel}: {e}"))?;
         findings.extend(rules::check_manifest(rel, &src));
+    }
+
+    // docs/METRICS.md must match the metric constants the code declares.
+    // Guarded on the obs source existing so synthetic fixture trees
+    // (which have no observability crate) are exempt.
+    if root.join(metrics_inventory::SOURCE).is_file() {
+        if let Some(reason) = metrics_inventory::staleness(root) {
+            findings.push(Finding {
+                file: metrics_inventory::TARGET.to_string(),
+                line: 1,
+                rule: "metrics-docs",
+                token: reason,
+                hint: "regenerate with `cargo run -p xtask -- metrics-inventory`",
+            });
+        }
     }
 
     let (violations, suppressed, nags) = apply_allowlist(findings, &allow);

@@ -29,7 +29,7 @@ use crate::scanner::{cfg_test_regions, line_of, mask, tokens, SpannedTok};
 use std::path::Path;
 
 /// Crates whose library code must be panic-free (the request path).
-const PANIC_FREE_CRATES: &[&str] = &["exec", "core", "stats", "storage", "obs"];
+const PANIC_FREE_CRATES: &[&str] = &["exec", "core", "stats", "storage", "obs", "prof"];
 
 /// One lint finding.
 #[derive(Debug, Clone)]

@@ -18,23 +18,32 @@
 //! ```
 //!
 //! Launch with `--metrics out.jsonl` to dump the session's metrics
-//! snapshot as JSONL when the shell exits.
+//! snapshot as JSONL when the shell exits. Launch with `--explain`
+//! (annotated text tree) or `--explain-json` (one JSON object per
+//! query) to print the EXPLAIN ANALYZE operator profile after every
+//! query.
 
 use std::io::{BufRead, Write};
 
-use reliable_aqp::{AqpSession, SessionConfig};
+use reliable_aqp::{AqpSession, ExplainMode, SessionConfig};
 use reliable_aqp::workload::conviva_sessions_table;
 
 fn main() {
-    let metrics_path = {
-        let args: Vec<String> = std::env::args().collect();
-        args.iter()
-            .position(|a| a == "--metrics")
-            .and_then(|i| args.get(i + 1).cloned())
+    let args: Vec<String> = std::env::args().collect();
+    let metrics_path = args
+        .iter()
+        .position(|a| a == "--metrics")
+        .and_then(|i| args.get(i + 1).cloned());
+    let explain = if args.iter().any(|a| a == "--explain-json") {
+        ExplainMode::Json
+    } else if args.iter().any(|a| a == "--explain") {
+        ExplainMode::Text
+    } else {
+        ExplainMode::Off
     };
     let rows = 1_000_000;
     eprintln!("loading {rows}-row synthetic `sessions` table ...");
-    let session = AqpSession::new(SessionConfig { seed: 1, ..Default::default() });
+    let session = AqpSession::new(SessionConfig { seed: 1, explain, ..Default::default() });
     session.register_table(conviva_sessions_table(rows, 16, 1)).expect("register");
     eprintln!("ready. type \\schema for columns, \\sample 50000 to enable approximation.");
 
@@ -139,6 +148,15 @@ fn main() {
             Ok(answer) => {
                 print!("{}", answer.summary());
                 println!("({:?})", answer.timings.total());
+                if let Some(profile) = &answer.profile {
+                    match explain {
+                        ExplainMode::Text => {
+                            println!("EXPLAIN ANALYZE:\n{}", profile.render_text())
+                        }
+                        ExplainMode::Json => println!("{}", profile.to_json()),
+                        ExplainMode::Off => {}
+                    }
+                }
             }
             Err(e) => println!("error: {e}"),
         }

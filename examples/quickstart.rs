@@ -11,18 +11,37 @@
 //! a tight bound that forces the bigger sample.
 //!
 //! Pass `--metrics out.jsonl` to dump the session's metrics snapshot
-//! (counters, fallback rates, latency percentiles) as JSONL.
+//! (counters, fallback rates, latency percentiles) as JSONL. Pass
+//! `--explain` (annotated text tree) or `--explain-json` (one JSON
+//! object per query) to print the EXPLAIN ANALYZE operator profile of
+//! each query.
 
 use reliable_aqp::obs::{Clock, MetricsRegistry};
 use reliable_aqp::workload::conviva_sessions_table;
-use reliable_aqp::{AqpSession, SessionConfig};
+use reliable_aqp::{AqpAnswer, AqpSession, ExplainMode, SessionConfig};
+
+/// Print an answer's operator profile per the chosen mode.
+fn print_profile(answer: &AqpAnswer, mode: ExplainMode) {
+    let Some(profile) = &answer.profile else { return };
+    match mode {
+        ExplainMode::Text => println!("EXPLAIN ANALYZE:\n{}", profile.render_text()),
+        ExplainMode::Json => println!("{}", profile.to_json()),
+        ExplainMode::Off => {}
+    }
+}
 
 fn main() {
-    let metrics_path = {
-        let args: Vec<String> = std::env::args().collect();
-        args.iter()
-            .position(|a| a == "--metrics")
-            .and_then(|i| args.get(i + 1).cloned())
+    let args: Vec<String> = std::env::args().collect();
+    let metrics_path = args
+        .iter()
+        .position(|a| a == "--metrics")
+        .and_then(|i| args.get(i + 1).cloned());
+    let explain = if args.iter().any(|a| a == "--explain-json") {
+        ExplainMode::Json
+    } else if args.iter().any(|a| a == "--explain") {
+        ExplainMode::Text
+    } else {
+        ExplainMode::Off
     };
     let clock = Clock::real();
     let rows = 2_000_000;
@@ -32,7 +51,7 @@ fn main() {
     // Seed chosen so the diagnostic accepts the benign AVG (most seeds do;
     // a few land in its ~few-percent false-negative band and would fall
     // back to exact, which is safe but defeats this demo).
-    let session = AqpSession::new(SessionConfig { seed: 1, ..Default::default() });
+    let session = AqpSession::new(SessionConfig { seed: 1, explain, ..Default::default() });
     session.register_table(table).expect("register");
     println!("building uniform samples (2.5% and 5%) ...");
     session.build_samples("sessions", &[rows / 40, rows / 20], 7).expect("sample");
@@ -63,6 +82,7 @@ fn main() {
         approx.summary(),
         clock.now().duration_since(t1)
     );
+    print_profile(&approx, explain);
 
     // Tight 1% bound: needs the larger sample.
     let t2 = clock.now();
@@ -74,6 +94,7 @@ fn main() {
         tight.summary(),
         clock.now().duration_since(t2)
     );
+    print_profile(&tight, explain);
 
     println!("plan used:\n{}", tight.plan);
     println!("lifecycle trace of the tight query:\n{}", tight.trace.render_table());

@@ -34,10 +34,12 @@
 #![warn(missing_docs)]
 
 pub use aqp_core::answer::AnswerMode;
-pub use aqp_core::{AqpAnswer, AqpSession, SessionConfig};
+pub use aqp_core::{AqpAnswer, AqpSession, ExplainMode, OpProfile, SessionConfig};
 
 /// Observability: clock abstraction, metrics registry, query traces.
 pub use aqp_obs as obs;
+/// Operator-level EXPLAIN ANALYZE profiles assembled from query traces.
+pub use aqp_prof as prof;
 /// Continuous error-bar coverage auditing and diagnostic scorekeeping.
 pub use aqp_audit as audit;
 /// Columnar storage substrate.

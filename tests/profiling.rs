@@ -1,0 +1,153 @@
+//! End-to-end acceptance for EXPLAIN ANALYZE operator profiling: off by
+//! default, deterministic under a fixed seed + mock clock, covering
+//! every plan operator with nonzero row counts and per-worker entries,
+//! and self-time-consistent with the enclosing stage walls (including
+//! the audit-replay stage).
+
+use std::collections::HashSet;
+
+use reliable_aqp::audit::AuditConfig;
+use reliable_aqp::obs::{stage, Clock, ObsHandle};
+use reliable_aqp::prof::reconcile_stages;
+use reliable_aqp::workload::conviva_sessions_table;
+use reliable_aqp::{AqpAnswer, AqpSession, ExplainMode, SessionConfig};
+
+/// The quickstart-shaped query under an isolated clock, with profiling.
+fn profiled_answer(clock: Clock, explain: ExplainMode) -> AqpAnswer {
+    let s = AqpSession::new(SessionConfig {
+        seed: 21,
+        threads: 2,
+        bootstrap_k: 40,
+        diagnostic_p: 50,
+        obs: ObsHandle::isolated(clock),
+        explain,
+        ..Default::default()
+    });
+    s.register_table(conviva_sessions_table(40_000, 4, 21)).unwrap();
+    s.build_samples("sessions", &[8_000], 7).unwrap();
+    s.execute("SELECT AVG(time) FROM sessions WHERE city = 'NYC'").unwrap()
+}
+
+#[test]
+fn profiling_is_off_by_default() {
+    let s = AqpSession::new(SessionConfig {
+        seed: 21,
+        obs: ObsHandle::isolated(Clock::mock()),
+        ..Default::default()
+    });
+    s.register_table(conviva_sessions_table(5_000, 2, 21)).unwrap();
+    let a = s.execute("SELECT AVG(time) FROM sessions").unwrap();
+    assert!(a.profile.is_none(), "ExplainMode::Off must not build profiles");
+}
+
+#[test]
+fn profile_covers_the_plan_with_rows_and_workers() {
+    let a = profiled_answer(Clock::mock(), ExplainMode::Text);
+    let profile = a.profile.as_ref().expect("ExplainMode::Text builds a profile");
+    let nodes = profile.nodes();
+    let names: HashSet<&str> = nodes.iter().map(|n| n.name.as_str()).collect();
+    assert!(
+        names.len() >= 5,
+        "expected at least 5 distinct operators, got {names:?}"
+    );
+    for op in ["Scan", "Filter", "Resample", "Aggregate", "ErrorEstimate"] {
+        assert!(names.contains(op), "missing {op} in {names:?}");
+    }
+    // Every operator moved rows.
+    for n in &nodes {
+        assert!(
+            n.rows_in > 0 && n.rows_out > 0,
+            "operator {} (#{}) has zero rows",
+            n.name,
+            n.node_id
+        );
+    }
+    // The scan saw the whole sample and reports its sampling fraction.
+    let scan = profile.find("Scan").expect("scan profile");
+    assert_eq!(scan.rows_out, 8_000);
+    assert_eq!(scan.sample_fraction, Some(0.2), "8k of 40k rows");
+    // Per-worker entries attach to the scan stage's deepest operator.
+    let with_workers: Vec<_> = nodes.iter().filter(|n| !n.workers.is_empty()).collect();
+    assert!(!with_workers.is_empty(), "no operator carries worker timings");
+    assert!(
+        with_workers.iter().any(|n| n.workers.len() == 2),
+        "two configured threads must surface as two worker entries"
+    );
+}
+
+#[test]
+fn same_seed_profiles_bit_identically_under_the_mock_clock() {
+    let a = profiled_answer(Clock::mock(), ExplainMode::Json);
+    let b = profiled_answer(Clock::mock(), ExplainMode::Json);
+    let (pa, pb) = (a.profile.expect("profile a"), b.profile.expect("profile b"));
+    assert_eq!(pa.render_text(), pb.render_text());
+    assert_eq!(pa.to_json(), pb.to_json());
+    // The rendered forms are substantial, not stubs.
+    assert!(pa.render_text().lines().count() >= 10, "{}", pa.render_text());
+    assert!(pa.to_json().contains("\"workers\""), "{}", pa.to_json());
+}
+
+#[test]
+fn operator_self_times_reconcile_with_stage_walls() {
+    // Real clock: nonzero stage walls, and the scaled layout of operator
+    // spans must keep per-stage operator self-time within the wall.
+    let a = profiled_answer(Clock::real(), ExplainMode::Text);
+    let stages = reconcile_stages(&a.trace);
+    assert!(!stages.is_empty(), "no stages with operator children");
+    for s in &stages {
+        assert!(
+            s.holds(),
+            "stage {} overcommitted: ops {:?} > wall {:?}",
+            s.stage,
+            s.op_total,
+            s.wall
+        );
+    }
+}
+
+#[test]
+fn audit_replay_nests_its_operators_and_reconciles() {
+    let s = AqpSession::new(SessionConfig {
+        seed: 21,
+        threads: 1,
+        bootstrap_k: 40,
+        diagnostic_p: 50,
+        obs: ObsHandle::isolated(Clock::real()),
+        explain: ExplainMode::Text,
+        audit: Some(AuditConfig {
+            sample_rate: 1.0, // audit every query
+            seed: 17,
+            window: 16,
+            ..Default::default()
+        }),
+        ..Default::default()
+    });
+    s.register_table(conviva_sessions_table(20_000, 4, 21)).unwrap();
+    s.build_samples("sessions", &[4_000], 7).unwrap();
+    let a = s.execute("SELECT AVG(time) FROM sessions").unwrap();
+    assert!(!a.fell_back, "benign AVG should stay approximate");
+
+    // The replay's engine spans are grafted under the audit-replay span:
+    // its timing is visible and its exact-execution stage reconciles.
+    assert!(a.timings.audit_replay() > std::time::Duration::ZERO);
+    let replay_stage = a
+        .trace
+        .spans
+        .iter()
+        .position(|sp| sp.name == stage::AUDIT_REPLAY)
+        .expect("audit_replay span");
+    assert!(
+        a.trace
+            .spans
+            .iter()
+            .any(|sp| sp.parent == Some(replay_stage) && sp.name == stage::EXACT_EXECUTION),
+        "replay trace was not grafted under the audit_replay span"
+    );
+    for rec in reconcile_stages(&a.trace) {
+        assert!(rec.holds(), "stage {} overcommitted", rec.stage);
+    }
+    // The main (approximate) execution stays the profile's root tree —
+    // the replay's exact-path operators must not displace it.
+    let profile = a.profile.expect("profile");
+    assert!(profile.find("ErrorEstimate").is_some(), "{}", profile.render_text());
+}
