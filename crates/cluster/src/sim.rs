@@ -70,10 +70,23 @@ fn spill_multiplier(job: &Job, tuning: &PhysicalTuning, cfg: &ClusterConfig) -> 
     1.0 + spilled * (cfg.mem_mb_s / cfg.disk_mb_s - 1.0) * 0.5
 }
 
+/// Clamp a configured straggler mean multiplier into a sane range.
+///
+/// A straggler *slows tasks down*, so the multiplier can never be below
+/// 1: values in (0, 1) would make the busy span of a straggling task end
+/// before its fault-free span does, and non-finite or non-positive
+/// values (`NaN`, `±inf`, `0`, negatives — all representable in a
+/// hand-written config) would push `ln()` to `-inf`/`NaN` and make the
+/// sampled span end before it starts. The ceiling keeps the lognormal
+/// mean — and hence every sampled latency — finite.
+fn clamp_straggler_mult(m: f64) -> f64 {
+    if m.is_nan() { 1.0 } else { m.clamp(1.0, 1e6) }
+}
+
 /// Expected straggler slowdown factor (used by the analytic sequence
 /// model).
 fn expected_straggle(cfg: &ClusterConfig) -> f64 {
-    1.0 + cfg.straggler_prob * (cfg.straggler_mean_mult - 1.0)
+    1.0 + cfg.straggler_prob.clamp(0.0, 1.0) * (clamp_straggler_mult(cfg.straggler_mean_mult) - 1.0)
 }
 
 /// Cached global-registry counters for the simulator
@@ -135,7 +148,7 @@ pub fn simulate_job<R: Rng>(
             let draw = |rng: &mut R| {
                 if rng.random::<f64>() < cfg.straggler_prob {
                     let sigma = 0.6f64;
-                    let mu = cfg.straggler_mean_mult.ln() - 0.5 * sigma * sigma;
+                    let mu = clamp_straggler_mult(cfg.straggler_mean_mult).ln() - 0.5 * sigma * sigma;
                     (nominal * sample_lognormal(rng, mu, sigma).max(1.0), true)
                 } else {
                     (nominal, false)
@@ -166,6 +179,71 @@ pub fn simulate_job<R: Rng>(
         / 1000.0;
 
     serial_s + compute_s + reduce_s
+}
+
+/// Outcome of a fault-injected simulated job ([`simulate_job_faulty`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultyJobOutcome {
+    /// End-to-end latency in seconds, including injected delays, retry
+    /// backoff, and task timeouts.
+    pub latency_s: f64,
+    /// Tasks that exhausted their recovery policy and were dropped.
+    pub lost_tasks: usize,
+    /// Retry attempts across all tasks.
+    pub retries: usize,
+    /// Speculative clones that beat their straggling primaries.
+    pub speculative_wins: usize,
+}
+
+/// Simulate one job under deterministic fault injection.
+///
+/// The base latency is [`simulate_job`]'s; on top of it each task runs
+/// through [`aqp_faults::resolve`] (the retry/speculation/blacklist
+/// state machine lives entirely in `aqp-faults` — this crate only
+/// consumes the per-task reports) and the resulting recovery delays are
+/// scheduled in waves over the available slots, exactly like the
+/// fault-free task times. Lost tasks occupy their slot for the full
+/// delay but the job still completes — graceful degradation is the
+/// caller's concern.
+///
+/// Deterministic: same `faults.seed` and same `rng` seed ⇒ bit-identical
+/// outcome.
+pub fn simulate_job_faulty<R: Rng>(
+    job: &Job,
+    tuning: &PhysicalTuning,
+    cfg: &ClusterConfig,
+    faults: &aqp_faults::FaultConfig,
+    rng: &mut R,
+) -> FaultyJobOutcome {
+    let base = simulate_job(job, tuning, cfg, rng);
+    let plan = aqp_faults::FaultPlan::new(faults.clone());
+    let slots = cfg.slots(tuning.parallelism).max(1);
+    let mut lost_tasks = 0;
+    let mut retries = 0;
+    let mut speculative_wins = 0;
+    let delays: Vec<f64> = (0..job.num_tasks())
+        .map(|task| {
+            let report = aqp_faults::resolve(&plan, &faults.recovery, task);
+            if report.lost {
+                lost_tasks += 1;
+            }
+            for ev in &report.events {
+                match ev.kind {
+                    aqp_faults::EventKind::Retry => retries += 1,
+                    aqp_faults::EventKind::SpeculativeLaunch { won: true } => {
+                        speculative_wins += 1;
+                    }
+                    _ => {}
+                }
+            }
+            report.total_delay.as_secs_f64()
+        })
+        .collect();
+    let mut extra_s = 0.0;
+    for wave in delays.chunks(slots) {
+        extra_s += wave.iter().copied().fold(0.0f64, f64::max);
+    }
+    FaultyJobOutcome { latency_s: base + extra_s, lost_tasks, retries, speculative_wins }
 }
 
 /// Analytic latency of a back-to-back subquery sequence (the §5.2 naive
@@ -380,6 +458,93 @@ mod tests {
             assert!(lat >= last, "latency fell as cpu grew: {lat} < {last}");
             last = lat;
         }
+    }
+
+    #[test]
+    fn pathological_straggler_mult_never_shrinks_latency() {
+        // Regression: extreme or non-finite slowdown factors used to push
+        // the lognormal mean to -inf/NaN, letting a straggler's busy span
+        // end before it starts. The clamp keeps every draw ≥ the
+        // fault-free time and every latency finite.
+        let job = Job::split(1_000.0, 1_000.0, 64, 10.0);
+        let t = PhysicalTuning { parallelism: 20, cache_fraction: 0.35, straggler_mitigation: false };
+        let baseline = {
+            let mut c = cfg();
+            c.straggler_prob = 0.0;
+            let mut rng = rng_from_seed(11);
+            simulate_job(&job, &t, &c, &mut rng)
+        };
+        for mult in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN, 0.0, -3.0, 0.25, 1e308] {
+            let mut c = cfg();
+            c.straggler_prob = 1.0;
+            c.straggler_mean_mult = mult;
+            let mut rng = rng_from_seed(11);
+            let lat = simulate_job(&job, &t, &c, &mut rng);
+            assert!(lat.is_finite(), "non-finite latency for mult {mult}");
+            assert!(
+                lat >= baseline - 1e-9,
+                "straggling finished before fault-free for mult {mult}: {lat} < {baseline}"
+            );
+            let e = expected_straggle(&c);
+            assert!(e.is_finite() && e >= 1.0, "expected straggle {e} for mult {mult}");
+        }
+    }
+
+    #[test]
+    fn faulty_job_is_deterministic_and_never_faster() {
+        let job = Job::split(1_000.0, 1_000.0, 64, 10.0);
+        let t = PhysicalTuning::tuned();
+        let c = no_straggle(cfg());
+        let mut faults = aqp_faults::FaultConfig::quiescent(3);
+        faults.transient_error_prob = 0.3;
+        faults.straggler_prob = 0.2;
+        let run = || {
+            let mut rng = rng_from_seed(12);
+            simulate_job_faulty(&job, &t, &c, &faults, &mut rng)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seeds must give bit-identical outcomes");
+        let clean = {
+            let mut rng = rng_from_seed(12);
+            simulate_job(&job, &t, &c, &mut rng)
+        };
+        assert!(a.latency_s >= clean, "faults made the job faster: {} < {clean}", a.latency_s);
+        assert!(a.retries > 0, "transient errors should force retries");
+    }
+
+    #[test]
+    fn quiescent_faults_add_nothing() {
+        let job = Job::split(500.0, 500.0, 32, 5.0);
+        let t = PhysicalTuning::tuned();
+        let c = no_straggle(cfg());
+        let faults = aqp_faults::FaultConfig::quiescent(9);
+        let out = {
+            let mut rng = rng_from_seed(13);
+            simulate_job_faulty(&job, &t, &c, &faults, &mut rng)
+        };
+        let clean = {
+            let mut rng = rng_from_seed(13);
+            simulate_job(&job, &t, &c, &mut rng)
+        };
+        assert_eq!(out.latency_s, clean);
+        assert_eq!(out.lost_tasks, 0);
+        assert_eq!(out.retries, 0);
+    }
+
+    #[test]
+    fn unrecoverable_deaths_lose_every_task() {
+        let job = Job::split(500.0, 500.0, 32, 5.0);
+        let t = PhysicalTuning::tuned();
+        let c = no_straggle(cfg());
+        let mut faults = aqp_faults::FaultConfig::quiescent(4);
+        faults.worker_death_prob = 1.0;
+        faults.recovery.max_retries = 0;
+        let out = {
+            let mut rng = rng_from_seed(14);
+            simulate_job_faulty(&job, &t, &c, &faults, &mut rng)
+        };
+        assert_eq!(out.lost_tasks, job.num_tasks());
     }
 
     #[test]

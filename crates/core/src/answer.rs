@@ -52,6 +52,10 @@ pub struct AqpAnswer {
     /// [`AqpAnswer::trace`] — populated only when the session's
     /// [`ExplainMode`](aqp_prof::ExplainMode) is not `Off`.
     pub profile: Option<OpProfile>,
+    /// Present when injected faults shrank the sample the answer was
+    /// computed from: how many rows/partitions were lost and the factor
+    /// every CI half-width was conservatively widened by (≥ 1).
+    pub degraded: Option<aqp_faults::DegradedInfo>,
 }
 
 impl AqpAnswer {
@@ -131,6 +135,7 @@ mod tests {
             trace: QueryTrace::default(),
             plan: String::new(),
             profile: None,
+            degraded: None,
         }
     }
 

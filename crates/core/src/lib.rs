@@ -48,6 +48,8 @@ pub use session::{AqpSession, SessionConfig};
 
 pub use aqp_prof::{ExplainMode, OpProfile};
 
+pub use aqp_faults::{FaultConfig, RecoveryPolicy, StragglerDelay};
+
 /// Errors from the session layer.
 #[derive(Debug)]
 pub enum CoreError {

@@ -53,6 +53,13 @@ pub struct SessionConfig {
     /// (see [`AqpAnswer::profile`]). `Text` vs `Json` only affects how
     /// front ends render it; profile assembly is identical.
     pub explain: ExplainMode,
+    /// Deterministic fault injection for approximate scans (`None` =
+    /// off, the default — with `None` the pipeline is bit-identical to
+    /// a build without the fault layer). When set, queries survive the
+    /// injected faults by retrying/speculating per the config's
+    /// recovery policy, degrade gracefully with widened error bars, or
+    /// fall back to exact execution when losses exceed the policy.
+    pub faults: Option<aqp_faults::FaultConfig>,
 }
 
 impl Default for SessionConfig {
@@ -68,6 +75,7 @@ impl Default for SessionConfig {
             obs: ObsHandle::default(),
             audit: None,
             explain: ExplainMode::Off,
+            faults: None,
         }
     }
 }
@@ -414,8 +422,26 @@ impl AqpSession {
             threads: self.config.threads,
             group_contexts,
             obs: self.config.obs.clone(),
+            faults: self.config.faults.clone(),
         };
-        let approx = execute_approx(&rewritten, &sample_table, table.num_rows(), registry, &opts)?;
+        let approx = match execute_approx(&rewritten, &sample_table, table.num_rows(), registry, &opts)
+        {
+            Ok(a) => a,
+            Err(aqp_exec::ExecError::Degraded { lost_partitions, total_partitions }) => {
+                // Injected faults lost more of the sample than the
+                // recovery policy tolerates: refuse the degraded
+                // approximation and serve exact truth instead.
+                self.config.obs.metrics.counter(name::FAULTS_EXACT_FALLBACKS).inc();
+                let gate = rec.start(stage::RELIABILITY_GATE);
+                rec.attr(gate, "degraded_lost_partitions", lost_partitions);
+                rec.attr(gate, "degraded_total_partitions", total_partitions);
+                rec.end(gate);
+                let answer =
+                    self.exact_answer(plan, table, registry, AnswerMode::ExactFallback, rec)?;
+                return apply_having(query, answer);
+            }
+            Err(e) => return Err(e.into()),
+        };
         rec.graft(approx.trace.clone());
 
         // --- Reliability gate, per result (§2.1: each group-aggregate is
@@ -431,6 +457,13 @@ impl AqpSession {
             .count();
         rec.attr(gate, "results", total_results);
         rec.attr(gate, "rejected", rejected);
+        if let Some(d) = &approx.degraded {
+            // The gate (and anyone reading the trace) sees the reduced
+            // effective sample behind these error bars.
+            rec.attr(gate, "degraded_effective_rows", d.effective_rows);
+            rec.attr(gate, "degraded_planned_rows", d.planned_rows);
+            rec.attr(gate, "widen_factor", d.widen_factor);
+        }
         if rejected == 0 {
             rec.end(gate);
             self.maybe_audit(sql, &approx, None, plan, table, registry, rec);
@@ -448,6 +481,7 @@ impl AqpSession {
                 trace: QueryTrace::default(),
                 plan: rewritten.explain(),
                 profile: None,
+                degraded: approx.degraded,
             });
         }
 
@@ -514,6 +548,7 @@ impl AqpSession {
             trace: QueryTrace::default(),
             plan: rewritten.explain(),
             profile: None,
+            degraded: approx.degraded,
         })
     }
 
@@ -599,6 +634,7 @@ impl AqpSession {
             trace: QueryTrace::default(),
             plan: plan.explain(),
             profile: None,
+            degraded: None,
         })
     }
 
@@ -703,6 +739,9 @@ impl AqpSession {
             threads: self.config.threads,
             group_contexts: None,
             obs: self.config.obs.clone(),
+            // The pilot sizes samples; it must not be perturbed by
+            // injected faults (the real query still is).
+            faults: None,
         };
         let approx =
             execute_approx(plan, &pilot.data, population_rows, registry, &opts)?;

@@ -192,6 +192,7 @@ pub fn execute_baseline(
         population_rows,
         timings: StageTimings::from_trace(&trace),
         trace,
+        degraded: None,
     })
 }
 

@@ -9,6 +9,7 @@
 use std::collections::HashMap;
 use std::time::Duration;
 
+use aqp_faults::{FaultInjector, ScanFaultSummary};
 use aqp_obs::Clock;
 use aqp_sql::ast::{AggExpr, AggFunc};
 use aqp_sql::expr::{eval, eval_predicate};
@@ -299,15 +300,66 @@ fn group_key(batch: &Batch, key_cols: &[usize], i: usize) -> String {
     s
 }
 
-/// Pair each partition with its global starting row offset.
-fn partitions_with_offsets(table: &Table) -> Vec<(aqp_storage::Partition, u32)> {
-    let mut out = Vec::with_capacity(table.num_partitions());
+/// One partition scan task, after fault resolution.
+struct ScanItem {
+    part: aqp_storage::Partition,
+    /// Starting row offset within the *effective* (surviving) sample.
+    offset: u32,
+    /// Rows of this partition that survive (0 when lost, a truncated
+    /// prefix length when a truncation fired, otherwise all rows).
+    keep_rows: usize,
+    /// True when the partition's data was lost to injected faults.
+    lost: bool,
+}
+
+/// Resolve every partition task against the (optional) fault injector,
+/// producing the scan items plus a fault summary. Without an injector
+/// this degenerates to the classic partition/offset pairing and the
+/// scan is bit-identical to a fault-free run.
+///
+/// Resolution happens up front (it is deterministic and cheap) so that
+/// surviving rows get *effective*-sample offsets: positions stay dense
+/// in `[0, effective_rows)`, which the diagnostic's row-range
+/// subsampling relies on.
+fn fault_resolved_items(
+    table: &Table,
+    injector: Option<&FaultInjector>,
+    clock: &Clock,
+) -> (Vec<ScanItem>, Option<ScanFaultSummary>) {
+    let mut items = Vec::with_capacity(table.num_partitions());
     let mut offset = 0u32;
-    for p in table.partitions() {
-        out.push((p.clone(), offset));
-        offset += p.num_rows() as u32;
+    match injector {
+        None => {
+            for p in table.partitions() {
+                let keep_rows = p.num_rows();
+                items.push(ScanItem { part: p.clone(), offset, keep_rows, lost: false });
+                offset += keep_rows as u32;
+            }
+            (items, None)
+        }
+        Some(inj) => {
+            let mut summary = ScanFaultSummary::default();
+            for (task, p) in table.partitions().iter().enumerate() {
+                let planned = p.num_rows();
+                let report = inj.run_task(task, clock);
+                let keep_rows = if report.lost {
+                    0
+                } else if let Some(keep) = report.truncate_keep {
+                    if planned == 0 {
+                        0
+                    } else {
+                        ((planned as f64 * keep).round() as usize).clamp(1, planned)
+                    }
+                } else {
+                    planned
+                };
+                summary.absorb(&report, planned, keep_rows);
+                items.push(ScanItem { part: p.clone(), offset, keep_rows, lost: report.lost });
+                offset += keep_rows as u32;
+            }
+            (items, Some(summary))
+        }
     }
-    out
 }
 
 struct PartitionCollect {
@@ -376,6 +428,22 @@ pub fn collect_observed(
     threads: usize,
     clock: &Clock,
 ) -> Result<(Collected, CollectObs)> {
+    collect_observed_faulty(plan, table, threads, clock, None).map(|(c, o, _)| (c, o))
+}
+
+/// [`collect_observed`] with deterministic fault injection: each
+/// partition task is resolved against `injector`'s plan before dispatch
+/// (lost partitions are skipped, truncated ones scan only a prefix),
+/// and the returned [`ScanFaultSummary`] describes what was injected
+/// and what survived. With `injector = None` this is exactly
+/// [`collect_observed`].
+pub fn collect_observed_faulty(
+    plan: &LogicalPlan,
+    table: &Table,
+    threads: usize,
+    clock: &Clock,
+    injector: Option<&FaultInjector>,
+) -> Result<(Collected, CollectObs, Option<ScanFaultSummary>)> {
     let shape = decompose(plan)?;
     let (top_group_by, top_aggs) = match shape.top_agg {
         LogicalPlan::Aggregate { group_by, aggs, .. } => (group_by.clone(), aggs.clone()),
@@ -414,16 +482,33 @@ pub fn collect_observed(
             &inner_group_by[0],
             threads,
             clock,
+            injector,
         );
     }
 
     // --- Simple (single-level) collection. ---
     let chain = &shape.chain;
-    let parts_with_offsets = partitions_with_offsets(table);
+    let (items, fault_summary) = fault_resolved_items(table, injector, clock);
     let (partials, workers): (Vec<Result<PartitionCollect>>, Vec<WorkerStat>) =
-        parallel_map_observed(parts_with_offsets, threads, clock, |(part, offset)| {
-            let rows_scanned = part.num_rows();
-            let (filtered, local_pos, op_deltas) = apply_chain(chain, part.batch(), clock)?;
+        parallel_map_observed(items, threads, clock, |item| {
+            let ScanItem { part, offset, keep_rows, lost } = item;
+            if lost {
+                return Ok(PartitionCollect {
+                    rows_scanned: 0,
+                    groups: Vec::new(),
+                    nested_keys: Vec::new(),
+                    op_deltas: Vec::new(),
+                });
+            }
+            let rows_scanned = keep_rows;
+            let truncated;
+            let batch = if keep_rows < part.num_rows() {
+                truncated = part.batch().slice(0, keep_rows).map_err(ExecError::Storage)?;
+                &truncated
+            } else {
+                part.batch()
+            };
+            let (filtered, local_pos, op_deltas) = apply_chain(chain, batch, clock)?;
             let key_cols: Vec<usize> = top_group_by
                 .iter()
                 .map(|k| filtered.schema().index_of(k).map_err(ExecError::Storage))
@@ -481,7 +566,7 @@ pub fn collect_observed(
             aggs: vec![AggData::default(); collected.agg_exprs.len()],
         });
     }
-    Ok((collected, CollectObs { ops, workers }))
+    Ok((collected, CollectObs { ops, workers }, fault_summary))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -494,7 +579,8 @@ fn collect_nested(
     inner_key: &str,
     threads: usize,
     clock: &Clock,
-) -> Result<(Collected, CollectObs)> {
+    injector: Option<&FaultInjector>,
+) -> Result<(Collected, CollectObs, Option<ScanFaultSummary>)> {
     if top_aggs.iter().any(|a| a.arg.is_none() && !matches!(a.func, AggFunc::Count)) {
         return Err(ExecError::Unsupported("outer aggregate without argument".into()));
     }
@@ -502,11 +588,27 @@ fn collect_nested(
     let inner_agg_cloned = inner_agg.clone();
     let inner_key_owned = inner_key.to_owned();
 
-    let parts_with_offsets = partitions_with_offsets(table);
+    let (items, fault_summary) = fault_resolved_items(table, injector, clock);
     let (partials, workers): (Vec<Result<PartitionCollect>>, Vec<WorkerStat>) =
-        parallel_map_observed(parts_with_offsets, threads, clock, |(part, offset)| {
-            let rows_scanned = part.num_rows();
-            let (filtered, local_pos, op_deltas) = apply_chain(chain, part.batch(), clock)?;
+        parallel_map_observed(items, threads, clock, |item| {
+            let ScanItem { part, offset, keep_rows, lost } = item;
+            if lost {
+                return Ok(PartitionCollect {
+                    rows_scanned: 0,
+                    groups: Vec::new(),
+                    nested_keys: Vec::new(),
+                    op_deltas: Vec::new(),
+                });
+            }
+            let rows_scanned = keep_rows;
+            let truncated;
+            let batch = if keep_rows < part.num_rows() {
+                truncated = part.batch().slice(0, keep_rows).map_err(ExecError::Storage)?;
+                &truncated
+            } else {
+                part.batch()
+            };
+            let (filtered, local_pos, op_deltas) = apply_chain(chain, batch, clock)?;
             let key_col = filtered
                 .schema()
                 .index_of(&inner_key_owned)
@@ -551,7 +653,7 @@ fn collect_nested(
             aggs: vec![AggData::default(); collected.agg_exprs.len()],
         });
     }
-    Ok((collected, CollectObs { ops, workers }))
+    Ok((collected, CollectObs { ops, workers }, fault_summary))
 }
 
 fn merge_partials(

@@ -9,6 +9,7 @@ use std::ops::Range;
 
 use aqp_diagnostics::kleiner::{evaluate_from_estimates, LevelEstimates};
 use aqp_diagnostics::DiagnosticConfig;
+use aqp_faults::{DegradedInfo, EventKind, FaultConfig, FaultInjector, ScanFaultSummary};
 use aqp_obs::trace::stage;
 use aqp_obs::{count_stragglers, name, Clock, ObsHandle, SpanId, Timestamp, TraceRecorder};
 use aqp_sql::logical::LogicalPlan;
@@ -16,7 +17,7 @@ use aqp_stats::estimator::SampleContext;
 use aqp_stats::rng::SeedStream;
 use aqp_storage::Table;
 
-use crate::collect::{collect_observed, AggData, Collected, OpStats};
+use crate::collect::{collect_observed, collect_observed_faulty, AggData, Collected, OpStats};
 use crate::parallel::{default_threads, parallel_map_observed, WorkerStat};
 use crate::result::{AggResult, ApproxResult, ExactResult, GroupResult, MethodUsed, StageTimings};
 use crate::theta::{bootstrap_ci_prepared, closed_form_ci_prepared, PreparedTheta};
@@ -61,6 +62,12 @@ pub struct ApproxOptions {
     /// registry executor metrics land in. Defaults to the real clock
     /// and the process-global registry.
     pub obs: ObsHandle,
+    /// Deterministic fault injection for the scan (`None` = off; the
+    /// default). When set, partition tasks are resolved against the
+    /// config's fault plan and the query either completes — possibly
+    /// degraded, with conservatively widened CIs — or returns a typed
+    /// `ExecError::Degraded` / `ExecError::Unrecoverable`.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for ApproxOptions {
@@ -74,6 +81,7 @@ impl Default for ApproxOptions {
             threads: default_threads(),
             group_contexts: None,
             obs: ObsHandle::default(),
+            faults: None,
         }
     }
 }
@@ -170,17 +178,30 @@ pub fn execute_approx(
     opts.obs.metrics.counter(name::EXEC_APPROX_QUERIES).inc();
     let rec = opts.obs.recorder();
 
-    // Stage 1 — scan + collect: one pass over the sample's partitions.
+    // Stage 1 — scan + collect: one pass over the sample's partitions,
+    // resolved against the fault plan when injection is enabled.
+    let injector = opts.faults.as_ref().map(FaultInjector::new);
     let scan_span = rec.start(stage::SCAN_COLLECT);
     let scan_start = opts.obs.clock.now();
-    let (collected, scan_obs) = collect_observed(plan, sample, opts.threads, &opts.obs.clock)?;
+    let (collected, scan_obs, fault_summary) =
+        collect_observed_faulty(plan, sample, opts.threads, &opts.obs.clock, injector.as_ref())?;
     rec.attr(scan_span, "sample_rows", collected.pre_filter_rows);
     rec.attr(scan_span, "groups", collected.groups.len());
     let sample_fraction = (population_rows > 0)
         .then(|| collected.pre_filter_rows as f64 / population_rows as f64);
     record_chain_ops(&rec, &opts.obs.clock, scan_start, plan, &scan_obs.ops, sample_fraction);
     record_workers(&rec, &opts.obs, &scan_obs.workers);
+    if let Some(sum) = &fault_summary {
+        record_faults(&rec, &opts.obs, scan_span, scan_start, sum);
+    }
     rec.end(scan_span);
+
+    // Recovery-policy gate: decide between a (possibly degraded)
+    // approximate answer and a typed refusal. All CI half-widths from a
+    // degraded sample are widened by `planned / effective` (≥ 1), which
+    // dominates the natural sqrt growth of the standard error — error
+    // bars can only get wider, never narrower (DESIGN §12).
+    let degraded_info = degradation_gate(fault_summary.as_ref(), opts)?;
 
     let default_ctx = SampleContext::new(collected.pre_filter_rows, population_rows);
     let ctx_for = |key: &str| -> SampleContext {
@@ -235,6 +256,24 @@ pub fn execute_approx(
             let ctx = ctx_for(&collected.groups[gi].key);
             error_ci(theta, data, &ctx, opts, seeds.derive(0xC1).derive((gi * 64 + ai) as u64))
         });
+    // Degraded runs widen every interval by the conservative factor.
+    let cis: Vec<(Option<aqp_stats::ci::Ci>, MethodUsed)> = match &degraded_info {
+        Some(d) if d.widen_factor > 1.0 => cis
+            .into_iter()
+            .map(|(ci, m)| {
+                let widened = ci.map(|c| {
+                    aqp_stats::ci::Ci::new(c.center, c.half_width * d.widen_factor, c.confidence)
+                });
+                (widened, m)
+            })
+            .collect(),
+        _ => cis,
+    };
+    if let Some(d) = &degraded_info {
+        rec.attr(err_span, "widen_factor", d.widen_factor);
+        rec.attr(err_span, "effective_rows", d.effective_rows);
+        rec.attr(err_span, "planned_rows", d.planned_rows);
+    }
     let bootstrap_jobs = cis.iter().filter(|(_, m)| *m == MethodUsed::Bootstrap).count();
     rec.attr(err_span, "jobs", jobs.len());
     rec.attr(err_span, "bootstrap_jobs", bootstrap_jobs);
@@ -259,6 +298,22 @@ pub fn execute_approx(
     let diags: Vec<Option<aqp_diagnostics::DiagnosticReport>> = match &opts.diagnostic {
         None => vec![None; jobs.len()],
         Some(cfg) => {
+            // Degraded runs judge the sample that actually survived:
+            // shrink the subsample sizes by the effective/planned ratio
+            // so the largest level still fits the surviving rows.
+            let cfg = match &degraded_info {
+                Some(d) if d.effective_rows < d.planned_rows && d.planned_rows > 0 => {
+                    let ratio = d.effective_rows as f64 / d.planned_rows as f64;
+                    let mut scaled = cfg.clone();
+                    for b in &mut scaled.subsample_rows {
+                        *b = ((*b as f64 * ratio).round() as usize).max(1);
+                    }
+                    scaled.subsample_rows.dedup();
+                    scaled
+                }
+                _ => cfg.clone(),
+            };
+            let cfg = &cfg;
             let (out, diag_workers) =
                 parallel_map_observed(jobs.clone(), opts.threads, &opts.obs.clock, |(gi, ai)| {
                     let data = &collected.groups[gi].aggs[ai];
@@ -331,7 +386,109 @@ pub fn execute_approx(
         population_rows,
         timings: StageTimings::from_trace(&trace),
         trace,
+        degraded: degraded_info,
     })
+}
+
+/// Apply the recovery policy to the scan's fault summary: refuse with a
+/// typed error when too much was lost, otherwise describe how degraded
+/// the surviving sample is (`None` = not degraded at all).
+fn degradation_gate(
+    summary: Option<&ScanFaultSummary>,
+    opts: &ApproxOptions,
+) -> Result<Option<DegradedInfo>> {
+    let (sum, cfg) = match (summary, opts.faults.as_ref()) {
+        (Some(s), Some(c)) => (s, c),
+        _ => return Ok(None),
+    };
+    if sum.total_partitions > 0 && sum.lost_partitions == sum.total_partitions {
+        return Err(crate::ExecError::Unrecoverable(format!(
+            "all {} sample partitions lost to injected faults",
+            sum.total_partitions
+        )));
+    }
+    let lost_fraction = if sum.total_partitions == 0 {
+        0.0
+    } else {
+        sum.lost_partitions as f64 / sum.total_partitions as f64
+    };
+    if lost_fraction > cfg.recovery.max_lost_fraction {
+        return Err(crate::ExecError::Degraded {
+            lost_partitions: sum.lost_partitions,
+            total_partitions: sum.total_partitions,
+        });
+    }
+    if sum.degraded() {
+        opts.obs.metrics.counter(name::FAULTS_DEGRADED_QUERIES).inc();
+        Ok(Some(DegradedInfo {
+            planned_rows: sum.planned_rows,
+            effective_rows: sum.effective_rows,
+            lost_partitions: sum.lost_partitions,
+            total_partitions: sum.total_partitions,
+            widen_factor: sum.widen_factor(),
+        }))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Render the scan's fault activity as `fault:` / `retry:` /
+/// `speculative:` child spans of the scan stage (events laid out
+/// sequentially from `scan_start`, each spanning its injected delay)
+/// and feed the `aqp.faults.*` metrics.
+fn record_faults(
+    rec: &TraceRecorder,
+    obs: &ObsHandle,
+    scan_span: SpanId,
+    scan_start: Timestamp,
+    sum: &ScanFaultSummary,
+) {
+    let m = &obs.metrics;
+    if sum.injected > 0 {
+        m.counter(name::FAULTS_INJECTED).add(sum.injected as u64);
+    }
+    if sum.retries > 0 {
+        m.counter(name::FAULTS_RETRIES).add(sum.retries as u64);
+    }
+    if sum.timeouts > 0 {
+        m.counter(name::FAULTS_TIMEOUTS).add(sum.timeouts as u64);
+    }
+    if sum.speculative_launched > 0 {
+        m.counter(name::FAULTS_SPECULATIVE_LAUNCHED).add(sum.speculative_launched as u64);
+    }
+    if sum.speculative_wins > 0 {
+        m.counter(name::FAULTS_SPECULATIVE_WINS).add(sum.speculative_wins as u64);
+    }
+    if sum.lost_partitions > 0 {
+        m.counter(name::FAULTS_PARTITIONS_LOST).add(sum.lost_partitions as u64);
+    }
+    if sum.blacklisted_partitions > 0 {
+        m.counter(name::FAULTS_PARTITIONS_BLACKLISTED).add(sum.blacklisted_partitions as u64);
+    }
+    if sum.rows_lost() > 0 {
+        m.counter(name::FAULTS_ROWS_LOST).add(sum.rows_lost() as u64);
+    }
+    m.histogram(name::FAULTS_INJECTED_DELAY_MS).record(sum.total_delay);
+
+    rec.attr(scan_span, "planned_rows", sum.planned_rows);
+    rec.attr(scan_span, "effective_rows", sum.effective_rows);
+    rec.attr(scan_span, "lost_partitions", sum.lost_partitions);
+    rec.attr(scan_span, "degraded", sum.degraded());
+
+    let mut cursor = scan_start;
+    for report in &sum.reports {
+        for ev in &report.events {
+            let end =
+                Timestamp::from_nanos(cursor.nanos().saturating_add(ev.delay.as_nanos() as u64));
+            let id = rec.record_span(&ev.kind.span_name(), cursor, end);
+            rec.attr(id, "task", ev.task);
+            rec.attr(id, "attempt", ev.attempt);
+            if let EventKind::SpeculativeLaunch { won } = &ev.kind {
+                rec.attr(id, "won", won);
+            }
+            cursor = end;
+        }
+    }
 }
 
 /// Workers slower than this factor times the median are counted as

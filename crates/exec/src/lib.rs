@@ -61,6 +61,18 @@ pub enum ExecError {
     /// An internal plan-shape invariant was violated (a bug in plan
     /// decomposition, not in the caller's query).
     PlanInvariant(String),
+    /// Injected faults lost more partitions than the recovery policy
+    /// tolerates; the surviving sample is too degraded to answer from.
+    /// Callers should fall back to exact execution (or re-run).
+    Degraded {
+        /// Partitions whose data was lost after recovery ran out.
+        lost_partitions: usize,
+        /// Partitions the scan planned to read.
+        total_partitions: usize,
+    },
+    /// Every sample partition was lost; no approximate answer is
+    /// derivable from this scan at all.
+    Unrecoverable(String),
 }
 
 impl std::fmt::Display for ExecError {
@@ -71,6 +83,11 @@ impl std::fmt::Display for ExecError {
             ExecError::Unsupported(m) => write!(f, "unsupported plan: {m}"),
             ExecError::UnknownUdf(n) => write!(f, "unknown UDF: {n}"),
             ExecError::PlanInvariant(m) => write!(f, "plan invariant violated: {m}"),
+            ExecError::Degraded { lost_partitions, total_partitions } => write!(
+                f,
+                "degraded beyond policy: lost {lost_partitions} of {total_partitions} sample partitions"
+            ),
+            ExecError::Unrecoverable(m) => write!(f, "unrecoverable fault: {m}"),
         }
     }
 }

@@ -134,6 +134,9 @@ pub struct ApproxResult {
     pub timings: StageTimings,
     /// The executor's span tree for this query.
     pub trace: QueryTrace,
+    /// Present when injected faults shrank the sample: how much was
+    /// lost and the factor every CI half-width was widened by.
+    pub degraded: Option<aqp_faults::DegradedInfo>,
 }
 
 impl ApproxResult {

@@ -1,0 +1,151 @@
+//! Fault-injection and recovery configuration.
+//!
+//! A [`FaultConfig`] is the single knob a caller flips: it carries the
+//! injection probabilities (what goes wrong) and a [`RecoveryPolicy`]
+//! (what the executor does about it). Everything is seed-deterministic —
+//! the same config and seed always produce the same fault timeline.
+
+use std::time::Duration;
+
+/// Shape of the delay injected when a straggler fault fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StragglerDelay {
+    /// Every straggler is slowed by exactly this much.
+    Fixed(Duration),
+    /// Heavy-tail (lognormal) delay, matching the paper's straggler
+    /// model: `mean_ms` is the mean of the distribution in milliseconds
+    /// and `sigma` the log-space standard deviation.
+    HeavyTail {
+        /// Mean delay in milliseconds.
+        mean_ms: f64,
+        /// Log-space standard deviation (0.6 matches `cluster::sim`).
+        sigma: f64,
+    },
+}
+
+impl Default for StragglerDelay {
+    fn default() -> Self {
+        StragglerDelay::Fixed(Duration::from_millis(50))
+    }
+}
+
+/// What the executor does when an injected fault fires.
+///
+/// The recovery state machine (DESIGN §12): each task attempt may fail
+/// (death / transient error / corruption) or time out (straggler delay
+/// beyond `task_timeout`). Failed attempts are retried after bounded
+/// exponential backoff, up to `max_retries` retries; `blacklist_after`
+/// consecutive failures blacklist the partition early. A task that
+/// exhausts its retries is *lost* and the query degrades gracefully —
+/// unless more than `max_lost_fraction` of partitions are lost, in
+/// which case the executor refuses to answer approximately.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Retries allowed after the first attempt (0 = fail fast).
+    pub max_retries: usize,
+    /// First backoff delay; doubles each retry.
+    pub backoff_base: Duration,
+    /// Ceiling on any single backoff delay.
+    pub backoff_max: Duration,
+    /// An attempt whose injected delay exceeds this is abandoned and
+    /// retried (per-task timeout).
+    pub task_timeout: Duration,
+    /// Launch a speculative clone of straggler-delayed attempts; the
+    /// faster of the pair wins (paper §ProcOpt straggler mitigation).
+    pub speculative: bool,
+    /// Blacklist a partition after this many consecutive failed
+    /// attempts, abandoning it even if retries remain.
+    pub blacklist_after: usize,
+    /// Maximum fraction of partitions that may be lost before the
+    /// executor returns `Degraded` instead of a widened answer.
+    pub max_lost_fraction: f64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 2,
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_secs(1),
+            task_timeout: Duration::from_secs(5),
+            speculative: true,
+            blacklist_after: 4,
+            max_lost_fraction: 0.5,
+        }
+    }
+}
+
+/// Complete fault-injection configuration for one session or query.
+///
+/// All probabilities are per task *attempt* and independently drawn;
+/// out-of-range values are clamped to `[0, 1]` at draw time. With the
+/// default config (all probabilities zero) the injector never fires and
+/// the pipeline is byte-identical to running without one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Root seed for the fault plan (independent of the query seed).
+    pub seed: u64,
+    /// Probability a worker dies mid-task (attempt fails).
+    pub worker_death_prob: f64,
+    /// Probability of a transient scan error (attempt fails, retry
+    /// usually succeeds).
+    pub transient_error_prob: f64,
+    /// Probability a partition read returns corrupt data (attempt
+    /// fails; the partition must be re-read).
+    pub corruption_prob: f64,
+    /// Probability a partition is truncated: the scan succeeds but only
+    /// a prefix of the rows survives (degraded success).
+    pub truncation_prob: f64,
+    /// Fraction of rows KEPT when a truncation fires (clamped so at
+    /// least one row survives).
+    pub truncation_keep: f64,
+    /// Probability an attempt is straggler-delayed.
+    pub straggler_prob: f64,
+    /// Delay distribution for straggler faults.
+    pub straggler_delay: StragglerDelay,
+    /// Recovery machinery exercised by the injected faults.
+    pub recovery: RecoveryPolicy,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0,
+            worker_death_prob: 0.0,
+            transient_error_prob: 0.0,
+            corruption_prob: 0.0,
+            truncation_prob: 0.0,
+            truncation_keep: 0.5,
+            straggler_prob: 0.0,
+            straggler_delay: StragglerDelay::default(),
+            recovery: RecoveryPolicy::default(),
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A config that injects nothing but still runs the recovery
+    /// scaffolding — useful for verifying the no-fault path is
+    /// bit-identical.
+    pub fn quiescent(seed: u64) -> Self {
+        FaultConfig { seed, ..FaultConfig::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_quiet() {
+        let cfg = FaultConfig::default();
+        assert_eq!(cfg.worker_death_prob, 0.0);
+        assert_eq!(cfg.straggler_prob, 0.0);
+        assert_eq!(cfg.recovery.max_retries, 2);
+    }
+
+    #[test]
+    fn quiescent_keeps_seed() {
+        assert_eq!(FaultConfig::quiescent(42).seed, 42);
+    }
+}

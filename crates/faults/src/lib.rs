@@ -1,0 +1,44 @@
+//! # aqp-faults
+//!
+//! Deterministic fault injection and recovery for the AQP execution
+//! pipeline: worker death, transient scan errors, partition corruption
+//! and truncation, and fixed/heavy-tail straggler delay, all drawn from
+//! a seed-keyed [`FaultPlan`] so an injected run replays bit-for-bit.
+//!
+//! The recovery side mirrors what a production engine would do — per
+//! task timeouts, bounded exponential backoff retries, speculative
+//! re-execution of stragglers, partition blacklisting — and when
+//! recovery runs out, the query *degrades gracefully*: it completes
+//! from the surviving partitions with error bars re-derived from the
+//! effective sample and conservatively widened (never narrowed; see
+//! [`ScanFaultSummary::widen_factor`]).
+//!
+//! Delay is charged to the observability [`aqp_obs::Clock`], never to
+//! `thread::sleep`, so injected runs are fast and mock-clock
+//! deterministic. The crate is std-only and sits below `exec` and
+//! `cluster`, both of which consume it.
+//!
+//! ```
+//! use aqp_faults::{FaultConfig, FaultInjector};
+//!
+//! let mut cfg = FaultConfig::quiescent(7);
+//! cfg.transient_error_prob = 0.2;
+//! let injector = FaultInjector::new(&cfg);
+//! let clock = aqp_obs::Clock::mock();
+//! let report = injector.run_task(0, &clock);
+//! assert!(!report.lost || report.attempts > 0);
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod plan;
+pub mod recovery;
+
+pub use config::{FaultConfig, RecoveryPolicy, StragglerDelay};
+pub use plan::{AttemptPlan, FaultKind, FaultPlan};
+pub use recovery::{
+    backoff_for, resolve, DegradedInfo, EventKind, FaultEvent, FaultInjector, ScanFaultSummary,
+    TaskReport,
+};

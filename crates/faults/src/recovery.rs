@@ -1,0 +1,542 @@
+//! The recovery state machine: retries, backoff, speculation,
+//! blacklisting, and the degraded-answer bookkeeping.
+//!
+//! [`resolve`] is a pure function — given a plan, a policy, and a task
+//! index it replays the task's attempt timeline and returns a
+//! [`TaskReport`] describing what happened and how much injected delay
+//! was charged. [`FaultInjector`] wraps it with a [`Clock`] so the
+//! delay is *simulated* (mock clocks advance, the real clock ignores
+//! it): no fault ever calls `thread::sleep`, which is what keeps the
+//! whole subsystem deterministic and fast.
+
+use std::time::Duration;
+
+use aqp_obs::Clock;
+
+use crate::config::{FaultConfig, RecoveryPolicy};
+use crate::plan::{FaultKind, FaultPlan};
+
+/// One observable event in a task's fault timeline, in order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// Task (partition) index.
+    pub task: usize,
+    /// Attempt number the event belongs to (0 = first attempt).
+    pub attempt: usize,
+    /// What happened.
+    pub kind: EventKind,
+    /// Injected delay charged by this event (zero for instant events).
+    pub delay: Duration,
+}
+
+/// Discriminates [`FaultEvent`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// An injected fault fired.
+    Injected(FaultKind),
+    /// A speculative clone was launched for a straggling attempt;
+    /// `won` is true when the clone finished first.
+    SpeculativeLaunch {
+        /// True when the clone beat the straggling primary.
+        won: bool,
+    },
+    /// The attempt's (post-speculation) delay exceeded the task
+    /// timeout and the attempt was abandoned.
+    TimedOut,
+    /// Backoff before the next attempt.
+    Retry,
+    /// The partition was blacklisted after repeated failures.
+    Blacklisted,
+    /// All recovery options exhausted; the partition's data is lost.
+    Lost,
+    /// The attempt succeeded after at least one earlier failure.
+    Recovered,
+}
+
+impl EventKind {
+    /// Span name used when the event is rendered into a query trace.
+    pub fn span_name(&self) -> String {
+        match self {
+            EventKind::Injected(kind) => format!("fault:{}", kind.label()),
+            EventKind::SpeculativeLaunch { .. } => "speculative:clone".to_string(),
+            EventKind::TimedOut => "fault:timeout".to_string(),
+            EventKind::Retry => "retry:backoff".to_string(),
+            EventKind::Blacklisted => "fault:blacklisted".to_string(),
+            EventKind::Lost => "fault:lost".to_string(),
+            EventKind::Recovered => "retry:recovered".to_string(),
+        }
+    }
+}
+
+/// Outcome of resolving one task against the plan and policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskReport {
+    /// Task (partition) index.
+    pub task: usize,
+    /// True when every recovery option failed and the partition's rows
+    /// are gone from the effective sample.
+    pub lost: bool,
+    /// True when the partition was blacklisted before retries ran out.
+    pub blacklisted: bool,
+    /// Attempts consumed (1 = clean first attempt).
+    pub attempts: usize,
+    /// Keep-fraction of the surviving rows when the successful attempt
+    /// was truncated.
+    pub truncate_keep: Option<f64>,
+    /// Total injected delay (straggler waits + backoffs).
+    pub total_delay: Duration,
+    /// Ordered event timeline.
+    pub events: Vec<FaultEvent>,
+}
+
+impl TaskReport {
+    /// A report for a task that experienced no faults.
+    pub fn clean(task: usize) -> Self {
+        TaskReport {
+            task,
+            lost: false,
+            blacklisted: false,
+            attempts: 1,
+            truncate_keep: None,
+            total_delay: Duration::ZERO,
+            events: Vec::new(),
+        }
+    }
+
+    /// True when any fault was injected into this task.
+    pub fn faulted(&self) -> bool {
+        !self.events.is_empty()
+    }
+}
+
+/// Exponential backoff before retry `attempt + 1`, bounded by the
+/// policy's `backoff_max`.
+pub fn backoff_for(policy: &RecoveryPolicy, attempt: usize) -> Duration {
+    let shift = attempt.min(32) as u32;
+    let mult = 1u64.checked_shl(shift).unwrap_or(u64::MAX);
+    policy.backoff_base.saturating_mul(mult.min(u32::MAX as u64) as u32).min(policy.backoff_max)
+}
+
+/// Replay task `task` against `plan` under `policy`.
+///
+/// Pure and total: always returns, never sleeps, never panics. The
+/// attempt loop is bounded by `policy.max_retries` so liveness holds by
+/// construction.
+pub fn resolve(plan: &FaultPlan, policy: &RecoveryPolicy, task: usize) -> TaskReport {
+    let mut events: Vec<FaultEvent> = Vec::new();
+    let mut total_delay = Duration::ZERO;
+    let mut failures = 0usize;
+
+    for attempt in 0..=policy.max_retries {
+        let ap = plan.attempt(task, attempt);
+
+        // Straggler delay, possibly cut short by a speculative clone.
+        let mut delay = ap.delay;
+        if !ap.delay.is_zero() {
+            events.push(FaultEvent {
+                task,
+                attempt,
+                kind: EventKind::Injected(FaultKind::Straggler),
+                delay: ap.delay,
+            });
+            if policy.speculative {
+                if let Some(clone) = ap.speculative_delay {
+                    let won = clone < ap.delay;
+                    events.push(FaultEvent {
+                        task,
+                        attempt,
+                        kind: EventKind::SpeculativeLaunch { won },
+                        delay: clone.min(ap.delay),
+                    });
+                    delay = delay.min(clone);
+                }
+            }
+        }
+        total_delay = total_delay.saturating_add(delay);
+
+        // Did the attempt fail?
+        let failed = if delay > policy.task_timeout {
+            events.push(FaultEvent { task, attempt, kind: EventKind::TimedOut, delay: Duration::ZERO });
+            true
+        } else if let Some(kind) = ap.failure {
+            events.push(FaultEvent {
+                task,
+                attempt,
+                kind: EventKind::Injected(kind),
+                delay: Duration::ZERO,
+            });
+            true
+        } else {
+            false
+        };
+
+        if !failed {
+            if let Some(keep) = ap.truncate_keep {
+                events.push(FaultEvent {
+                    task,
+                    attempt,
+                    kind: EventKind::Injected(FaultKind::Truncation),
+                    delay: Duration::ZERO,
+                });
+                if failures > 0 {
+                    events.push(FaultEvent { task, attempt, kind: EventKind::Recovered, delay: Duration::ZERO });
+                }
+                return TaskReport {
+                    task,
+                    lost: false,
+                    blacklisted: false,
+                    attempts: attempt + 1,
+                    truncate_keep: Some(keep),
+                    total_delay,
+                    events,
+                };
+            }
+            if failures > 0 {
+                events.push(FaultEvent { task, attempt, kind: EventKind::Recovered, delay: Duration::ZERO });
+            }
+            return TaskReport {
+                task,
+                lost: false,
+                blacklisted: false,
+                attempts: attempt + 1,
+                truncate_keep: None,
+                total_delay,
+                events,
+            };
+        }
+
+        failures += 1;
+        if failures >= policy.blacklist_after {
+            events.push(FaultEvent { task, attempt, kind: EventKind::Blacklisted, delay: Duration::ZERO });
+            events.push(FaultEvent { task, attempt, kind: EventKind::Lost, delay: Duration::ZERO });
+            return TaskReport {
+                task,
+                lost: true,
+                blacklisted: true,
+                attempts: attempt + 1,
+                truncate_keep: None,
+                total_delay,
+                events,
+            };
+        }
+        if attempt == policy.max_retries {
+            events.push(FaultEvent { task, attempt, kind: EventKind::Lost, delay: Duration::ZERO });
+            return TaskReport {
+                task,
+                lost: true,
+                blacklisted: false,
+                attempts: attempt + 1,
+                truncate_keep: None,
+                total_delay,
+                events,
+            };
+        }
+        let backoff = backoff_for(policy, attempt);
+        events.push(FaultEvent { task, attempt, kind: EventKind::Retry, delay: backoff });
+        total_delay = total_delay.saturating_add(backoff);
+    }
+
+    // Unreachable: every loop iteration returns on success, blacklist,
+    // or final retry. Kept total for panic-freedom.
+    TaskReport {
+        task,
+        lost: true,
+        blacklisted: false,
+        attempts: policy.max_retries + 1,
+        truncate_keep: None,
+        total_delay,
+        events,
+    }
+}
+
+/// Aggregate view of one scan's fault activity, built from the
+/// per-task reports by the executor.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScanFaultSummary {
+    /// Partitions the scan planned to read.
+    pub total_partitions: usize,
+    /// Partitions whose data was lost after recovery ran out.
+    pub lost_partitions: usize,
+    /// Partitions abandoned early by blacklisting (subset of lost).
+    pub blacklisted_partitions: usize,
+    /// Rows the scan would have read fault-free.
+    pub planned_rows: usize,
+    /// Rows that actually entered the effective sample.
+    pub effective_rows: usize,
+    /// Injected fault events (all kinds).
+    pub injected: usize,
+    /// Retry (backoff) events.
+    pub retries: usize,
+    /// Attempts abandoned by the per-task timeout.
+    pub timeouts: usize,
+    /// Speculative clones launched.
+    pub speculative_launched: usize,
+    /// Speculative clones that beat their straggling primary.
+    pub speculative_wins: usize,
+    /// Total injected delay across all tasks.
+    pub total_delay: Duration,
+    /// Per-task reports, in task order, for tasks that saw any fault.
+    pub reports: Vec<TaskReport>,
+}
+
+impl ScanFaultSummary {
+    /// Rows lost to dead or truncated partitions.
+    pub fn rows_lost(&self) -> usize {
+        self.planned_rows.saturating_sub(self.effective_rows)
+    }
+
+    /// True when the effective sample is smaller than planned.
+    pub fn degraded(&self) -> bool {
+        self.effective_rows < self.planned_rows
+    }
+
+    /// The conservative CI widening factor `planned / effective`
+    /// (≥ 1): error bars from a degraded sample are scaled up by this,
+    /// which dominates the natural `sqrt(planned / effective)` growth
+    /// of the standard error, so degraded CIs can never be narrower
+    /// than honest ones.
+    pub fn widen_factor(&self) -> f64 {
+        if self.effective_rows == 0 || !self.degraded() {
+            1.0
+        } else {
+            self.planned_rows as f64 / self.effective_rows as f64
+        }
+    }
+
+    /// Fold one task's outcome into the summary. `planned` /
+    /// `effective` are the partition's planned and surviving row
+    /// counts.
+    pub fn absorb(&mut self, report: &TaskReport, planned: usize, effective: usize) {
+        self.total_partitions += 1;
+        self.planned_rows += planned;
+        self.effective_rows += effective;
+        if report.lost {
+            self.lost_partitions += 1;
+        }
+        if report.blacklisted {
+            self.blacklisted_partitions += 1;
+        }
+        self.total_delay = self.total_delay.saturating_add(report.total_delay);
+        for ev in &report.events {
+            match &ev.kind {
+                EventKind::Injected(_) => self.injected += 1,
+                EventKind::Retry => self.retries += 1,
+                EventKind::TimedOut => self.timeouts += 1,
+                EventKind::SpeculativeLaunch { won } => {
+                    self.speculative_launched += 1;
+                    if *won {
+                        self.speculative_wins += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if report.faulted() {
+            self.reports.push(report.clone());
+        }
+    }
+}
+
+/// Degradation metadata carried on a query answer so downstream layers
+/// (reliability gate, audit, callers) can see the reduced sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradedInfo {
+    /// Rows the scan planned to read.
+    pub planned_rows: usize,
+    /// Rows that survived injection and recovery.
+    pub effective_rows: usize,
+    /// Partitions lost outright.
+    pub lost_partitions: usize,
+    /// Partitions the scan planned to read.
+    pub total_partitions: usize,
+    /// Factor every CI half-width was multiplied by (≥ 1).
+    pub widen_factor: f64,
+}
+
+/// Stateless per-query injector: a [`FaultPlan`] plus the recovery
+/// policy, charging injected delay to the supplied [`Clock`].
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    policy: RecoveryPolicy,
+}
+
+impl FaultInjector {
+    /// Build an injector for `cfg`.
+    pub fn new(cfg: &FaultConfig) -> Self {
+        FaultInjector { plan: FaultPlan::new(cfg.clone()), policy: cfg.recovery.clone() }
+    }
+
+    /// The recovery policy in force.
+    pub fn policy(&self) -> &RecoveryPolicy {
+        &self.policy
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Resolve task `task`, charging its injected delay to `clock`
+    /// (mock clocks advance; the real clock treats it as a no-op so
+    /// injection never slows a live query down).
+    pub fn run_task(&self, task: usize, clock: &Clock) -> TaskReport {
+        let report = resolve(&self.plan, &self.policy, task);
+        clock.advance(report.total_delay);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StragglerDelay;
+
+    fn cfg(seed: u64) -> FaultConfig {
+        FaultConfig { seed, ..FaultConfig::default() }
+    }
+
+    #[test]
+    fn clean_plan_resolves_clean() {
+        let plan = FaultPlan::new(cfg(1));
+        let policy = RecoveryPolicy::default();
+        for task in 0..32 {
+            assert_eq!(resolve(&plan, &policy, task), TaskReport::clean(task));
+        }
+    }
+
+    #[test]
+    fn certain_death_loses_the_task_after_retries() {
+        let mut c = cfg(2);
+        c.worker_death_prob = 1.0;
+        let policy = c.recovery.clone();
+        let plan = FaultPlan::new(c);
+        let r = resolve(&plan, &policy, 0);
+        assert!(r.lost);
+        assert_eq!(r.attempts, policy.max_retries + 1);
+        assert!(r.events.iter().any(|e| e.kind == EventKind::Lost));
+        let retries = r.events.iter().filter(|e| e.kind == EventKind::Retry).count();
+        assert_eq!(retries, policy.max_retries);
+    }
+
+    #[test]
+    fn blacklist_fires_before_retries_run_out() {
+        let mut c = cfg(3);
+        c.worker_death_prob = 1.0;
+        c.recovery.max_retries = 10;
+        c.recovery.blacklist_after = 2;
+        let policy = c.recovery.clone();
+        let plan = FaultPlan::new(c);
+        let r = resolve(&plan, &policy, 0);
+        assert!(r.lost && r.blacklisted);
+        assert_eq!(r.attempts, 2);
+        assert!(r.events.iter().any(|e| e.kind == EventKind::Blacklisted));
+    }
+
+    #[test]
+    fn transient_error_recovers_on_retry() {
+        let mut c = cfg(4);
+        c.transient_error_prob = 0.5;
+        let policy = c.recovery.clone();
+        let plan = FaultPlan::new(c);
+        // Find a task whose first attempt fails but that recovers.
+        let recovered = (0..256).map(|t| resolve(&plan, &policy, t)).find(|r| !r.lost && r.attempts > 1);
+        let r = recovered.expect("with p=0.5 over 256 tasks some task must fail once then recover");
+        assert!(r.events.iter().any(|e| e.kind == EventKind::Recovered));
+        assert!(r.total_delay >= backoff_for(&policy, 0));
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_monotone() {
+        let policy = RecoveryPolicy::default();
+        let mut prev = Duration::ZERO;
+        for attempt in 0..64 {
+            let b = backoff_for(&policy, attempt);
+            assert!(b >= prev && b <= policy.backoff_max);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn speculation_caps_straggler_delay() {
+        let mut c = cfg(5);
+        c.straggler_prob = 1.0;
+        c.straggler_delay = StragglerDelay::HeavyTail { mean_ms: 100.0, sigma: 1.0 };
+        let mut with = c.clone();
+        with.recovery.speculative = true;
+        let mut without = c.clone();
+        without.recovery.speculative = false;
+        let pw = FaultPlan::new(with.clone());
+        let pwo = FaultPlan::new(without.clone());
+        for task in 0..64 {
+            let rw = resolve(&pw, &with.recovery, task);
+            let rwo = resolve(&pwo, &without.recovery, task);
+            assert!(rw.total_delay <= rwo.total_delay, "speculation made task {task} slower");
+        }
+    }
+
+    #[test]
+    fn timeout_converts_stragglers_into_retries() {
+        let mut c = cfg(6);
+        c.straggler_prob = 1.0;
+        c.straggler_delay = StragglerDelay::Fixed(Duration::from_secs(60));
+        c.recovery.task_timeout = Duration::from_millis(100);
+        c.recovery.speculative = false;
+        let policy = c.recovery.clone();
+        let plan = FaultPlan::new(c);
+        let r = resolve(&plan, &policy, 0);
+        assert!(r.lost, "every attempt straggles past the timeout");
+        assert!(r.events.iter().any(|e| e.kind == EventKind::TimedOut));
+    }
+
+    #[test]
+    fn injector_charges_mock_clock() {
+        let mut c = cfg(7);
+        c.straggler_prob = 1.0;
+        c.straggler_delay = StragglerDelay::Fixed(Duration::from_millis(30));
+        c.recovery.speculative = false;
+        let inj = FaultInjector::new(&c);
+        let clock = Clock::mock();
+        let before = clock.now();
+        let r = inj.run_task(0, &clock);
+        assert_eq!(clock.now().duration_since(before), r.total_delay);
+        assert!(r.total_delay >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn summary_absorbs_reports() {
+        let mut c = cfg(8);
+        c.worker_death_prob = 1.0;
+        c.recovery.max_retries = 1;
+        let policy = c.recovery.clone();
+        let plan = FaultPlan::new(c);
+        let mut sum = ScanFaultSummary::default();
+        for task in 0..4 {
+            let r = resolve(&plan, &policy, task);
+            sum.absorb(&r, 100, if r.lost { 0 } else { 100 });
+        }
+        assert_eq!(sum.total_partitions, 4);
+        assert_eq!(sum.lost_partitions, 4);
+        assert_eq!(sum.planned_rows, 400);
+        assert_eq!(sum.effective_rows, 0);
+        assert_eq!(sum.rows_lost(), 400);
+        assert!(sum.degraded());
+        assert_eq!(sum.retries, 4);
+    }
+
+    #[test]
+    fn widen_factor_never_narrows() {
+        let sum = ScanFaultSummary {
+            planned_rows: 1000,
+            effective_rows: 250,
+            ..ScanFaultSummary::default()
+        };
+        assert_eq!(sum.widen_factor(), 4.0);
+        let clean = ScanFaultSummary {
+            planned_rows: 1000,
+            effective_rows: 1000,
+            ..ScanFaultSummary::default()
+        };
+        assert_eq!(clean.widen_factor(), 1.0);
+    }
+}

@@ -114,6 +114,31 @@ pub mod name {
     pub const AUDIT_REPLAY_MS: &str = "aqp.audit.replay_ms";
     /// Audit-log lines that failed to write (sink I/O errors).
     pub const AUDIT_LOG_ERRORS: &str = "aqp.audit.log_write_errors";
+
+    /// Fault events injected into scan tasks (all kinds).
+    pub const FAULTS_INJECTED: &str = "aqp.faults.injected_total";
+    /// Task attempts retried after an injected failure or timeout.
+    pub const FAULTS_RETRIES: &str = "aqp.faults.retries";
+    /// Task attempts abandoned by the per-task timeout.
+    pub const FAULTS_TIMEOUTS: &str = "aqp.faults.task_timeouts";
+    /// Speculative clones launched against straggling attempts.
+    pub const FAULTS_SPECULATIVE_LAUNCHED: &str = "aqp.faults.speculative_launched";
+    /// Speculative clones that beat their straggling primary.
+    pub const FAULTS_SPECULATIVE_WINS: &str = "aqp.faults.speculative_wins";
+    /// Sample partitions lost after recovery ran out.
+    pub const FAULTS_PARTITIONS_LOST: &str = "aqp.faults.partitions_lost";
+    /// Sample partitions abandoned early by blacklisting.
+    pub const FAULTS_PARTITIONS_BLACKLISTED: &str = "aqp.faults.partitions_blacklisted";
+    /// Sample rows missing from the effective sample (lost + truncated).
+    pub const FAULTS_ROWS_LOST: &str = "aqp.faults.rows_lost";
+    /// Queries that completed from a reduced sample with widened CIs.
+    pub const FAULTS_DEGRADED_QUERIES: &str = "aqp.faults.degraded_queries";
+    /// Queries that fell back to exact execution because fault losses
+    /// exceeded the recovery policy's tolerance.
+    pub const FAULTS_EXACT_FALLBACKS: &str = "aqp.faults.exact_fallbacks";
+    /// Injected delay charged per scan (histogram, ms — straggler
+    /// waits plus retry backoff).
+    pub const FAULTS_INJECTED_DELAY_MS: &str = "aqp.faults.injected_delay_ms";
 }
 
 /// A clock plus a metrics registry: the observability context that

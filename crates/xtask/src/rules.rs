@@ -24,12 +24,17 @@
 //!   `aqp.<crate>.<snake_case>` convention so dashboards can group
 //!   series by crate; computed names and `#[cfg(test)]` modules are
 //!   exempt.
+//! * `fault-hygiene` — real sleeps (`thread::sleep`) and hand-rolled
+//!   retry loops are forbidden outside `crates/faults`: delays must be
+//!   charged through `aqp_obs::Clock` and retry policy must route
+//!   through `aqp_faults::RecoveryPolicy`, or fault-injected runs stop
+//!   being deterministic and mock-clock-fast.
 
 use crate::scanner::{cfg_test_regions, line_of, mask, tokens, SpannedTok};
 use std::path::Path;
 
 /// Crates whose library code must be panic-free (the request path).
-const PANIC_FREE_CRATES: &[&str] = &["exec", "core", "stats", "storage", "obs", "prof"];
+const PANIC_FREE_CRATES: &[&str] = &["exec", "core", "stats", "storage", "obs", "prof", "faults"];
 
 /// One lint finding.
 #[derive(Debug, Clone)]
@@ -99,6 +104,7 @@ pub fn check_source(rel: &str, src: &str) -> Vec<Finding> {
     nan_safety(rel, &toks, &mut out);
     timing_discipline(rel, &toks, &mut out);
     metric_naming(rel, src, &masked, &in_test_mod, &mut out);
+    fault_hygiene(rel, &toks, &in_test_mod, &mut out);
     if classify(rel) == FileKind::PanicFreeLib {
         panic_freedom(rel, &toks, &in_test_mod, &mut out);
     }
@@ -377,6 +383,77 @@ fn panic_freedom(
     }
 }
 
+/// `fault-hygiene`: real sleeps and hand-rolled retry loops outside
+/// `crates/faults`.
+///
+/// A `thread::sleep` stalls a worker for wall-clock time the mock clock
+/// cannot steer, and an ad-hoc `for attempt in ..`/`while retries < ..`
+/// loop scatters recovery policy across the codebase. Both belong in
+/// `crates/faults`, where delays are charged via `Clock::advance` and
+/// the single retry state machine (`aqp_faults::resolve`) lives. Test
+/// trees and `#[cfg(test)]` modules are exempt — tests may sweep
+/// attempts and seeds freely.
+fn fault_hygiene(
+    rel: &str,
+    toks: &[SpannedTok],
+    in_test_mod: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    let comps: Vec<&str> = Path::new(rel).iter().filter_map(|c| c.to_str()).collect();
+    if comps.len() >= 2 && comps[0] == "crates" && comps[1] == "faults" {
+        return; // the one sanctioned home for fault timing and retries
+    }
+    if comps.iter().any(|c| matches!(*c, "tests" | "benches" | "examples")) {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        let Some(id) = t.ident() else { continue };
+        if in_test_mod(t.line) {
+            continue;
+        }
+        match id {
+            // `thread::sleep(..)` / `clock.sleep(..)` call sites.
+            "sleep"
+                if i > 0
+                    && (toks[i - 1].is_punct('.') || toks[i - 1].is_punct(':'))
+                    && i + 1 < toks.len()
+                    && toks[i + 1].is_punct('(') =>
+            {
+                out.push(Finding {
+                    file: rel.into(),
+                    line: t.line,
+                    rule: "fault-hygiene",
+                    token: "sleep(..)".into(),
+                    hint: "real sleeps stall workers for unsteerable wall-clock time; \
+                           charge delays through aqp_obs::Clock::advance (see crates/faults)",
+                });
+            }
+            // Loop headers that mention retries/attempts.
+            "for" | "while" | "loop" => {
+                let retryish = toks[i + 1..]
+                    .iter()
+                    .take(8)
+                    .filter_map(|t| t.ident())
+                    .any(|w| {
+                        let w = w.to_ascii_lowercase();
+                        w.contains("retry") || w.contains("retries") || w.contains("attempt")
+                    });
+                if retryish {
+                    out.push(Finding {
+                        file: rel.into(),
+                        line: t.line,
+                        rule: "fault-hygiene",
+                        token: format!("{id} .. retry/attempt .."),
+                        hint: "hand-rolled retry loops scatter recovery policy; route \
+                               retries through aqp_faults::{RecoveryPolicy, resolve}",
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
 /// Crate roots: `src/lib.rs` of the repo or of any `crates/*` member.
 pub fn is_crate_root(rel: &str) -> bool {
     let comps: Vec<&str> = Path::new(rel).iter().filter_map(|c| c.to_str()).collect();
@@ -597,6 +674,38 @@ mod tests {
         // `fn counter(...)` definitions are not call sites.
         let f = rules_on("src/x.rs", "fn counter(\"nonsense\") {}");
         assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn fault_hygiene_forbids_sleeps_and_retry_loops() {
+        let f = rules_on("crates/exec/src/parallel.rs", "std::thread::sleep(d);");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "fault-hygiene");
+        assert!(f[0].token.contains("sleep"));
+        let f = rules_on("src/x.rs", "for attempt in 0..3 { run(); }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "fault-hygiene");
+        let f = rules_on("crates/core/src/helper.rs", "while n_retries < max { go(); }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        let f = rules_on("crates/sql/src/parse.rs", "loop { if attempts > 3 { break; } }");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn fault_hygiene_exempts_faults_crate_and_test_code() {
+        // The faults crate is the sanctioned home for retry machinery.
+        let f = rules_on(
+            "crates/faults/src/recovery.rs",
+            "for attempt in 0..=policy.max_retries { go(); }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+        // cfg(test) modules and test trees may sweep attempts freely.
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n  fn t() { for attempt in 0..3 {} }\n}";
+        assert!(rules_on("crates/exec/src/engine.rs", src).is_empty());
+        assert!(rules_on("tests/fault_matrix.rs", "for attempt in 0..3 {}").is_empty());
+        // Ordinary loops and mentions in comments/strings don't trip it.
+        assert!(rules_on("src/x.rs", "for row in rows { push(row); }").is_empty());
+        assert!(rules_on("src/x.rs", "// retry loops are bad\nlet s = \"sleep(\";").is_empty());
     }
 
     #[test]

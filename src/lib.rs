@@ -38,6 +38,9 @@ pub use aqp_core::{AqpAnswer, AqpSession, ExplainMode, OpProfile, SessionConfig}
 
 /// Observability: clock abstraction, metrics registry, query traces.
 pub use aqp_obs as obs;
+
+/// Deterministic fault injection and recovery (`crates/faults`).
+pub use aqp_faults as faults;
 /// Operator-level EXPLAIN ANALYZE profiles assembled from query traces.
 pub use aqp_prof as prof;
 /// Continuous error-bar coverage auditing and diagnostic scorekeeping.

@@ -4,6 +4,7 @@
 //! wall-clock at a 10% sampling rate).
 
 use reliable_aqp::audit::AuditConfig;
+use reliable_aqp::faults::FaultConfig;
 use reliable_aqp::obs::{name, stage, Clock, ObsHandle};
 use reliable_aqp::workload::{conviva_sessions_table, facebook_events_table};
 use reliable_aqp::{AqpSession, SessionConfig};
@@ -22,6 +23,85 @@ fn conviva_session(obs: ObsHandle, audit: Option<AuditConfig>) -> AqpSession {
     s.register_table(conviva_sessions_table(20_000, 4, 5)).unwrap();
     s.build_samples("sessions", &[4_000], 9).unwrap();
     s
+}
+
+/// A Conviva session big enough for the diagnostic to accept AVG, with
+/// fault injection optionally switched on.
+fn conviva_session_faulty(
+    obs: ObsHandle,
+    audit: Option<AuditConfig>,
+    faults: Option<FaultConfig>,
+) -> AqpSession {
+    let s = AqpSession::new(SessionConfig {
+        seed: 5,
+        threads: 1,
+        obs,
+        audit,
+        faults,
+        ..Default::default()
+    });
+    s.register_table(conviva_sessions_table(100_000, 4, 5)).unwrap();
+    s.build_samples("sessions", &[20_000], 9).unwrap();
+    s
+}
+
+#[test]
+fn degraded_answers_audit_into_the_true_accept_cell() {
+    // Truncation-only faults: no partition is ever lost, so every query
+    // completes approximately — just from a smaller effective sample,
+    // with conservatively widened error bars. The auditor replays each
+    // one at full data; the widened bars must still cover the truth and
+    // land in the Fig. 4 TrueAccept confusion cell.
+    let audit = AuditConfig { sample_rate: 1.0, seed: 23, ..Default::default() };
+    let clean = conviva_session_faulty(ObsHandle::isolated(Clock::mock()), None, None);
+    let clean_hw = clean
+        .execute("SELECT AVG(time) FROM sessions")
+        .unwrap()
+        .scalar()
+        .unwrap()
+        .ci
+        .unwrap()
+        .half_width;
+
+    let obs = ObsHandle::isolated(Clock::mock());
+    let mut faults = FaultConfig::quiescent(21);
+    faults.truncation_prob = 0.6;
+    faults.truncation_keep = 0.5;
+    let s = conviva_session_faulty(obs.clone(), Some(audit), Some(faults));
+
+    const QUERIES: u64 = 10;
+    let mut saw_degraded = false;
+    for _ in 0..QUERIES {
+        let a = s.execute("SELECT AVG(time) FROM sessions").unwrap();
+        assert!(!a.fell_back, "truncation alone must not force an exact fallback");
+        if let Some(d) = a.degraded {
+            saw_degraded = true;
+            assert!(d.effective_rows < d.planned_rows, "{d:?}");
+            assert!(d.widen_factor > 1.0, "{d:?}");
+            let hw = a.scalar().unwrap().ci.unwrap().half_width;
+            assert!(hw >= clean_hw, "degraded hw {hw} narrower than clean {clean_hw}");
+            assert!(
+                a.trace.to_jsonl().contains("fault:truncation"),
+                "degraded answer's trace lacks the fault span"
+            );
+        }
+    }
+    assert!(saw_degraded, "a 60% truncation rate over 10 queries must degrade one");
+
+    let r = s.audit_report().unwrap();
+    assert_eq!(r.audited, QUERIES, "rate 1.0 audits every query");
+    let cov = r.overall.coverage.expect("scored results exist");
+    assert!(cov >= 0.9, "widened degraded bars should still cover the truth, got {cov}");
+    let snap = obs.metrics.snapshot();
+    let true_accepts = snap.counter(name::AUDIT_TRUE_ACCEPTS).unwrap_or(0);
+    assert!(
+        true_accepts >= QUERIES - 1,
+        "degraded-but-covered answers belong in TrueAccept, got {true_accepts}/{QUERIES}"
+    );
+    assert_eq!(snap.counter(name::AUDIT_FALSE_NEGATIVES).unwrap_or(0), 0);
+    assert!(r.alerts.is_empty(), "well-covered degraded answers must not alert: {:?}", r.alerts);
+    let degraded_queries = snap.counter(name::FAULTS_DEGRADED_QUERIES).unwrap_or(0);
+    assert!(degraded_queries >= 1, "degradation metric must record the shrunken runs");
 }
 
 #[test]

@@ -359,6 +359,138 @@ proptest! {
     }
 }
 
+/// Shared fixture for the fault-injection properties: a fixed sample
+/// table, a fixed AVG plan, and the fault-free half-width under the
+/// same query seed every faulted run uses.
+mod fault_fixture {
+    use reliable_aqp::exec::{execute_approx, ApproxOptions, UdfRegistry};
+    use reliable_aqp::faults::FaultConfig;
+    use reliable_aqp::obs::{Clock, ObsHandle};
+    use reliable_aqp::sql::{parse_query, plan_query, LogicalPlan};
+    use reliable_aqp::storage::Table;
+    use reliable_aqp::workload::conviva_sessions_table;
+    use std::sync::OnceLock;
+
+    pub const POPULATION_ROWS: usize = 200_000;
+    pub const QUERY_SEED: u64 = 7;
+
+    pub fn opts(faults: Option<FaultConfig>) -> ApproxOptions {
+        ApproxOptions {
+            seed: QUERY_SEED,
+            threads: 1,
+            obs: ObsHandle::isolated(Clock::mock()),
+            faults,
+            ..Default::default()
+        }
+    }
+
+    pub fn fixture() -> &'static (Table, LogicalPlan, UdfRegistry, f64) {
+        static F: OnceLock<(Table, LogicalPlan, UdfRegistry, f64)> = OnceLock::new();
+        F.get_or_init(|| {
+            let table = conviva_sessions_table(2_000, 8, 31);
+            let plan = plan_query(
+                &parse_query("SELECT AVG(time) FROM sessions").unwrap(),
+                table.schema(),
+            )
+            .unwrap();
+            let registry = UdfRegistry::default();
+            let clean =
+                execute_approx(&plan, &table, POPULATION_ROWS, &registry, &opts(None)).unwrap();
+            let clean_hw = clean.scalar().unwrap().ci.unwrap().half_width;
+            (table, plan, registry, clean_hw)
+        })
+    }
+}
+
+/// A loss-tolerant random fault configuration (queries always complete
+/// or die `Unrecoverable`, never `Degraded`-rejected).
+#[allow(clippy::too_many_arguments)]
+fn fault_config_from(
+    (seed, death, transient, corrupt): (u64, f64, f64, f64),
+    (trunc, keep, strag): (f64, f64, f64),
+    (retries, spec): (usize, bool),
+) -> reliable_aqp::faults::FaultConfig {
+    let mut c = reliable_aqp::faults::FaultConfig::quiescent(seed);
+    c.worker_death_prob = death;
+    c.transient_error_prob = transient;
+    c.corruption_prob = corrupt;
+    c.truncation_prob = trunc;
+    c.truncation_keep = keep;
+    c.straggler_prob = strag;
+    c.recovery.max_retries = retries;
+    c.recovery.speculative = spec;
+    c.recovery.max_lost_fraction = 1.0;
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// For any fault plan: the effective sample never grows, the widen
+    /// factor never narrows, and degraded half-widths are at least the
+    /// fault-free half-width under the same query seed.
+    #[test]
+    fn degraded_bars_never_narrower_and_rows_never_grow(
+        probs in (0u64..1_000, 0.0..0.5f64, 0.0..0.5f64, 0.0..0.5f64),
+        trunc in (0.0..0.8f64, 0.1..1.0f64, 0.0..0.8f64),
+        policy in (0usize..3, any::<bool>()),
+    ) {
+        use reliable_aqp::exec::{execute_approx, ExecError};
+        let cfg = fault_config_from(probs, trunc, policy);
+        let (table, plan, registry, clean_hw) = fault_fixture::fixture();
+        match execute_approx(
+            plan,
+            table,
+            fault_fixture::POPULATION_ROWS,
+            registry,
+            &fault_fixture::opts(Some(cfg)),
+        ) {
+            Ok(r) => {
+                if let Some(d) = r.degraded {
+                    prop_assert!(d.effective_rows <= d.planned_rows,
+                        "effective {} > planned {}", d.effective_rows, d.planned_rows);
+                    prop_assert!(d.effective_rows > 0);
+                    prop_assert!(d.widen_factor >= 1.0, "widen {}", d.widen_factor);
+                }
+                let ci = r.scalar().unwrap().ci.unwrap();
+                prop_assert!(ci.half_width.is_finite());
+                prop_assert!(
+                    ci.half_width >= clean_hw - 1e-12,
+                    "degraded hw {} narrower than fault-free {clean_hw}", ci.half_width
+                );
+            }
+            // Every partition lost: the one acceptable typed failure
+            // under a fully loss-tolerant policy.
+            Err(ExecError::Unrecoverable(_)) => {}
+            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+        }
+    }
+
+    /// The pure per-task recovery resolution is deterministic and
+    /// respects the policy's attempt budget.
+    #[test]
+    fn resolve_is_deterministic_and_bounded(
+        probs in (0u64..1_000, 0.0..0.5f64, 0.0..0.5f64, 0.0..0.5f64),
+        trunc in (0.0..0.8f64, 0.1..1.0f64, 0.0..0.8f64),
+        policy in (0usize..3, any::<bool>()),
+        task in 0usize..64,
+    ) {
+        use reliable_aqp::faults::{resolve, FaultPlan};
+        let cfg = fault_config_from(probs, trunc, policy);
+        let plan = FaultPlan::new(cfg.clone());
+        let a = resolve(&plan, &cfg.recovery, task);
+        let b = resolve(&plan, &cfg.recovery, task);
+        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"), "resolve not deterministic");
+        prop_assert!(a.attempts >= 1);
+        prop_assert!(a.attempts <= cfg.recovery.max_retries + 1,
+            "attempts {} exceed budget {}", a.attempts, cfg.recovery.max_retries + 1);
+        if let Some(keep) = a.truncate_keep {
+            prop_assert!((0.0..=1.0).contains(&keep));
+        }
+        prop_assert!(!a.lost || a.faulted(), "lost task with no fault events");
+    }
+}
+
 #[test]
 fn empty_histogram_quantiles_are_zero() {
     let reg = reliable_aqp::obs::MetricsRegistry::new();
