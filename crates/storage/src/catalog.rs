@@ -66,9 +66,12 @@ impl Catalog {
         self.inner.read().tables.contains_key(name)
     }
 
-    /// Names of all registered tables (unordered).
+    /// Names of all registered tables, sorted so callers (and anything
+    /// they export) see a stable order regardless of hash seeding.
     pub fn table_names(&self) -> Vec<String> {
-        self.inner.read().tables.keys().cloned().collect()
+        let mut names: Vec<String> = self.inner.read().tables.keys().cloned().collect();
+        names.sort();
+        names
     }
 
     /// Mutate the sample set of `table` through `f`.

@@ -2,41 +2,53 @@
 //!
 //! Subcommands:
 //!
-//! * `lint` — scans every `.rs` file and crate manifest in the
-//!   repository (skipping `target/`, `third_party/`, and VCS metadata)
-//!   and enforces the rule families described in `src/rules.rs`, with
+//! * `analyze` (alias `lint`) — lexes every `.rs` file in the
+//!   repository (skipping `target/`, `third_party/`, and VCS metadata),
+//!   builds the item/call/lock index, and enforces the token rules of
+//!   `src/rules.rs` plus the semantic rules of `src/semrules.rs`, with
 //!   per-(rule, file) finding budgets read from
-//!   `crates/xtask/lint.toml`. Also verifies `docs/METRICS.md` is
-//!   current. Exits nonzero when any unallowlisted finding remains,
-//!   printing `file:line: [rule] token — hint` for each.
+//!   `crates/xtask/lint.toml`. Also verifies `docs/METRICS.md` and
+//!   `docs/LINTS.md` are current. Exits nonzero when any unallowlisted
+//!   finding remains, printing `file:line: [rule] token — hint` for
+//!   each. `--report PATH` additionally writes a bit-stable findings
+//!   JSON; `--check-budget` fails when `lint.toml` budgets grew
+//!   relative to `crates/xtask/lint-budget.baseline` (refresh the
+//!   baseline with `--update-budget-baseline` when budgets shrink).
 //! * `bench-compare` — diff two `BENCH_aqp.json` trajectory documents
 //!   and fail on latency/coverage regressions beyond a threshold.
 //! * `metrics-inventory` — regenerate (or `--check`) `docs/METRICS.md`
 //!   from the metric constants in `aqp_obs::name`.
+//! * `lints-inventory` — regenerate (or `--check`) `docs/LINTS.md`
+//!   from the rule catalog in `rules::RULES`.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bench_compare;
 mod config;
+mod index;
+mod lexer;
+mod lints_inventory;
 mod metrics_inventory;
 mod rules;
-mod scanner;
+mod semrules;
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use config::AllowEntry;
+use index::WorkspaceIndex;
 use rules::Finding;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.split_first() {
         Some((cmd, rest)) => match cmd.as_str() {
-            "lint" => lint_cmd(rest),
+            "analyze" | "lint" => analyze_cmd(rest),
             "bench-compare" => bench_compare::run(rest),
             "metrics-inventory" => metrics_inventory::run(rest),
+            "lints-inventory" => lints_inventory::run(rest),
             other => {
                 eprintln!("xtask: unknown command `{other}`");
                 usage()
@@ -46,10 +58,13 @@ fn main() -> ExitCode {
     }
 }
 
-/// Parse `lint`'s flags and run it.
-fn lint_cmd(args: &[String]) -> ExitCode {
+/// Parse `analyze`'s flags and run it.
+fn analyze_cmd(args: &[String]) -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut cfg_path: Option<PathBuf> = None;
+    let mut report: Option<PathBuf> = None;
+    let mut check_budget = false;
+    let mut update_baseline = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -61,6 +76,18 @@ fn lint_cmd(args: &[String]) -> ExitCode {
                 cfg_path = Some(PathBuf::from(&args[i + 1]));
                 i += 2;
             }
+            "--report" if i + 1 < args.len() => {
+                report = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            "--check-budget" => {
+                check_budget = true;
+                i += 1;
+            }
+            "--update-budget-baseline" => {
+                update_baseline = true;
+                i += 1;
+            }
             extra => {
                 eprintln!("xtask: unexpected argument `{extra}`");
                 return usage();
@@ -69,7 +96,43 @@ fn lint_cmd(args: &[String]) -> ExitCode {
     }
     let root = root.unwrap_or_else(default_root);
     let cfg_path = cfg_path.unwrap_or_else(|| root.join("crates/xtask/lint.toml"));
-    match lint(&root, &cfg_path) {
+    let baseline_path = root.join(BUDGET_BASELINE);
+    if update_baseline {
+        return match update_budget_baseline(&cfg_path, &baseline_path) {
+            Ok(msg) => {
+                println!("{msg}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("xtask: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if check_budget {
+        return match budget_check(&cfg_path, &baseline_path) {
+            Ok(problems) if problems.is_empty() => {
+                println!("aqp-analyze: budget OK — lint.toml is within the committed baseline");
+                ExitCode::SUCCESS
+            }
+            Ok(problems) => {
+                for p in &problems {
+                    println!("{p}");
+                }
+                println!(
+                    "aqp-analyze: {} budget violation(s) — budgets only shrink; fix the \
+                     findings instead of raising lint.toml",
+                    problems.len()
+                );
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("xtask: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    match analyze(&root, &cfg_path, report.as_deref()) {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::FAILURE,
         Err(msg) => {
@@ -82,9 +145,11 @@ fn lint_cmd(args: &[String]) -> ExitCode {
 fn usage() -> ExitCode {
     eprintln!("usage: cargo run -p xtask -- <command>");
     eprintln!("commands:");
-    eprintln!("  lint [--root PATH] [--config PATH]");
+    eprintln!("  analyze [--root PATH] [--config PATH] [--report PATH]");
+    eprintln!("          [--check-budget] [--update-budget-baseline]   (alias: lint)");
     eprintln!("  bench-compare <old.json> <new.json> [--threshold FRAC] [--warn-only]");
     eprintln!("  metrics-inventory [--root PATH] [--check]");
+    eprintln!("  lints-inventory [--root PATH] [--check]");
     ExitCode::from(2)
 }
 
@@ -98,36 +163,42 @@ fn default_root() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("."))
 }
 
-/// Run the lint; `Ok(true)` means clean (exit 0).
-fn lint(root: &Path, cfg_path: &Path) -> Result<bool, String> {
+/// Run the analysis; `Ok(true)` means clean (exit 0).
+fn analyze(root: &Path, cfg_path: &Path, report: Option<&Path>) -> Result<bool, String> {
     let allow = match std::fs::read_to_string(cfg_path) {
         Ok(src) => config::parse(&src)?,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
         Err(e) => return Err(format!("reading {}: {e}", cfg_path.display())),
     };
 
-    let mut sources = Vec::new();
+    let mut source_paths = Vec::new();
     let mut manifests = Vec::new();
-    walk(root, root, &mut sources, &mut manifests)
+    walk(root, root, &mut source_paths, &mut manifests)
         .map_err(|e| format!("walking {}: {e}", root.display()))?;
-    sources.sort();
+    source_paths.sort();
     manifests.sort();
 
-    let mut findings: Vec<Finding> = Vec::new();
-    for rel in &sources {
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(source_paths.len());
+    for rel in &source_paths {
         let src = std::fs::read_to_string(root.join(rel))
             .map_err(|e| format!("reading {rel}: {e}"))?;
-        findings.extend(rules::check_source(rel, &src));
+        sources.push((rel.clone(), src));
     }
+
+    let idx = WorkspaceIndex::build(&sources);
+    let mut findings: Vec<Finding> = Vec::new();
+    for f in &idx.files {
+        findings.extend(rules::check_file(f));
+    }
+    semrules::check(&idx, &mut findings);
     for rel in &manifests {
         let src = std::fs::read_to_string(root.join(rel))
             .map_err(|e| format!("reading {rel}: {e}"))?;
         findings.extend(rules::check_manifest(rel, &src));
     }
 
-    // docs/METRICS.md must match the metric constants the code declares.
-    // Guarded on the obs source existing so synthetic fixture trees
-    // (which have no observability crate) are exempt.
+    // Generated docs must match what the code declares. Guarded on the
+    // respective source existing so synthetic fixture trees are exempt.
     if root.join(metrics_inventory::SOURCE).is_file() {
         if let Some(reason) = metrics_inventory::staleness(root) {
             findings.push(Finding {
@@ -139,8 +210,33 @@ fn lint(root: &Path, cfg_path: &Path) -> Result<bool, String> {
             });
         }
     }
+    if root.join(lints_inventory::SOURCE).is_file() {
+        if let Some(reason) = lints_inventory::staleness(root) {
+            findings.push(Finding {
+                file: lints_inventory::TARGET.to_string(),
+                line: 1,
+                rule: "lints-docs",
+                token: reason,
+                hint: "regenerate with `cargo run -p xtask -- lints-inventory`",
+            });
+        }
+    }
 
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule, a.token.as_str())
+            .cmp(&(b.file.as_str(), b.line, b.rule, b.token.as_str()))
+    });
     let (violations, suppressed, nags) = apply_allowlist(findings, &allow);
+
+    if let Some(path) = report {
+        let json = render_report(&violations, &suppressed, source_paths.len(), manifests.len());
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        }
+        std::fs::write(path, json).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("aqp-analyze: wrote {}", path.display());
+    }
 
     for v in &violations {
         println!("{v}");
@@ -150,25 +246,146 @@ fn lint(root: &Path, cfg_path: &Path) -> Result<bool, String> {
     }
     if violations.is_empty() {
         println!(
-            "aqp-lint: OK — {} sources + {} manifests scanned, {} finding(s) allowlisted",
-            sources.len(),
+            "aqp-analyze: OK — {} sources + {} manifests scanned, {} finding(s) allowlisted",
+            source_paths.len(),
             manifests.len(),
-            suppressed
+            suppressed.len()
         );
         Ok(true)
     } else {
         println!(
-            "aqp-lint: {} violation(s) across {} sources + {} manifests ({} allowlisted)",
+            "aqp-analyze: {} violation(s) across {} sources + {} manifests ({} allowlisted)",
             violations.len(),
-            sources.len(),
+            source_paths.len(),
             manifests.len(),
-            suppressed
+            suppressed.len()
         );
         Ok(false)
     }
 }
 
-/// Split findings into (violations, suppressed-count, shrink-nags).
+/// Render the machine-readable findings document. Deterministic: the
+/// findings arrive sorted and nothing time- or environment-dependent is
+/// written, so two runs on the same tree are bit-identical.
+fn render_report(
+    violations: &[Finding],
+    suppressed: &[Finding],
+    sources: usize,
+    manifests: usize,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str(&format!("  \"sources\": {sources},\n"));
+    out.push_str(&format!("  \"manifests\": {manifests},\n"));
+    out.push_str(&format!("  \"violations\": {},\n", violations.len()));
+    out.push_str(&format!("  \"allowlisted\": {},\n", suppressed.len()));
+    out.push_str("  \"rules\": [");
+    for (i, r) in rules::RULES.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\"", r.name));
+    }
+    out.push_str("],\n");
+    out.push_str("  \"findings\": [");
+    let all = violations
+        .iter()
+        .map(|f| (f, false))
+        .chain(suppressed.iter().map(|f| (f, true)));
+    let mut first = true;
+    for (f, allowlisted) in all {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"token\": \"{}\", \
+             \"allowlisted\": {}}}",
+            json_escape(&f.file),
+            f.line,
+            f.rule,
+            json_escape(&f.token),
+            allowlisted
+        ));
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Escape a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Repo-relative path of the committed budget baseline.
+const BUDGET_BASELINE: &str = "crates/xtask/lint-budget.baseline";
+
+/// Compare the active allowlist against the committed baseline; returns
+/// one message per grown or new budget. Removed/shrunk entries are fine
+/// (budgets only shrink).
+fn budget_check(cfg_path: &Path, baseline_path: &Path) -> Result<Vec<String>, String> {
+    let read = |p: &Path| -> Result<Vec<AllowEntry>, String> {
+        match std::fs::read_to_string(p) {
+            Ok(src) => config::parse(&src),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+            Err(e) => Err(format!("reading {}: {e}", p.display())),
+        }
+    };
+    let current = read(cfg_path)?;
+    if !baseline_path.exists() {
+        return Err(format!(
+            "no budget baseline at {} — commit one with `analyze --update-budget-baseline`",
+            baseline_path.display()
+        ));
+    }
+    let baseline = read(baseline_path)?;
+    let mut problems = Vec::new();
+    for c in &current {
+        match baseline.iter().find(|b| b.rule == c.rule && b.file == c.file) {
+            None => problems.push(format!(
+                "budget [{} / {}] is new (max = {}) — not in the committed baseline",
+                c.rule, c.file, c.max
+            )),
+            Some(b) if c.max > b.max => problems.push(format!(
+                "budget [{} / {}] grew: baseline max = {}, now {}",
+                c.rule, c.file, b.max, c.max
+            )),
+            Some(_) => {}
+        }
+    }
+    Ok(problems)
+}
+
+/// Copy the active allowlist to the committed baseline.
+fn update_budget_baseline(cfg_path: &Path, baseline_path: &Path) -> Result<String, String> {
+    let src = match std::fs::read_to_string(cfg_path) {
+        Ok(src) => src,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(format!("reading {}: {e}", cfg_path.display())),
+    };
+    config::parse(&src)?; // refuse to baseline an unparseable config
+    std::fs::write(baseline_path, &src)
+        .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+    Ok(format!("aqp-analyze: baselined {} budgets", baseline_path.display()))
+}
+
+/// Split findings into (violations, suppressed, shrink-nags).
 ///
 /// A budget suppresses up to `max` findings for its (rule, file) pair.
 /// Over-budget pairs report *all* their findings (the allowlist must
@@ -177,7 +394,7 @@ fn lint(root: &Path, cfg_path: &Path) -> Result<bool, String> {
 fn apply_allowlist(
     findings: Vec<Finding>,
     allow: &[AllowEntry],
-) -> (Vec<Finding>, usize, Vec<String>) {
+) -> (Vec<Finding>, Vec<Finding>, Vec<String>) {
     let mut counts: HashMap<(String, String), usize> = HashMap::new();
     for f in &findings {
         *counts.entry((f.rule.to_string(), f.file.clone())).or_insert(0) += 1;
@@ -190,11 +407,11 @@ fn apply_allowlist(
     };
 
     let mut violations = Vec::new();
-    let mut suppressed = 0usize;
+    let mut suppressed = Vec::new();
     for f in findings {
         let count = counts[&(f.rule.to_string(), f.file.clone())];
         match budget_of(&f) {
-            Some(max) if count <= max => suppressed += 1,
+            Some(max) if count <= max => suppressed.push(f),
             _ => violations.push(f),
         }
     }
@@ -225,7 +442,8 @@ fn apply_allowlist(
 
 /// Directories never scanned: build output, vendored stand-ins (they
 /// emulate foreign APIs, including the forbidden ones), and VCS/tooling
-/// metadata.
+/// metadata. The analyzer's own fixture corpus uses the `.fix`
+/// extension, so it is skipped by construction.
 const SKIP_DIRS: &[&str] = &["target", "third_party", ".git", ".github", ".claude"];
 
 /// Recursively collect repo-relative `.rs` and `Cargo.toml` paths.
@@ -286,7 +504,7 @@ mod tests {
         let findings = vec![finding("rng-discipline", "a.rs"), finding("rng-discipline", "a.rs")];
         let (viol, supp, nags) = apply_allowlist(findings, &allow);
         assert!(viol.is_empty());
-        assert_eq!(supp, 2);
+        assert_eq!(supp.len(), 2);
         assert!(nags.is_empty(), "{nags:?}");
     }
 
@@ -296,7 +514,7 @@ mod tests {
         let findings = vec![finding("panic-freedom", "a.rs"), finding("panic-freedom", "a.rs")];
         let (viol, supp, nags) = apply_allowlist(findings, &allow);
         assert_eq!(viol.len(), 2);
-        assert_eq!(supp, 0);
+        assert!(supp.is_empty());
         assert_eq!(nags.len(), 1);
         assert!(nags[0].contains("exceeded"));
     }
@@ -307,7 +525,7 @@ mod tests {
         let findings = vec![finding("nan-safety", "a.rs")];
         let (viol, supp, nags) = apply_allowlist(findings, &allow);
         assert!(viol.is_empty());
-        assert_eq!(supp, 1);
+        assert_eq!(supp.len(), 1);
         assert_eq!(nags.len(), 2);
         assert!(nags.iter().any(|n| n.contains("can shrink")));
         assert!(nags.iter().any(|n| n.contains("unused")));
@@ -317,6 +535,54 @@ mod tests {
     fn unallowlisted_findings_are_violations() {
         let (viol, supp, _) = apply_allowlist(vec![finding("nan-safety", "a.rs")], &[]);
         assert_eq!(viol.len(), 1);
-        assert_eq!(supp, 0);
+        assert!(supp.is_empty());
+    }
+
+    #[test]
+    fn report_json_is_deterministic_and_escaped() {
+        let v = vec![finding("nan-safety", "a\"b.rs")];
+        let s = vec![finding("rng-discipline", "c.rs")];
+        let one = render_report(&v, &s, 10, 2);
+        let two = render_report(&v, &s, 10, 2);
+        assert_eq!(one, two);
+        assert!(one.contains("\\\"b.rs"), "{one}");
+        assert!(one.contains("\"allowlisted\": true"), "{one}");
+        assert!(one.contains("\"allowlisted\": false"), "{one}");
+        assert!(one.contains("\"schema\": 1"), "{one}");
+        // Empty report stays valid JSON too.
+        let empty = render_report(&[], &[], 0, 0);
+        assert!(empty.contains("\"findings\": []"), "{empty}");
+    }
+
+    #[test]
+    fn budget_check_flags_growth_and_new_entries() {
+        let dir = std::env::temp_dir().join(format!("aqp-budget-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let cfg = dir.join("lint.toml");
+        let base = dir.join("baseline");
+        let entry = |rule: &str, file: &str, max: usize| {
+            format!("[[allow]]\nrule = \"{rule}\"\nfile = \"{file}\"\nmax = {max}\nreason = \"r\"\n")
+        };
+        std::fs::write(&base, entry("nan-safety", "a.rs", 2)).expect("write baseline");
+
+        // Same budget: clean. Shrunk: clean. Grown / new: flagged.
+        std::fs::write(&cfg, entry("nan-safety", "a.rs", 2)).expect("write cfg");
+        assert!(budget_check(&cfg, &base).expect("check").is_empty());
+        std::fs::write(&cfg, entry("nan-safety", "a.rs", 1)).expect("write cfg");
+        assert!(budget_check(&cfg, &base).expect("check").is_empty());
+        std::fs::write(&cfg, entry("nan-safety", "a.rs", 3)).expect("write cfg");
+        let p = budget_check(&cfg, &base).expect("check");
+        assert_eq!(p.len(), 1);
+        assert!(p[0].contains("grew"), "{p:?}");
+        std::fs::write(&cfg, entry("panic-freedom", "b.rs", 1)).expect("write cfg");
+        let p = budget_check(&cfg, &base).expect("check");
+        assert_eq!(p.len(), 1);
+        assert!(p[0].contains("new"), "{p:?}");
+
+        // A missing baseline is an error, not a silent pass.
+        let missing = dir.join("nope");
+        assert!(budget_check(&cfg, &missing).is_err());
+        std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 }

@@ -1,35 +1,48 @@
 //! Tier-1 enforcement of the workspace invariants: `cargo run -p xtask
-//! -- lint` must pass on the repository and must fail on code that
-//! violates the rules (exercised against a synthetic fixture tree).
+//! -- analyze` must pass on the repository and must fail on code that
+//! violates the rules, exercised end-to-end against the fixture corpus
+//! in `crates/xtask/fixtures/`.
+//!
+//! Fixture format (`*.fix`): header prose, then `//@` directives with
+//! embedded files. `//@ file: <rel>` starts a file whose content is the
+//! following lines; `//@ expect: <rule>` / `//@ forbid: <rule>` assert
+//! that a rule fires / stays silent on the materialized tree; the
+//! `-text` variants assert on raw output substrings (for file:line
+//! coordinates and exemption checks).
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
+
+/// The four whole-workspace semantic rules; the corpus must carry at
+/// least two positive and two negative fixtures for each.
+const SEMANTIC_RULES: [&str; 4] =
+    ["lock-order", "determinism-taint", "widen-only-ci", "panic-reachability"];
 
 fn repo_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
 }
 
-fn run_lint(extra: &[&str]) -> Output {
+fn run_analyze(extra: &[&str]) -> Output {
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
     Command::new(cargo)
         .current_dir(repo_root())
-        .args(["run", "-p", "xtask", "--offline", "--quiet", "--", "lint"])
+        .args(["run", "-p", "xtask", "--offline", "--quiet", "--", "analyze"])
         .args(extra)
         .output()
         .expect("spawning cargo run -p xtask")
 }
 
 #[test]
-fn workspace_is_lint_clean() {
-    let out = run_lint(&[]);
+fn workspace_is_analyze_clean() {
+    let out = run_analyze(&[]);
     assert!(
         out.status.success(),
-        "lint failed:\n{}{}",
+        "analyze failed:\n{}{}",
         String::from_utf8_lossy(&out.stdout),
         String::from_utf8_lossy(&out.stderr),
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("aqp-lint: OK"), "unexpected output: {stdout}");
+    assert!(stdout.contains("aqp-analyze: OK"), "unexpected output: {stdout}");
     // Budgets must stay tight: a passing run with shrinkable budgets is a
     // stale allowlist.
     assert!(
@@ -38,75 +51,144 @@ fn workspace_is_lint_clean() {
     );
 }
 
-/// A fixture tree containing one violation of every rule family.
-fn write_fixture(root: &Path) {
-    let write = |rel: &str, content: &str| {
-        let path = root.join(rel);
+// ---------------------------------------------------------------------
+// Fixture corpus
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct Fixture {
+    name: String,
+    expect_rules: Vec<String>,
+    forbid_rules: Vec<String>,
+    expect_text: Vec<String>,
+    forbid_text: Vec<String>,
+    files: Vec<(String, String)>,
+}
+
+fn parse_fixture(name: &str, src: &str) -> Fixture {
+    let mut fx = Fixture { name: name.to_string(), ..Fixture::default() };
+    for line in src.lines() {
+        if let Some(rest) = line.strip_prefix("//@ ") {
+            let (kind, value) = rest.split_once(':').unwrap_or_else(|| {
+                panic!("{name}: malformed directive `{line}`");
+            });
+            let value = value.trim().to_string();
+            match kind.trim() {
+                "file" => fx.files.push((value, String::new())),
+                "expect" => fx.expect_rules.push(value),
+                "forbid" => fx.forbid_rules.push(value),
+                "expect-text" => fx.expect_text.push(value),
+                "forbid-text" => fx.forbid_text.push(value),
+                other => panic!("{name}: unknown directive kind `{other}`"),
+            }
+        } else if let Some((_, content)) = fx.files.last_mut() {
+            content.push_str(line);
+            content.push('\n');
+        }
+        // Prose before the first `//@ file:` is fixture documentation.
+    }
+    let has_assertion = !fx.expect_rules.is_empty() || !fx.forbid_rules.is_empty();
+    assert!(
+        !fx.files.is_empty() && has_assertion,
+        "{name}: a fixture needs at least one file and one expect/forbid"
+    );
+    fx
+}
+
+fn materialize(fx: &Fixture, dir: &Path) {
+    for (rel, content) in &fx.files {
+        let path = dir.join(rel);
         std::fs::create_dir_all(path.parent().expect("fixture paths have parents"))
             .expect("mkdir fixture");
         std::fs::write(path, content).expect("write fixture");
-    };
-    // rng-discipline + nan-safety violations in an ordinary source file.
-    write(
-        "crates/workload/src/gen.rs",
-        "pub fn f() -> u64 {\n    let mut r = rand::rng();\n    let mut v = vec![1.0f64];\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n    r.next_u64()\n}\n",
-    );
-    // panic-freedom violations in pipeline library code (and proof that a
-    // #[cfg(test)] module is exempt).
-    write(
-        "crates/exec/src/engine.rs",
-        "pub fn g(o: Option<u32>) -> u32 {\n    if o.is_none() { panic!(\"no\"); }\n    o.unwrap()\n}\n#[cfg(test)]\nmod tests {\n    fn ok() { None::<u32>.unwrap(); }\n}\n",
-    );
-    // timing-discipline: a raw Instant outside crates/obs (and proof
-    // that the Clock implementation itself is exempt).
-    write(
-        "crates/bench/src/timer.rs",
-        "pub fn h() -> std::time::Instant {\n    std::time::Instant::now()\n}\n",
-    );
-    write(
-        "crates/obs/src/clock.rs",
-        "pub fn anchor() -> std::time::Instant {\n    std::time::Instant::now()\n}\n",
-    );
-    // crate-hygiene: root missing the mandatory attributes...
-    write("crates/exec/src/lib.rs", "//! Fixture crate.\npub mod engine;\n");
-    // ...and a manifest dodging [workspace.dependencies].
-    write(
-        "crates/exec/Cargo.toml",
-        "[package]\nname = \"fixture-exec\"\n\n[dependencies]\nrand = \"0.8\"\n",
-    );
+    }
+}
+
+fn load_corpus() -> Vec<Fixture> {
+    let dir = repo_root().join("crates/xtask/fixtures");
+    let mut names: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("crates/xtask/fixtures exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "fix"))
+        .collect();
+    names.sort();
+    names
+        .iter()
+        .map(|p| {
+            let name = p.file_stem().expect("stem").to_string_lossy().into_owned();
+            let src = std::fs::read_to_string(p).expect("readable fixture");
+            parse_fixture(&name, &src)
+        })
+        .collect()
 }
 
 #[test]
-fn fixture_violations_fail_the_lint() {
-    let dir = std::env::temp_dir().join(format!("aqp-lint-fixture-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    write_fixture(&dir);
+fn fixture_corpus_drives_every_rule() {
+    let corpus = load_corpus();
+    assert!(corpus.len() >= 16, "fixture corpus shrank to {} cases", corpus.len());
 
-    let out = run_lint(&["--root", dir.to_str().expect("utf-8 temp path")]);
-    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
-    std::fs::remove_dir_all(&dir).expect("cleanup fixture");
+    for fx in &corpus {
+        let dir = std::env::temp_dir()
+            .join(format!("aqp-analyze-fix-{}-{}", std::process::id(), fx.name));
+        let _ = std::fs::remove_dir_all(&dir);
+        materialize(fx, &dir);
 
-    assert!(!out.status.success(), "lint accepted a fixture full of violations:\n{stdout}");
-    for rule in [
-        "rng-discipline",
-        "nan-safety",
-        "panic-freedom",
-        "crate-hygiene",
-        "timing-discipline",
-    ] {
-        assert!(stdout.contains(rule), "missing {rule} finding in:\n{stdout}");
+        let out = run_analyze(&["--root", dir.to_str().expect("utf-8 temp path")]);
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        std::fs::remove_dir_all(&dir).expect("cleanup fixture");
+
+        if fx.expect_rules.is_empty() {
+            assert!(
+                out.status.success(),
+                "{}: clean fixture was rejected:\n{stdout}",
+                fx.name
+            );
+        } else {
+            assert!(
+                !out.status.success(),
+                "{}: violating fixture was accepted:\n{stdout}",
+                fx.name
+            );
+        }
+        for rule in &fx.expect_rules {
+            assert!(
+                stdout.contains(&format!("[{rule}]")),
+                "{}: missing [{rule}] finding in:\n{stdout}",
+                fx.name
+            );
+        }
+        for rule in &fx.forbid_rules {
+            assert!(
+                !stdout.contains(&format!("[{rule}]")),
+                "{}: forbidden [{rule}] finding in:\n{stdout}",
+                fx.name
+            );
+        }
+        for text in &fx.expect_text {
+            assert!(stdout.contains(text), "{}: missing `{text}` in:\n{stdout}", fx.name);
+        }
+        for text in &fx.forbid_text {
+            assert!(!stdout.contains(text), "{}: forbidden `{text}` in:\n{stdout}", fx.name);
+        }
     }
-    // The exempt Clock implementation must NOT be reported.
-    assert!(!stdout.contains("crates/obs/src/clock.rs"), "obs was linted:\n{stdout}");
-    // Findings carry file:line coordinates.
-    assert!(stdout.contains("crates/exec/src/engine.rs:2"), "no file:line in:\n{stdout}");
-    // The #[cfg(test)] unwrap must NOT be reported (engine.rs line 7).
-    assert!(!stdout.contains("engine.rs:7"), "test-module code was linted:\n{stdout}");
+
+    // Structural floor: every semantic rule is demonstrated by at least
+    // two positive and two negative fixtures.
+    for rule in SEMANTIC_RULES {
+        let pos = corpus.iter().filter(|f| f.expect_rules.iter().any(|r| r == rule)).count();
+        let neg = corpus.iter().filter(|f| f.forbid_rules.iter().any(|r| r == rule)).count();
+        assert!(pos >= 2, "only {pos} positive fixture(s) for {rule}");
+        assert!(neg >= 2, "only {neg} negative fixture(s) for {rule}");
+    }
 }
+
+// ---------------------------------------------------------------------
+// Allowlist, report, and budget plumbing
+// ---------------------------------------------------------------------
 
 #[test]
 fn fixture_allowlist_suppresses_budgeted_findings() {
-    let dir = std::env::temp_dir().join(format!("aqp-lint-allow-{}", std::process::id()));
+    let dir = std::env::temp_dir().join(format!("aqp-analyze-allow-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(dir.join("src")).expect("mkdir fixture");
     std::fs::write(
@@ -121,7 +203,7 @@ fn fixture_allowlist_suppresses_budgeted_findings() {
     .expect("write allowlist");
 
     let config = dir.join("lint.toml");
-    let out = run_lint(&[
+    let out = run_analyze(&[
         "--root",
         dir.to_str().expect("utf-8 temp path"),
         "--config",
@@ -132,4 +214,48 @@ fn fixture_allowlist_suppresses_budgeted_findings() {
 
     assert!(out.status.success(), "allowlisted finding still failed:\n{stdout}");
     assert!(stdout.contains("1 finding(s) allowlisted"), "{stdout}");
+}
+
+#[test]
+fn report_json_is_bit_stable_across_runs() {
+    let dir = std::env::temp_dir().join(format!("aqp-analyze-report-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("crates/exec/src")).expect("mkdir fixture");
+    std::fs::write(
+        dir.join("crates/exec/src/lib.rs"),
+        "#![deny(unsafe_code)]\n#![warn(missing_docs)]\n//! F.\n\n/// Panics.\npub fn f(o: Option<u32>) -> u32 {\n    o.unwrap()\n}\n",
+    )
+    .expect("write fixture");
+
+    let root = dir.to_str().expect("utf-8 temp path").to_owned();
+    let mut reports = Vec::new();
+    for run in ["r1.json", "r2.json"] {
+        let report = dir.join(run);
+        let out = run_analyze(&[
+            "--root",
+            &root,
+            "--report",
+            report.to_str().expect("utf-8 temp path"),
+        ]);
+        assert!(!out.status.success(), "violating fixture was accepted");
+        reports.push(std::fs::read(&report).expect("report written"));
+    }
+    std::fs::remove_dir_all(&dir).expect("cleanup fixture");
+
+    assert_eq!(reports[0], reports[1], "findings JSON differs across identical runs");
+    let text = String::from_utf8(reports[0].clone()).expect("utf-8 report");
+    for key in ["\"schema\"", "\"findings\"", "\"rules\"", "panic-freedom"] {
+        assert!(text.contains(key), "report missing {key}:\n{text}");
+    }
+}
+
+#[test]
+fn budget_check_passes_against_committed_baseline() {
+    let out = run_analyze(&["--check-budget"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success() && stdout.contains("budget OK"),
+        "check-budget failed on the committed lint.toml:\n{stdout}{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }
