@@ -20,14 +20,15 @@ use aqp_bench::{percentile, section, Args};
 use aqp_cluster::{simulate_query, ClusterConfig, PhysicalTuning, PlanMode};
 use aqp_core::{required_sample_rows, AqpSession, ExplainMode, SessionConfig};
 use aqp_obs::json::{push_f64, push_str_lit};
-use aqp_obs::{Clock, ObsHandle};
+use aqp_obs::{Clock, FlightRecorderConfig, ObsHandle};
+use aqp_slo::SloConfig;
 use aqp_stats::ci::Ci;
 use aqp_stats::error_estimator::{ErrorEstimator, EstimationMethod};
 use aqp_stats::estimator::{Aggregate, SampleContext};
 use aqp_stats::rng::SeedStream;
 use aqp_stats::sampling::{gather, with_replacement_indices};
 use aqp_workload::statquery::{DataSpec, ThetaKind};
-use aqp_workload::{conviva_sessions_table, qset1, qset2, Workload};
+use aqp_workload::{conviva_sessions_table, facebook_events_table, qset1, qset2, Workload};
 
 fn main() {
     let args = Args::parse();
@@ -91,6 +92,17 @@ fn main() {
     put("profile.ops", ops);
     put("profile.scan_rows_out", scan_rows);
     put("profile.workers", workers);
+
+    // --- SLO leg: the two-phase healthy-then-miscalibrated replay with
+    // the fleet SLO engine, drift detectors, and flight recorder on;
+    // alert/drift/dump counts and the remaining budget are bit-stable
+    // under the mock clock. ---
+    let slo = slo_leg(seed);
+    put("slo.page_alerts", slo.0);
+    put("slo.warn_alerts", slo.1);
+    put("slo.drift_signals", slo.2);
+    put("slo.recorder_dumps", slo.3);
+    put("slo.min_budget_pct", slo.4);
 
     let json = render_trajectory(seed, &metrics);
     match std::fs::write(&out, &json) {
@@ -182,6 +194,59 @@ fn audit_leg(seed: u64, queries: usize) -> (f64, f64, f64) {
         report.overall.scored as f64,
         report.overall.coverage.unwrap_or(f64::NAN) * 100.0,
         report.alerts.len() as f64,
+    )
+}
+
+/// The two-phase SLO replay under an isolated mock clock: 60 healthy
+/// AVG queries build the fleet baseline, then 30 unchecked bootstrap
+/// `MAX(payload_kb)` queries over the Pareto tail collapse coverage.
+/// Returns (page alerts, warn alerts, drift signals, recorder dumps,
+/// min budget %). The session seed is `seed + 1` so the default
+/// trajectory seed lands on the calibrated miscalibrated replay
+/// (session seed 2) used by `tests/slo.rs` and the dashboards.
+fn slo_leg(seed: u64) -> (f64, f64, f64, f64, f64) {
+    let obs = ObsHandle::isolated(Clock::mock());
+    let session = AqpSession::new(SessionConfig {
+        seed: seed.wrapping_add(1),
+        threads: 1,
+        bootstrap_k: 40,
+        run_diagnostics: false,
+        obs: obs.clone(),
+        audit: Some(AuditConfig {
+            sample_rate: 1.0,
+            seed: seed ^ 0x510,
+            ..Default::default()
+        }),
+        slo: Some(
+            SloConfig::new()
+                .with_class("tail", "MAX(")
+                .with_coverage(SloConfig::DEFAULT_CLASS, 0.95)
+                .with_coverage("tail", 0.95)
+                .with_recorder(FlightRecorderConfig { capacity: 8, path: None }),
+        ),
+        ..Default::default()
+    });
+    session.register_table(facebook_events_table(40_000, 8, 2)).expect("register");
+    session.build_samples("events", &[8_000], 7).expect("samples");
+    for _ in 0..60 {
+        session.execute("SELECT AVG(payload_kb) FROM events").expect("healthy query");
+    }
+    for _ in 0..30 {
+        session.execute("SELECT MAX(payload_kb) FROM events").expect("tail query");
+    }
+    let report = session.slo_report().expect("slo is on");
+    let snap = obs.metrics.snapshot();
+    let budget = report
+        .objectives
+        .iter()
+        .map(|o| o.budget_remaining)
+        .fold(1.0f64, f64::min);
+    (
+        snap.counter(aqp_obs::name::SLO_PAGE_ALERTS).unwrap_or(0) as f64,
+        snap.counter(aqp_obs::name::SLO_WARN_ALERTS).unwrap_or(0) as f64,
+        snap.counter(aqp_obs::name::SLO_DRIFT_SIGNALS).unwrap_or(0) as f64,
+        snap.counter(aqp_obs::name::OBS_RECORDER_DUMPS).unwrap_or(0) as f64,
+        budget * 100.0,
     )
 }
 

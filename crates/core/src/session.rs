@@ -60,6 +60,12 @@ pub struct SessionConfig {
     /// recovery policy, degrade gracefully with widened error bars, or
     /// fall back to exact execution when losses exceed the policy.
     pub faults: Option<aqp_faults::FaultConfig>,
+    /// Fleet-level SLOs: burn-rate/error-budget alerting over latency
+    /// and CI-coverage objectives, online drift detection over audit
+    /// scores, and the always-on flight recorder (`None` = off, the
+    /// default — with `None` nothing is constructed and the pipeline
+    /// is bit-identical to a build without the SLO layer).
+    pub slo: Option<aqp_slo::SloConfig>,
 }
 
 impl Default for SessionConfig {
@@ -76,8 +82,16 @@ impl Default for SessionConfig {
             audit: None,
             explain: ExplainMode::Off,
             faults: None,
+            slo: None,
         }
     }
+}
+
+/// The live SLO machinery: the burn-rate engine plus the always-on
+/// flight recorder. Constructed only when `SessionConfig::slo` is set.
+struct SloRuntime {
+    engine: aqp_slo::SloEngine,
+    recorder: aqp_obs::FlightRecorder,
 }
 
 /// A reliable-AQP session.
@@ -86,6 +100,7 @@ pub struct AqpSession {
     registry: Mutex<UdfRegistry>,
     config: SessionConfig,
     auditor: Option<Auditor>,
+    slo: Option<SloRuntime>,
 }
 
 impl AqpSession {
@@ -95,11 +110,16 @@ impl AqpSession {
             .audit
             .clone()
             .map(|cfg| Auditor::new(cfg, &config.obs));
+        let slo = config.slo.clone().map(|cfg| SloRuntime {
+            recorder: aqp_obs::FlightRecorder::new(cfg.recorder.clone(), &config.obs.metrics),
+            engine: aqp_slo::SloEngine::new(cfg, &config.obs),
+        });
         AqpSession {
             catalog: Catalog::new(),
             registry: Mutex::new(UdfRegistry::default()),
             config,
             auditor,
+            slo,
         }
     }
 
@@ -112,6 +132,17 @@ impl AqpSession {
     /// is off).
     pub fn audit_report(&self) -> Option<AuditReport> {
         self.auditor.as_ref().map(|a| a.report())
+    }
+
+    /// The SLO engine's scorekeeping so far — burn rates, budgets,
+    /// drift streams, and the alert history (`None` when SLOs are off).
+    pub fn slo_report(&self) -> Option<aqp_slo::SloReport> {
+        self.slo.as_ref().map(|s| s.engine.report())
+    }
+
+    /// The always-on flight recorder (`None` when SLOs are off).
+    pub fn flight_recorder(&self) -> Option<&aqp_obs::FlightRecorder> {
+        self.slo.as_ref().map(|s| &s.recorder)
     }
 
     /// Register an aggregate UDF.
@@ -287,7 +318,24 @@ impl AqpSession {
         obs.metrics
             .histogram(name::CORE_QUERY_MS)
             .record_ms(elapsed.as_secs_f64() * 1e3);
-        finish_with_trace(rec, result, self.config.explain)
+        let answer = finish_with_trace(rec, result, self.config.explain);
+        if let Some(slo) = &self.slo {
+            let eval_started = obs.clock.now();
+            if let Ok(a) = &answer {
+                slo.recorder.record(a.trace.clone());
+            }
+            let class = slo.engine.classify(sql);
+            let alerts = slo.engine.observe_latency(class, elapsed, eval_started);
+            for alert in &alerts {
+                let reason =
+                    format!("slo:{}:{}", alert.severity.as_str(), alert.objective);
+                slo.recorder.dump(&reason, &obs.metrics.snapshot());
+            }
+            obs.metrics
+                .histogram(name::SLO_EVAL_MS)
+                .record_ms(obs.clock.now().duration_since(eval_started).as_secs_f64() * 1e3);
+        }
+        answer
     }
 
     /// The body of [`execute`](AqpSession::execute), recording lifecycle
@@ -432,6 +480,10 @@ impl AqpSession {
                 // recovery policy tolerates: refuse the degraded
                 // approximation and serve exact truth instead.
                 self.config.obs.metrics.counter(name::FAULTS_EXACT_FALLBACKS).inc();
+                if let Some(slo) = &self.slo {
+                    slo.recorder
+                        .dump("exec:degraded", &self.config.obs.metrics.snapshot());
+                }
                 let gate = rec.start(stage::RELIABILITY_GATE);
                 rec.attr(gate, "degraded_lost_partitions", lost_partitions);
                 rec.attr(gate, "degraded_total_partitions", total_partitions);
@@ -699,12 +751,35 @@ impl AqpSession {
                 });
             }
         }
-        auditor.ingest(QueryAudit {
+        let slo_scores: Vec<aqp_audit::AuditScore> = if self.slo.is_some() {
+            aggregates.iter().map(aqp_audit::score).collect()
+        } else {
+            Vec::new()
+        };
+        let audit_alerts = auditor.ingest(QueryAudit {
             ordinal,
             sql: sql.to_string(),
             replay_ms,
             aggregates,
         });
+        if let Some(slo) = &self.slo {
+            let eval_started = obs.clock.now();
+            let class = slo.engine.classify(sql);
+            let (slo_alerts, _drift) =
+                slo.engine.observe_audit(class, &slo_scores, eval_started);
+            for alert in &audit_alerts {
+                slo.recorder
+                    .dump(&format!("audit:{}", alert.key), &obs.metrics.snapshot());
+            }
+            for alert in &slo_alerts {
+                let reason =
+                    format!("slo:{}:{}", alert.severity.as_str(), alert.objective);
+                slo.recorder.dump(&reason, &obs.metrics.snapshot());
+            }
+            obs.metrics
+                .histogram(name::SLO_EVAL_MS)
+                .record_ms(obs.clock.now().duration_since(eval_started).as_secs_f64() * 1e3);
+        }
     }
 
     /// Run the pilot to translate an error clause into required rows.

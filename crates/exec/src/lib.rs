@@ -43,8 +43,6 @@ pub mod udf;
 
 pub use engine::{execute_approx, execute_exact, execute_exact_observed, ApproxOptions};
 pub use result::{AggResult, ApproxResult, ExactResult, StageTimings};
-#[allow(deprecated)]
-pub use result::PhaseTimings;
 pub use udf::UdfRegistry;
 
 /// Execution errors.

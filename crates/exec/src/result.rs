@@ -85,10 +85,6 @@ impl StageTimings {
     }
 }
 
-/// The pre-trace name for the three-phase timing breakdown.
-#[deprecated(note = "phases are now trace-derived; use StageTimings")]
-pub type PhaseTimings = StageTimings;
-
 /// The approximate result for one aggregate of one group.
 #[derive(Debug, Clone)]
 pub struct AggResult {

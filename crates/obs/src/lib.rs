@@ -32,6 +32,7 @@
 pub mod clock;
 pub mod json;
 pub mod metrics;
+pub mod recorder;
 pub mod sink;
 pub mod trace;
 
@@ -39,6 +40,7 @@ pub use clock::{Clock, Timestamp};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
 };
+pub use recorder::{FlightRecorder, FlightRecorderConfig};
 pub use sink::JsonlSink;
 pub use trace::{stage, QueryTrace, Span, SpanId, TraceRecorder};
 
@@ -139,6 +141,43 @@ pub mod name {
     /// Injected delay charged per scan (histogram, ms — straggler
     /// waits plus retry backoff).
     pub const FAULTS_INJECTED_DELAY_MS: &str = "aqp.faults.injected_delay_ms";
+
+    /// Completed query traces currently retained by the flight
+    /// recorder's ring buffer (gauge).
+    pub const OBS_RECORDER_RETAINED: &str = "aqp.obs.recorder_traces_retained";
+    /// Oldest traces evicted from the flight recorder's ring.
+    pub const OBS_RECORDER_EVICTIONS: &str = "aqp.obs.recorder_evictions";
+    /// Flight-recorder dump artifacts produced at alert time.
+    pub const OBS_RECORDER_DUMPS: &str = "aqp.obs.recorder_dumps";
+    /// Flight-recorder dump artifacts that failed to append to disk
+    /// (sink I/O errors; the query path never fails on them).
+    pub const OBS_RECORDER_DUMP_ERRORS: &str = "aqp.obs.recorder_dump_write_errors";
+
+    /// Per-query SLO events observed (one per objective per query).
+    pub const SLO_EVENTS: &str = "aqp.slo.events_observed";
+    /// SLO events that consumed error budget (latency over threshold or
+    /// a CI-coverage miss).
+    pub const SLO_EVENTS_BAD: &str = "aqp.slo.events_bad";
+    /// Page-severity burn-rate alerts latched (fast 5m/1h windows).
+    pub const SLO_PAGE_ALERTS: &str = "aqp.slo.page_alerts_fired";
+    /// Warn-severity burn-rate alerts latched (slow 6h/3d windows).
+    pub const SLO_WARN_ALERTS: &str = "aqp.slo.warn_alerts_fired";
+    /// Worst burn rate across objectives over the fast window pair
+    /// (gauge; 1.0 = spending budget exactly at the sustainable rate).
+    pub const SLO_WORST_BURN_FAST: &str = "aqp.slo.worst_burn_fast";
+    /// Worst burn rate across objectives over the slow window pair
+    /// (gauge).
+    pub const SLO_WORST_BURN_SLOW: &str = "aqp.slo.worst_burn_slow";
+    /// Smallest remaining error-budget fraction across objectives over
+    /// the slow 3d window (gauge, 0..1).
+    pub const SLO_MIN_BUDGET_REMAINING: &str = "aqp.slo.min_budget_remaining";
+    /// Online drift signals raised by the EWMA / Page-Hinkley detectors.
+    pub const SLO_DRIFT_SIGNALS: &str = "aqp.slo.drift_signals";
+    /// SLO-log lines that failed to write (sink I/O errors).
+    pub const SLO_LOG_ERRORS: &str = "aqp.slo.log_write_errors";
+    /// Wall-clock spent in SLO observation + evaluation per query
+    /// (histogram, ms — the <5% overhead budget is enforced on it).
+    pub const SLO_EVAL_MS: &str = "aqp.slo.eval_ms";
 }
 
 /// A clock plus a metrics registry: the observability context that

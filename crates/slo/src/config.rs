@@ -1,0 +1,313 @@
+//! Declarative SLO configuration: workload classes, objectives,
+//! burn-rate windows/thresholds, drift-detector knobs, and the JSONL
+//! alert log.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use aqp_obs::FlightRecorderConfig;
+
+/// Assigns queries to a workload class by SQL substring match; the
+/// first matching rule wins, everything else lands in
+/// [`SloConfig::DEFAULT_CLASS`].
+#[derive(Debug, Clone)]
+pub struct ClassRule {
+    /// Class name (used in objective ids and dashboards).
+    pub class: String,
+    /// Case-sensitive substring the query's SQL must contain.
+    pub sql_contains: String,
+}
+
+/// What one objective promises.
+#[derive(Debug, Clone)]
+pub enum ObjectiveKind {
+    /// A latency quantile target: `quantile` (e.g. `0.95`) of queries
+    /// complete within `threshold_ms`. Each query is one SLO event;
+    /// the event is *bad* when its latency exceeds the threshold, and
+    /// the error-budget allowance is `1 − quantile`.
+    Latency {
+        /// Target quantile in `(0, 1)` — `0.95` for p95, `0.99` for p99.
+        quantile: f64,
+        /// Per-query latency threshold in milliseconds.
+        threshold_ms: f64,
+    },
+    /// A CI-coverage floor: at least `floor` of audited group-aggregates
+    /// have confidence intervals that cover the replayed truth. Each
+    /// audited aggregate with a coverage verdict is one SLO event; the
+    /// event is *bad* on a miss, and the allowance is `1 − floor`.
+    Coverage {
+        /// Minimum acceptable coverage rate in `(0, 1)`, e.g. `0.9`.
+        floor: f64,
+    },
+}
+
+/// One declarative objective bound to a workload class.
+#[derive(Debug, Clone)]
+pub struct Objective {
+    /// Workload class this objective applies to.
+    pub class: String,
+    /// The promise.
+    pub kind: ObjectiveKind,
+}
+
+impl Objective {
+    /// The error-budget allowance: the fraction of events allowed to be
+    /// bad while still meeting the objective. Clamped away from zero so
+    /// burn rates stay finite.
+    pub fn allowance(&self) -> f64 {
+        let a = match self.kind {
+            ObjectiveKind::Latency { quantile, .. } => 1.0 - quantile,
+            ObjectiveKind::Coverage { floor } => 1.0 - floor,
+        };
+        a.max(1e-6)
+    }
+
+    /// Deterministic id, e.g. `interactive/latency_p95_le_40ms` or
+    /// `default/coverage_ge_90`.
+    pub fn id(&self) -> String {
+        match self.kind {
+            ObjectiveKind::Latency { quantile, threshold_ms } => format!(
+                "{}/latency_p{:.0}_le_{}ms",
+                self.class,
+                quantile * 100.0,
+                threshold_ms
+            ),
+            ObjectiveKind::Coverage { floor } => {
+                format!("{}/coverage_ge_{:.0}", self.class, floor * 100.0)
+            }
+        }
+    }
+}
+
+/// Burn-rate thresholds for the two window pairs, following the
+/// multiwindow multi-burn-rate recipe: page when the budget is burning
+/// ~14× too fast on the fast pair, warn at ~6× on the slow pair, and
+/// re-arm the latch once the burn drops below `clear_below`.
+#[derive(Debug, Clone)]
+pub struct BurnThresholds {
+    /// Page when `min(burn_5m, burn_1h)` is at or above this.
+    pub page: f64,
+    /// Warn when `min(burn_6h, burn_3d)` is at or above this.
+    pub warn: f64,
+    /// Re-arm a latched alert once the pair burn drops below this.
+    pub clear_below: f64,
+    /// Events required in the 1h window before alerts may latch —
+    /// burn rates over a near-empty window are meaningless.
+    pub min_events: u64,
+}
+
+impl Default for BurnThresholds {
+    fn default() -> Self {
+        BurnThresholds { page: 14.4, warn: 6.0, clear_below: 1.0, min_events: 20 }
+    }
+}
+
+/// Evaluation windows. All timestamps come from the session's
+/// `aqp_obs::Clock`, so under the mock clock the whole evaluation is
+/// deterministic.
+#[derive(Debug, Clone)]
+pub struct SloWindows {
+    /// Short window of the fast (page) pair.
+    pub fast_short: Duration,
+    /// Long window of the fast (page) pair.
+    pub fast_long: Duration,
+    /// Short window of the slow (warn) pair.
+    pub slow_short: Duration,
+    /// Long window of the slow (warn) pair — also the error-budget
+    /// accounting period.
+    pub slow_long: Duration,
+    /// Granularity of the good/bad event buckets.
+    pub bucket: Duration,
+}
+
+impl Default for SloWindows {
+    fn default() -> Self {
+        SloWindows {
+            fast_short: Duration::from_secs(5 * 60),
+            fast_long: Duration::from_secs(60 * 60),
+            slow_short: Duration::from_secs(6 * 60 * 60),
+            slow_long: Duration::from_secs(3 * 24 * 60 * 60),
+            bucket: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Online drift-detector knobs (EWMA control chart + Page-Hinkley).
+#[derive(Debug, Clone)]
+pub struct DriftConfig {
+    /// EWMA smoothing weight λ in `(0, 1]`.
+    pub ewma_alpha: f64,
+    /// EWMA control-limit width in baseline standard deviations.
+    pub ewma_k: f64,
+    /// Page-Hinkley tolerated magnitude δ (drift smaller than this is
+    /// ignored).
+    pub ph_delta: f64,
+    /// Page-Hinkley alarm threshold λ on the accumulated excess.
+    pub ph_lambda: f64,
+    /// Events before either detector may signal (baseline warm-up).
+    pub min_samples: u64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            ewma_alpha: 0.1,
+            ewma_k: 4.0,
+            ph_delta: 0.005,
+            ph_lambda: 2.0,
+            min_samples: 10,
+        }
+    }
+}
+
+/// Where (and how large) the rotating JSONL SLO log is.
+#[derive(Debug, Clone)]
+pub struct SloLogConfig {
+    /// Live log file path (rotations get `.1`, `.2`, … suffixes).
+    pub path: PathBuf,
+    /// Byte budget of the live file before rotation.
+    pub max_bytes: u64,
+    /// Rotated files to keep (0 truncates in place).
+    pub max_rotations: usize,
+}
+
+impl SloLogConfig {
+    /// A log at `path` with the default 4 MiB budget and 3 rotations.
+    pub fn at(path: impl Into<PathBuf>) -> Self {
+        SloLogConfig { path: path.into(), max_bytes: 4 << 20, max_rotations: 3 }
+    }
+}
+
+/// Configuration of the fleet-level SLO engine.
+///
+/// Off by default at the session level (the session's `slo` field is
+/// `None`). `Default`/[`SloConfig::new`] carries the recommended
+/// windows, burn thresholds, and drift knobs but *no objectives*; add
+/// them with the builder methods.
+#[derive(Debug, Clone, Default)]
+pub struct SloConfig {
+    /// Class-assignment rules, checked in order.
+    pub classes: Vec<ClassRule>,
+    /// The declared objectives.
+    pub objectives: Vec<Objective>,
+    /// Burn-rate alert thresholds.
+    pub thresholds: BurnThresholds,
+    /// Evaluation windows.
+    pub windows: SloWindows,
+    /// Drift-detector knobs.
+    pub drift: DriftConfig,
+    /// Rotating JSONL log for alerts and drift signals (`None` = no log).
+    pub log: Option<SloLogConfig>,
+    /// Flight-recorder sizing and dump path.
+    pub recorder: FlightRecorderConfig,
+}
+
+impl SloConfig {
+    /// The class queries fall into when no [`ClassRule`] matches.
+    pub const DEFAULT_CLASS: &'static str = "default";
+
+    /// Recommended knobs, no objectives.
+    pub fn new() -> Self {
+        SloConfig::default()
+    }
+
+    /// Add a class rule: queries whose SQL contains `sql_contains` are
+    /// assigned to `class` (first matching rule wins).
+    pub fn with_class(mut self, class: &str, sql_contains: &str) -> Self {
+        self.classes.push(ClassRule {
+            class: class.to_string(),
+            sql_contains: sql_contains.to_string(),
+        });
+        self
+    }
+
+    /// Add a latency-quantile objective for `class`.
+    pub fn with_latency(mut self, class: &str, quantile: f64, threshold_ms: f64) -> Self {
+        self.objectives.push(Objective {
+            class: class.to_string(),
+            kind: ObjectiveKind::Latency { quantile, threshold_ms },
+        });
+        self
+    }
+
+    /// Add a CI-coverage-floor objective for `class`.
+    pub fn with_coverage(mut self, class: &str, floor: f64) -> Self {
+        self.objectives.push(Objective {
+            class: class.to_string(),
+            kind: ObjectiveKind::Coverage { floor },
+        });
+        self
+    }
+
+    /// Route alerts and drift signals to a rotating JSONL log.
+    pub fn with_log(mut self, log: SloLogConfig) -> Self {
+        self.log = Some(log);
+        self
+    }
+
+    /// Size the flight recorder and set its dump path.
+    pub fn with_recorder(mut self, recorder: FlightRecorderConfig) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The workload class of `sql`: first matching rule, else
+    /// [`SloConfig::DEFAULT_CLASS`].
+    pub fn classify<'a>(&'a self, sql: &str) -> &'a str {
+        self.classes
+            .iter()
+            .find(|r| sql.contains(&r.sql_contains))
+            .map(|r| r.class.as_str())
+            .unwrap_or(SloConfig::DEFAULT_CLASS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_is_first_match_with_default_fallback() {
+        let cfg = SloConfig::new()
+            .with_class("interactive", "AVG(")
+            .with_class("batch", "SUM(");
+        assert_eq!(cfg.classify("SELECT AVG(time) FROM sessions"), "interactive");
+        assert_eq!(cfg.classify("SELECT SUM(bytes) FROM sessions"), "batch");
+        // First rule wins even when both match.
+        assert_eq!(cfg.classify("SELECT AVG(a), SUM(b) FROM t"), "interactive");
+        assert_eq!(cfg.classify("SELECT COUNT(*) FROM t"), "default");
+    }
+
+    #[test]
+    fn objective_ids_and_allowances() {
+        let lat = Objective {
+            class: "interactive".into(),
+            kind: ObjectiveKind::Latency { quantile: 0.95, threshold_ms: 40.0 },
+        };
+        assert_eq!(lat.id(), "interactive/latency_p95_le_40ms");
+        assert!((lat.allowance() - 0.05).abs() < 1e-12);
+        let cov = Objective {
+            class: "default".into(),
+            kind: ObjectiveKind::Coverage { floor: 0.9 },
+        };
+        assert_eq!(cov.id(), "default/coverage_ge_90");
+        assert!((cov.allowance() - 0.1).abs() < 1e-12);
+        // A 100% target still yields a finite allowance.
+        let strict = Objective {
+            class: "x".into(),
+            kind: ObjectiveKind::Coverage { floor: 1.0 },
+        };
+        assert!(strict.allowance() > 0.0);
+    }
+
+    #[test]
+    fn default_windows_follow_the_multiwindow_recipe() {
+        let w = SloWindows::default();
+        assert_eq!(w.fast_short, Duration::from_secs(300));
+        assert_eq!(w.fast_long, Duration::from_secs(3600));
+        assert_eq!(w.slow_short, Duration::from_secs(21600));
+        assert_eq!(w.slow_long, Duration::from_secs(259200));
+        let t = BurnThresholds::default();
+        assert!(t.page > t.warn && t.warn > t.clear_below);
+    }
+}

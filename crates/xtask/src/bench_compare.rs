@@ -24,9 +24,17 @@ enum Direction {
 }
 
 fn direction(name: &str) -> Direction {
-    if name.ends_with("_s") || name.ends_with("_ms") || name.contains("mean_rows") {
+    if name.ends_with("_s")
+        || name.ends_with("_ms")
+        || name.contains("mean_rows")
+        || name.contains("alerts")
+        || name.contains("drift")
+    {
+        // On the fixed miscalibrated SLO leg, *more* alerts or drift
+        // signals than the stamped baseline means detection got noisier.
         Direction::HigherWorse
-    } else if name.contains("speedup") || name.contains("coverage") {
+    } else if name.contains("speedup") || name.contains("coverage") || name.contains("budget") {
+        // Remaining error budget regresses downward, like coverage.
         Direction::LowerWorse
     } else {
         Direction::Neutral

@@ -35,7 +35,29 @@ use std::path::Path;
 
 /// Crates whose library code must be panic-free (the request path).
 pub const PANIC_FREE_CRATES: &[&str] =
-    &["exec", "core", "stats", "storage", "obs", "prof", "faults"];
+    &["exec", "core", "stats", "storage", "obs", "prof", "faults", "slo"];
+
+/// Sanctioned metric families: the `<family>` of `aqp.<family>.<name>`.
+/// One entry per workspace crate that registers metrics, so a typo'd
+/// family (`aqp.sol.*`) cannot silently fork a new series.
+pub const METRIC_FAMILIES: &[&str] = &[
+    "audit",
+    "cluster",
+    "core",
+    "diagnostics",
+    "exec",
+    "faults",
+    "obs",
+    "prof",
+    "slo",
+    "sql",
+    "stats",
+    "storage",
+    "workload",
+    // The sanctioned family for throwaway series registered by tests
+    // and doc examples (integration tests are not `#[cfg(test)]`).
+    "test",
+];
 
 /// One lint finding.
 #[derive(Debug, Clone)]
@@ -99,7 +121,7 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         name: "panic-freedom",
         tier: "token",
-        scope: "library code of exec, core, stats, storage, obs, prof, faults",
+        scope: "library code of exec, core, stats, storage, obs, prof, faults, slo",
         summary: "Pipeline library code must not contain `panic!`, \
                   `unreachable!`, `todo!`, `unimplemented!`, or `.unwrap()`; \
                   return typed errors, or `.expect(\"<invariant>\")` where \
@@ -120,8 +142,10 @@ pub const RULES: &[RuleInfo] = &[
         scope: "all sources outside #[cfg(test)]",
         summary: "Literal metric names registered via `counter`/`gauge`/\
                   `histogram`/`histogram_with` must match \
-                  `aqp.<crate>.<snake_case>`; computed names (the \
-                  `aqp_obs::name` constants) are the sanctioned indirection.",
+                  `aqp.<family>.<snake_case>` with the family drawn from \
+                  the sanctioned list (`aqp.slo.*`, `aqp.obs.*`, …); \
+                  computed names (the `aqp_obs::name` constants) are the \
+                  sanctioned indirection.",
     },
     RuleInfo {
         name: "fault-hygiene",
@@ -359,13 +383,15 @@ fn metric_naming(f: &FileTokens, out: &mut Vec<Finding>) {
     }
 }
 
-/// `aqp.<crate>.<snake_case>`: at least three dot-separated segments,
-/// the first literally `aqp`, the rest lowercase snake_case starting
-/// with a letter.
+/// `aqp.<family>.<snake_case>`: at least three dot-separated segments,
+/// the first literally `aqp`, the second a sanctioned
+/// [`METRIC_FAMILIES`] entry (`aqp.slo.*`, `aqp.obs.*`, …), the rest
+/// lowercase snake_case starting with a letter.
 fn valid_metric_name(name: &str) -> bool {
     let segs: Vec<&str> = name.split('.').collect();
     segs.len() >= 3
         && segs[0] == "aqp"
+        && METRIC_FAMILIES.contains(&segs[1])
         && segs[1..].iter().all(|s| {
             s.as_bytes().first().is_some_and(|c| c.is_ascii_lowercase())
                 && s.bytes().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == b'_')
@@ -663,8 +689,22 @@ mod tests {
              let h = m.histogram_with(\"aqp.exec.scan_ms\", &[1.0]);",
         );
         assert!(f.is_empty(), "{f:?}");
-        // Wrong prefix, too few segments, or non-snake-case all fail.
-        for bad in ["exec.rows", "aqp.rows", "aqp.Exec.rows", "aqp.exec.rowsScanned", "aqp.exec."] {
+        // The slo family is sanctioned.
+        let f = rules_on(
+            "crates/slo/src/engine.rs",
+            "let g = m.gauge(\"aqp.slo.worst_burn_fast\");",
+        );
+        assert!(f.is_empty(), "{f:?}");
+        // Wrong prefix, too few segments, non-snake-case, or an unknown
+        // family (`aqp.sol.*` would silently fork a series) all fail.
+        for bad in [
+            "exec.rows",
+            "aqp.rows",
+            "aqp.Exec.rows",
+            "aqp.exec.rowsScanned",
+            "aqp.exec.",
+            "aqp.sol.burn_rate",
+        ] {
             let src = format!("let c = reg.counter(\"{bad}\");");
             let f = rules_on("crates/exec/src/engine.rs", &src);
             assert_eq!(f.len(), 1, "{bad}: {f:?}");

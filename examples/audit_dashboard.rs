@@ -14,11 +14,16 @@
 //!   window catches it and fires a coverage alert, which is the signal
 //!   an operator would page on.
 //!
+//! Both sessions also run the fleet SLO engine with a 95% CI-coverage
+//! floor, so each panel shows the objective's burn rates and remaining
+//! error budget next to the audit coverage bars.
+//!
 //! Pass `--metrics out.jsonl` to also dump the metrics registry
-//! (including the `aqp.audit.*` series) as JSONL.
+//! (including the `aqp.audit.*` and `aqp.slo.*` series) as JSONL.
 
 use reliable_aqp::audit::{AuditConfig, AuditReport};
 use reliable_aqp::obs::MetricsRegistry;
+use reliable_aqp::slo::{SloConfig, SloReport};
 use reliable_aqp::workload::{conviva_sessions_table, facebook_events_table};
 use reliable_aqp::{AqpSession, SessionConfig};
 
@@ -31,7 +36,7 @@ fn coverage_bar(cov: Option<f64>, width: usize) -> String {
     s
 }
 
-fn panel(title: &str, r: &AuditReport) {
+fn panel(title: &str, r: &AuditReport, slo: Option<&SloReport>) {
     println!("\n== {title} ==");
     println!(
         "   audited {} of {} approximate queries ({} results scored)",
@@ -46,6 +51,24 @@ fn panel(title: &str, r: &AuditReport) {
             cov.map(|c| format!("{:5.1}%", c * 100.0)).unwrap_or_else(|| "    -".to_string()),
             k.mean_error_ratio.map(|m| format!("{m:.2}")).unwrap_or_else(|| "-".to_string()),
         );
+    }
+    if let Some(slo) = slo {
+        for o in &slo.objectives {
+            println!(
+                "   slo {:<24} burn(fast) {:>6.2}  burn(slow) {:>6.2}  budget {:>3.0}%{}",
+                o.id,
+                o.burn_fast,
+                o.burn_slow,
+                o.budget_remaining * 100.0,
+                if o.page_latched {
+                    "  PAGE"
+                } else if o.warn_latched {
+                    "  WARN"
+                } else {
+                    ""
+                },
+            );
+        }
     }
     if r.alerts.is_empty() {
         println!("   alerts: none");
@@ -78,6 +101,7 @@ fn main() {
             column_families: vec![("time".into(), "lognormal".into()), ("*".into(), "count".into())],
             ..Default::default()
         }),
+        slo: Some(SloConfig::new().with_coverage(SloConfig::DEFAULT_CLASS, 0.95)),
         ..Default::default()
     });
     healthy.register_table(conviva_sessions_table(rows, 8, 1)).expect("register");
@@ -106,6 +130,7 @@ fn main() {
             column_families: vec![("payload_kb".into(), "pareto".into())],
             ..Default::default()
         }),
+        slo: Some(SloConfig::new().with_coverage(SloConfig::DEFAULT_CLASS, 0.95)),
         ..Default::default()
     });
     suspect.register_table(facebook_events_table(rows, 8, 2)).expect("register");
@@ -114,8 +139,18 @@ fn main() {
         suspect.execute("SELECT MAX(payload_kb) FROM events").expect("query");
     }
 
-    panel("healthy (claimed 95% confidence)", &healthy.audit_report().expect("auditing on"));
-    panel("miscalibrated (error bars unchecked)", &suspect.audit_report().expect("auditing on"));
+    let healthy_slo = healthy.slo_report();
+    let suspect_slo = suspect.slo_report();
+    panel(
+        "healthy (claimed 95% confidence)",
+        &healthy.audit_report().expect("auditing on"),
+        healthy_slo.as_ref(),
+    );
+    panel(
+        "miscalibrated (error bars unchecked)",
+        &suspect.audit_report().expect("auditing on"),
+        suspect_slo.as_ref(),
+    );
 
     println!(
         "\nThe paper's point, continuously: coverage that tracks the claimed confidence means \

@@ -39,6 +39,9 @@ pub use aqp_core::{AqpAnswer, AqpSession, ExplainMode, OpProfile, SessionConfig}
 /// Observability: clock abstraction, metrics registry, query traces.
 pub use aqp_obs as obs;
 
+/// Fleet-level SLOs: burn-rate alerts, error budgets, drift detection.
+pub use aqp_slo as slo;
+
 /// Deterministic fault injection and recovery (`crates/faults`).
 pub use aqp_faults as faults;
 /// Operator-level EXPLAIN ANALYZE profiles assembled from query traces.

@@ -136,3 +136,44 @@ fn mock_clock_makes_runs_exactly_deterministic() {
     assert_eq!(h.count, 1);
     assert_eq!(h.sum_ms, 0.0);
 }
+
+#[test]
+fn histogram_quantiles_are_stable_under_interleaved_record_and_snapshot() {
+    // Snapshots taken mid-stream must (a) keep the quantile estimates
+    // monotone (p50 <= p95 <= p99), (b) count exactly the observations
+    // recorded so far, and (c) converge on the same final state as an
+    // uninterrupted histogram fed the identical sequence — taking a
+    // snapshot can never perturb what is being measured.
+    let interleaved = MetricsRegistry::new();
+    let uninterrupted = MetricsRegistry::new();
+    let a = interleaved.histogram("aqp.test.interleaved_ms");
+    let b = uninterrupted.histogram("aqp.test.interleaved_ms");
+    // A deterministic, shuffled-looking latency sequence spanning
+    // several buckets (LCG so there's no RNG dependency).
+    let mut x: u64 = 0x2545F491;
+    for i in 0..500u64 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let ms = (x >> 33) as f64 % 250.0;
+        a.record_ms(ms);
+        b.record_ms(ms);
+        if i % 7 == 0 {
+            let snap = a.snapshot();
+            assert_eq!(snap.count, i + 1, "snapshot lost or invented observations");
+            assert!(
+                snap.p50 <= snap.p95 && snap.p95 <= snap.p99,
+                "quantiles out of order at i={i}: p50={} p95={} p99={}",
+                snap.p50,
+                snap.p95,
+                snap.p99
+            );
+            assert!(snap.sum_ms >= 0.0 && snap.p99 <= 250.0);
+        }
+    }
+    let finala = a.snapshot();
+    let finalb = b.snapshot();
+    assert_eq!(finala, finalb, "mid-stream snapshots perturbed the histogram");
+    assert_eq!(finala.count, 500);
+    // And the registry-level snapshot agrees with the handle-level one.
+    let reg = interleaved.snapshot();
+    assert_eq!(reg.histogram("aqp.test.interleaved_ms"), Some(&finala));
+}
