@@ -18,7 +18,7 @@
 use aqp_audit::AuditConfig;
 use aqp_bench::{percentile, section, Args};
 use aqp_cluster::{simulate_query, ClusterConfig, PhysicalTuning, PlanMode};
-use aqp_core::{required_sample_rows, AqpSession, ExplainMode, SessionConfig};
+use aqp_core::{required_sample_rows, AqpSession, ContProfConfig, ExplainMode, SessionConfig};
 use aqp_obs::json::{push_f64, push_str_lit};
 use aqp_obs::{Clock, FlightRecorderConfig, ObsHandle};
 use aqp_slo::SloConfig;
@@ -87,11 +87,25 @@ fn main() {
     put("audit.alerts", alerts);
 
     // --- Operator-profile leg: the quickstart-shaped query under a mock
-    // clock; counters (not wall times) land in the trajectory. ---
-    let (ops, scan_rows, workers) = profile_leg(seed);
+    // clock; counters (not wall times) land in the trajectory. The same
+    // session runs with continuous profiling on, so the fleet-cumulative
+    // profile's shape (classes × paths) and its peak per-operator byte
+    // estimate — the deterministic memory proxy — are stamped too. ---
+    let (ops, scan_rows, workers, cp_classes, cp_paths, cp_peak_bytes) = profile_leg(seed);
     put("profile.ops", ops);
     put("profile.scan_rows_out", scan_rows);
     put("profile.workers", workers);
+    put("contprof.classes", cp_classes);
+    put("contprof.paths", cp_paths);
+    put("contprof.peak_op_bytes", cp_peak_bytes);
+
+    // --- Throughput leg: a row-at-a-time scan baseline replayed on the
+    // mock clock at a fixed nominal per-row cost, read back through the
+    // profile's rows/s / bytes/s fields (the plumbing EXPLAIN ANALYZE
+    // renders), so batched engines have a stamped baseline to beat. ---
+    let (rows_per_sec, bytes_per_sec) = throughput_leg();
+    put("profile.scan_rows_per_sec", rows_per_sec);
+    put("profile.scan_bytes_per_sec", bytes_per_sec);
 
     // --- SLO leg: the two-phase healthy-then-miscalibrated replay with
     // the fleet SLO engine, drift detectors, and flight recorder on;
@@ -250,9 +264,12 @@ fn slo_leg(seed: u64) -> (f64, f64, f64, f64, f64) {
     )
 }
 
-/// One quickstart-shaped query under an isolated mock clock; returns
-/// (operator count, scan output rows, workers on the deepest operator).
-fn profile_leg(seed: u64) -> (f64, f64, f64) {
+/// One quickstart-shaped query under an isolated mock clock with
+/// continuous profiling on, plus a GROUP BY query to populate a second
+/// workload class; returns (operator count, scan output rows, workers
+/// on the deepest operator, contprof classes, contprof paths, peak
+/// per-operator byte estimate across cumulative-profile cells).
+fn profile_leg(seed: u64) -> (f64, f64, f64, f64, f64, f64) {
     let session = AqpSession::new(SessionConfig {
         seed,
         threads: 2,
@@ -260,6 +277,7 @@ fn profile_leg(seed: u64) -> (f64, f64, f64) {
         diagnostic_p: 50,
         obs: ObsHandle::isolated(Clock::mock()),
         explain: ExplainMode::Text,
+        contprof: Some(ContProfConfig::new().with_class("dashboards", "GROUP BY")),
         ..Default::default()
     });
     session.register_table(conviva_sessions_table(40_000, 4, seed)).expect("register");
@@ -267,7 +285,12 @@ fn profile_leg(seed: u64) -> (f64, f64, f64) {
     let answer = session
         .execute("SELECT AVG(time) FROM sessions WHERE city = 'NYC'")
         .expect("profiled query");
-    let Some(profile) = &answer.profile else { return (0.0, 0.0, 0.0) };
+    session
+        .execute("SELECT city, COUNT(*) FROM sessions GROUP BY city")
+        .expect("grouped query");
+    let cum = session.cumulative_profile().expect("contprof is on");
+    let peak_op_bytes = cum.iter().map(|(_, _, c)| c.bytes).max().unwrap_or(0);
+    let Some(profile) = &answer.profile else { return (0.0, 0.0, 0.0, 0.0, 0.0, 0.0) };
     let nodes = profile.nodes();
     let scan_rows = nodes
         .iter()
@@ -275,7 +298,42 @@ fn profile_leg(seed: u64) -> (f64, f64, f64) {
         .map(|n| n.rows_out as f64)
         .unwrap_or(0.0);
     let workers = nodes.iter().map(|n| n.workers.len()).max().unwrap_or(0);
-    (nodes.len() as f64, scan_rows, workers as f64)
+    (
+        nodes.len() as f64,
+        scan_rows,
+        workers as f64,
+        cum.classes() as f64,
+        cum.paths() as f64,
+        peak_op_bytes as f64,
+    )
+}
+
+/// The row-at-a-time scan baseline: `ROWS` rows replayed one batch per
+/// row on the mock clock at a fixed nominal per-row cost, parsed
+/// through [`aqp_core::OpProfile`] so the stamped figures exercise the
+/// same `rows_per_s` / `bytes_per_s` plumbing `EXPLAIN ANALYZE`
+/// renders. Returns (rows/s, bytes/s).
+fn throughput_leg() -> (f64, f64) {
+    use aqp_obs::TraceRecorder;
+    const ROWS: u64 = 8_000;
+    const BYTES_PER_ROW: u64 = 24; // three 8-byte columns
+    const NS_PER_ROW: u64 = 250; // the nominal row-at-a-time cost
+    let clock = Clock::mock();
+    let rec = TraceRecorder::new(clock.clone());
+    let stage = rec.start("scan_collect");
+    let t0 = clock.now();
+    clock.advance(std::time::Duration::from_nanos(ROWS * NS_PER_ROW));
+    let sp = rec.record_span("op:Scan", t0, clock.now());
+    rec.attr(sp, "node_id", 0usize);
+    rec.attr(sp, "rows_in", ROWS);
+    rec.attr(sp, "rows_out", ROWS);
+    rec.attr(sp, "batches", ROWS);
+    rec.attr(sp, "bytes", ROWS * BYTES_PER_ROW);
+    rec.end(stage);
+    let profile = aqp_core::OpProfile::from_trace(&rec.finish()).expect("profile");
+    let nodes = profile.nodes();
+    let scan = nodes.iter().find(|n| n.name == "Scan").expect("scan node");
+    (scan.rows_per_s.unwrap_or(0.0), scan.bytes_per_s.unwrap_or(0.0))
 }
 
 /// Render the canonical trajectory document: schema tag, seed, and the

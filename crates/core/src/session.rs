@@ -66,6 +66,13 @@ pub struct SessionConfig {
     /// default — with `None` nothing is constructed and the pipeline
     /// is bit-identical to a build without the SLO layer).
     pub slo: Option<aqp_slo::SloConfig>,
+    /// Continuous profiling: fold every query's operator profile into a
+    /// fleet-cumulative profile keyed by workload class × operator path
+    /// (`None` = off, the default — with `None` nothing is constructed,
+    /// no `aqp.prof.contprof_*` / `aqp.mem.*` metrics are registered,
+    /// and answers/traces/metrics are bit-identical to a build without
+    /// the profiler). See [`AqpSession::cumulative_profile`].
+    pub contprof: Option<aqp_prof::contprof::ContProfConfig>,
 }
 
 impl Default for SessionConfig {
@@ -83,6 +90,7 @@ impl Default for SessionConfig {
             explain: ExplainMode::Off,
             faults: None,
             slo: None,
+            contprof: None,
         }
     }
 }
@@ -94,6 +102,14 @@ struct SloRuntime {
     recorder: aqp_obs::FlightRecorder,
 }
 
+/// The live continuous profiler: the class-routing config plus the
+/// fleet-cumulative profile every query folds into. Constructed only
+/// when `SessionConfig::contprof` is set.
+struct ContProfRuntime {
+    config: aqp_prof::contprof::ContProfConfig,
+    cumulative: Mutex<aqp_prof::contprof::CumulativeProfile>,
+}
+
 /// A reliable-AQP session.
 pub struct AqpSession {
     catalog: Catalog,
@@ -101,6 +117,7 @@ pub struct AqpSession {
     config: SessionConfig,
     auditor: Option<Auditor>,
     slo: Option<SloRuntime>,
+    contprof: Option<ContProfRuntime>,
 }
 
 impl AqpSession {
@@ -114,12 +131,17 @@ impl AqpSession {
             recorder: aqp_obs::FlightRecorder::new(cfg.recorder.clone(), &config.obs.metrics),
             engine: aqp_slo::SloEngine::new(cfg, &config.obs),
         });
+        let contprof = config.contprof.clone().map(|cfg| ContProfRuntime {
+            config: cfg,
+            cumulative: Mutex::new(aqp_prof::contprof::CumulativeProfile::new()),
+        });
         AqpSession {
             catalog: Catalog::new(),
             registry: Mutex::new(UdfRegistry::default()),
             config,
             auditor,
             slo,
+            contprof,
         }
     }
 
@@ -143,6 +165,14 @@ impl AqpSession {
     /// The always-on flight recorder (`None` when SLOs are off).
     pub fn flight_recorder(&self) -> Option<&aqp_obs::FlightRecorder> {
         self.slo.as_ref().map(|s| &s.recorder)
+    }
+
+    /// A snapshot of the fleet-cumulative operator profile accumulated
+    /// so far (`None` when continuous profiling is off). Snapshots from
+    /// different sessions/processes combine with
+    /// [`CumulativeProfile::merge`](aqp_prof::contprof::CumulativeProfile::merge).
+    pub fn cumulative_profile(&self) -> Option<aqp_prof::contprof::CumulativeProfile> {
+        self.contprof.as_ref().map(|cp| cp.cumulative.lock().clone())
     }
 
     /// Register an aggregate UDF.
@@ -319,6 +349,28 @@ impl AqpSession {
             .histogram(name::CORE_QUERY_MS)
             .record_ms(elapsed.as_secs_f64() * 1e3);
         let answer = finish_with_trace(rec, result, self.config.explain);
+        if let Some(cp) = &self.contprof {
+            if let Ok(a) = &answer {
+                let eval_started = obs.clock.now();
+                let class = cp.config.classify(sql);
+                let profile =
+                    a.profile.clone().or_else(|| OpProfile::from_trace(&a.trace));
+                if let Some(root) = profile {
+                    cp.cumulative.lock().observe(class, std::slice::from_ref(&root));
+                }
+                obs.metrics.counter(name::PROF_CONTPROF_QUERIES).inc();
+                if aqp_obs::alloc::enabled() {
+                    let m = aqp_obs::alloc::stats();
+                    obs.metrics.gauge(name::MEM_ALLOCS).set(m.allocs as f64);
+                    obs.metrics.gauge(name::MEM_ALLOC_BYTES).set(m.alloc_bytes as f64);
+                    obs.metrics.gauge(name::MEM_CURRENT_BYTES).set(m.current_bytes as f64);
+                    obs.metrics.gauge(name::MEM_PEAK_BYTES).set(m.peak_bytes as f64);
+                }
+                obs.metrics
+                    .histogram(name::PROF_CONTPROF_EVAL_MS)
+                    .record_ms(obs.clock.now().duration_since(eval_started).as_secs_f64() * 1e3);
+            }
+        }
         if let Some(slo) = &self.slo {
             let eval_started = obs.clock.now();
             if let Ok(a) = &answer {
@@ -329,7 +381,16 @@ impl AqpSession {
             for alert in &alerts {
                 let reason =
                     format!("slo:{}:{}", alert.severity.as_str(), alert.objective);
-                slo.recorder.dump(&reason, &obs.metrics.snapshot());
+                slo.recorder.dump_with_context(
+                    &reason,
+                    &obs.metrics.snapshot(),
+                    &[
+                        ("class", alert.class.as_str()),
+                        ("objective", alert.objective.as_str()),
+                        ("severity", alert.severity.as_str()),
+                        ("trigger", "latency"),
+                    ],
+                );
             }
             obs.metrics
                 .histogram(name::SLO_EVAL_MS)
@@ -481,8 +542,11 @@ impl AqpSession {
                 // approximation and serve exact truth instead.
                 self.config.obs.metrics.counter(name::FAULTS_EXACT_FALLBACKS).inc();
                 if let Some(slo) = &self.slo {
-                    slo.recorder
-                        .dump("exec:degraded", &self.config.obs.metrics.snapshot());
+                    slo.recorder.dump_with_context(
+                        "exec:degraded",
+                        &self.config.obs.metrics.snapshot(),
+                        &[("trigger", "degraded_exact_fallback")],
+                    );
                 }
                 let gate = rec.start(stage::RELIABILITY_GATE);
                 rec.attr(gate, "degraded_lost_partitions", lost_partitions);
@@ -768,13 +832,25 @@ impl AqpSession {
             let (slo_alerts, _drift) =
                 slo.engine.observe_audit(class, &slo_scores, eval_started);
             for alert in &audit_alerts {
-                slo.recorder
-                    .dump(&format!("audit:{}", alert.key), &obs.metrics.snapshot());
+                slo.recorder.dump_with_context(
+                    &format!("audit:{}", alert.key),
+                    &obs.metrics.snapshot(),
+                    &[("class", class), ("trigger", "audit"), ("alert", alert.key.as_str())],
+                );
             }
             for alert in &slo_alerts {
                 let reason =
                     format!("slo:{}:{}", alert.severity.as_str(), alert.objective);
-                slo.recorder.dump(&reason, &obs.metrics.snapshot());
+                slo.recorder.dump_with_context(
+                    &reason,
+                    &obs.metrics.snapshot(),
+                    &[
+                        ("class", alert.class.as_str()),
+                        ("objective", alert.objective.as_str()),
+                        ("severity", alert.severity.as_str()),
+                        ("trigger", "audit_score"),
+                    ],
+                );
             }
             obs.metrics
                 .histogram(name::SLO_EVAL_MS)

@@ -166,12 +166,6 @@ impl ExactResult {
             _ => None,
         }
     }
-
-    /// The old single wall-time number.
-    #[deprecated(note = "use .timings (per-stage) or .trace instead")]
-    pub fn elapsed(&self) -> Duration {
-        self.timings.total()
-    }
 }
 
 #[cfg(test)]
@@ -243,9 +237,7 @@ mod tests {
             trace: QueryTrace::default(),
         };
         assert_eq!(r.scalar(), Some(42.0));
-        #[allow(deprecated)]
-        let e = r.elapsed();
-        assert_eq!(e, Duration::from_millis(4));
+        assert_eq!(r.timings.total(), Duration::from_millis(4));
         let r2 = ExactResult {
             groups: vec![(String::new(), vec![1.0, 2.0])],
             rows_scanned: 10,

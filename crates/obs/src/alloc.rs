@@ -1,0 +1,168 @@
+//! Memory accounting: an opt-in counting global allocator.
+//!
+//! Built with the `count-alloc` cargo feature, this module installs a
+//! [`std::alloc::System`]-backed global allocator that counts every
+//! allocation (count, cumulative bytes, live bytes, peak live bytes)
+//! into process-wide atomics. The counters feed the `aqp.mem.*` metric
+//! family and the per-stage `mem_allocs`/`mem_bytes` trace attributes
+//! the engine attaches when accounting is on.
+//!
+//! Without the feature (the default), nothing is installed and
+//! [`stats`] returns zeros with [`enabled`] `false`: traces, metrics,
+//! and answers stay byte-identical to a build without this module, and
+//! no unsafe code is compiled. Allocator counts are inherently
+//! platform- and schedule-dependent, so they are *observability*, never
+//! inputs to answers or to bit-stable artifacts.
+
+// The GlobalAlloc impl is the one sanctioned unsafe block in the
+// workspace, compiled only under the opt-in feature; the crate-root
+// deny(unsafe_code) stays in force for everything else.
+#[cfg(feature = "count-alloc")]
+#[allow(unsafe_code)]
+mod counting {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    pub static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+    pub static CURRENT_BYTES: AtomicU64 = AtomicU64::new(0);
+    pub static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+    fn on_alloc(bytes: u64) {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(bytes, Ordering::Relaxed);
+        let live = CURRENT_BYTES.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+    }
+
+    fn on_dealloc(bytes: u64) {
+        let _ = CURRENT_BYTES.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(bytes))
+        });
+    }
+
+    /// [`System`] with counting side effects on every call.
+    pub struct CountingAllocator;
+
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let p = System.alloc(layout);
+            if !p.is_null() {
+                on_alloc(layout.size() as u64);
+            }
+            p
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout);
+            on_dealloc(layout.size() as u64);
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let p = System.realloc(ptr, layout, new_size);
+            if !p.is_null() {
+                on_dealloc(layout.size() as u64);
+                on_alloc(new_size as u64);
+            }
+            p
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAllocator = CountingAllocator;
+}
+
+/// A snapshot of the counting allocator's process-wide counters. All
+/// zeros when the `count-alloc` feature is off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemStats {
+    /// Allocations since process start.
+    pub allocs: u64,
+    /// Cumulative bytes allocated since process start.
+    pub alloc_bytes: u64,
+    /// Live (not yet freed) heap bytes.
+    pub current_bytes: u64,
+    /// High-water mark of live heap bytes.
+    pub peak_bytes: u64,
+}
+
+impl MemStats {
+    /// Growth from `earlier` to `self`: allocation count and cumulative
+    /// bytes are differenced (saturating); live and peak bytes keep
+    /// `self`'s absolute values, since "live at stage end" and "peak so
+    /// far" are the meaningful per-stage readings.
+    pub fn delta_since(&self, earlier: &MemStats) -> MemStats {
+        MemStats {
+            allocs: self.allocs.saturating_sub(earlier.allocs),
+            alloc_bytes: self.alloc_bytes.saturating_sub(earlier.alloc_bytes),
+            current_bytes: self.current_bytes,
+            peak_bytes: self.peak_bytes,
+        }
+    }
+}
+
+/// Whether the counting allocator is compiled in (`count-alloc`
+/// feature). `const`, so disabled call sites fold away entirely.
+pub const fn enabled() -> bool {
+    cfg!(feature = "count-alloc")
+}
+
+/// The current allocator counters; all zeros when [`enabled`] is
+/// `false`.
+pub fn stats() -> MemStats {
+    #[cfg(feature = "count-alloc")]
+    {
+        use std::sync::atomic::Ordering;
+        MemStats {
+            allocs: counting::ALLOCS.load(Ordering::Relaxed),
+            alloc_bytes: counting::ALLOC_BYTES.load(Ordering::Relaxed),
+            current_bytes: counting::CURRENT_BYTES.load(Ordering::Relaxed),
+            peak_bytes: counting::PEAK_BYTES.load(Ordering::Relaxed),
+        }
+    }
+    #[cfg(not(feature = "count-alloc"))]
+    MemStats::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_track_the_feature_gate() {
+        let s = stats();
+        if enabled() {
+            // Any running test binary has allocated by now.
+            assert!(s.allocs > 0);
+            assert!(s.peak_bytes >= s.current_bytes);
+        } else {
+            assert_eq!(s, MemStats::default());
+        }
+    }
+
+    #[test]
+    fn delta_differences_cumulative_counters_only() {
+        let a = MemStats { allocs: 10, alloc_bytes: 100, current_bytes: 40, peak_bytes: 80 };
+        let b = MemStats { allocs: 25, alloc_bytes: 260, current_bytes: 55, peak_bytes: 90 };
+        let d = b.delta_since(&a);
+        assert_eq!(d.allocs, 15);
+        assert_eq!(d.alloc_bytes, 160);
+        assert_eq!(d.current_bytes, 55);
+        assert_eq!(d.peak_bytes, 90);
+        // Saturating: a stale "earlier" never underflows.
+        assert_eq!(a.delta_since(&b).allocs, 0);
+    }
+
+    #[test]
+    fn allocations_move_the_counters_when_enabled() {
+        if !enabled() {
+            return;
+        }
+        let before = stats();
+        let v: Vec<u8> = Vec::with_capacity(1 << 16);
+        let after = stats();
+        drop(v);
+        assert!(after.allocs > before.allocs);
+        assert!(after.alloc_bytes >= before.alloc_bytes + (1 << 16));
+    }
+}

@@ -29,6 +29,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod clock;
 pub mod json;
 pub mod metrics;
@@ -36,6 +37,7 @@ pub mod recorder;
 pub mod sink;
 pub mod trace;
 
+pub use alloc::MemStats;
 pub use clock::{Clock, Timestamp};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
@@ -178,6 +180,27 @@ pub mod name {
     /// Wall-clock spent in SLO observation + evaluation per query
     /// (histogram, ms — the <5% overhead budget is enforced on it).
     pub const SLO_EVAL_MS: &str = "aqp.slo.eval_ms";
+
+    /// Queries folded into the session's fleet-cumulative operator
+    /// profile (contprof enabled only).
+    pub const PROF_CONTPROF_QUERIES: &str = "aqp.prof.contprof_queries";
+    /// Wall-clock spent folding a query's profile into the cumulative
+    /// profile (histogram, ms — the <5% overhead budget is enforced on
+    /// it; contprof enabled only).
+    pub const PROF_CONTPROF_EVAL_MS: &str = "aqp.prof.contprof_eval_ms";
+
+    /// Heap allocations observed by the counting global allocator since
+    /// process start (gauge; 0 unless the `count-alloc` feature is on).
+    pub const MEM_ALLOCS: &str = "aqp.mem.allocs";
+    /// Heap bytes allocated since process start (gauge; cumulative, not
+    /// live; 0 unless the `count-alloc` feature is on).
+    pub const MEM_ALLOC_BYTES: &str = "aqp.mem.alloc_bytes";
+    /// Live heap bytes at the last contprof observation (gauge; 0
+    /// unless the `count-alloc` feature is on).
+    pub const MEM_CURRENT_BYTES: &str = "aqp.mem.current_bytes";
+    /// High-water mark of live heap bytes (gauge; 0 unless the
+    /// `count-alloc` feature is on).
+    pub const MEM_PEAK_BYTES: &str = "aqp.mem.peak_bytes";
 }
 
 /// A clock plus a metrics registry: the observability context that

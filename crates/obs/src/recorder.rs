@@ -138,6 +138,21 @@ impl FlightRecorder {
     /// return it. Never fails: I/O errors only increment
     /// `aqp.obs.recorder_dump_write_errors`.
     pub fn dump(&self, reason: &str, snapshot: &MetricsSnapshot) -> String {
+        self.dump_with_context(reason, snapshot, &[])
+    }
+
+    /// [`dump`](FlightRecorder::dump) with alert context: the given
+    /// key/value pairs are frozen into one `{"context":{...}}` line
+    /// right after the header, so a dump carries *why* it fired
+    /// (workload class, objective, the cumulative profile at alert
+    /// time) alongside the evidence. An empty `context` emits no extra
+    /// line, keeping pre-context dumps byte-identical.
+    pub fn dump_with_context(
+        &self,
+        reason: &str,
+        snapshot: &MetricsSnapshot,
+        context: &[(&str, &str)],
+    ) -> String {
         let mut inner = self.lock();
         let dump = inner.next_dump;
         inner.next_dump += 1;
@@ -151,6 +166,18 @@ impl FlightRecorder {
         out.push_str(",\"traces_recorded\":");
         out.push_str(&inner.next_seq.to_string());
         out.push_str("}\n");
+        if !context.is_empty() {
+            out.push_str("{\"context\":{");
+            for (i, (k, v)) in context.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_str_lit(&mut out, k);
+                out.push(':');
+                push_str_lit(&mut out, v);
+            }
+            out.push_str("}}\n");
+        }
         out.push_str(&snapshot.to_jsonl());
         for (seq, trace) in &inner.ring {
             out.push_str("{\"trace_seq\":");
@@ -258,6 +285,30 @@ mod tests {
             .collect();
         assert_eq!(order, vec![2, 3, 4, 5]);
         assert!(b.lines().next().unwrap().contains("\"dump\":0"));
+    }
+
+    #[test]
+    fn dump_with_context_freezes_alert_context_after_the_header() {
+        let metrics = MetricsRegistry::new();
+        let clock = Clock::mock();
+        let fr = FlightRecorder::new(
+            FlightRecorderConfig { capacity: 2, path: None },
+            &metrics,
+        );
+        fr.record(trace("q0", &clock));
+        let plain = fr.dump("no-ctx", &metrics.snapshot());
+        assert!(!plain.contains("\"context\""), "{plain}");
+        let dump = fr.dump_with_context(
+            "slo:page:latency",
+            &metrics.snapshot(),
+            &[("class", "dashboards"), ("objective", "latency_ms<500")],
+        );
+        let mut lines = dump.lines();
+        assert!(lines.next().expect("header").starts_with("{\"recorder\":"));
+        assert_eq!(
+            lines.next().expect("context line"),
+            "{\"context\":{\"class\":\"dashboards\",\"objective\":\"latency_ms<500\"}}"
+        );
     }
 
     #[test]

@@ -25,6 +25,9 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod contprof;
+pub mod export;
+
 use std::time::Duration;
 
 use aqp_obs::json::{push_f64, push_str_lit};
@@ -78,6 +81,14 @@ pub struct OpProfile {
     pub batches: u64,
     /// Estimated bytes moved (8-byte cells, `rows_out × columns`).
     pub bytes: u64,
+    /// Output throughput in rows per second, computed from `rows_out`
+    /// over `wall` on the session clock; `None` when the operator's
+    /// wall time is zero (an unadvanced mock clock), so renders stay
+    /// bit-stable.
+    pub rows_per_s: Option<f64>,
+    /// Data throughput in bytes per second (`bytes / wall`); `None`
+    /// when `wall` is zero.
+    pub bytes_per_s: Option<f64>,
     /// Fraction of the full table this operator's input represents
     /// (recorded on the scan of a stored sample).
     pub sample_fraction: Option<f64>,
@@ -128,6 +139,13 @@ fn parse_f64(span: &Span, key: &str) -> Option<f64> {
     span.attr(key).and_then(|v| v.parse().ok())
 }
 
+/// `count` items over `wall` as a per-second rate; `None` when the wall
+/// time is zero (nothing elapsed on the recording clock).
+fn throughput(count: u64, wall: Duration) -> Option<f64> {
+    let secs = wall.as_secs_f64();
+    (secs > 0.0).then(|| count as f64 / secs)
+}
+
 /// Split the trace's `op:` spans into maximal strictly-descending
 /// node-id runs — one run per execution.
 fn split_runs(trace: &QueryTrace) -> Vec<Vec<ParsedOp>> {
@@ -164,6 +182,9 @@ fn parse_op(span: &Span) -> Option<ParsedOp> {
         .filter(|(k, _)| !CONSUMED_ATTRS.contains(&k.as_str()))
         .cloned()
         .collect();
+    let wall = span.duration();
+    let rows_out = parse_u64(span, "rows_out").unwrap_or(0);
+    let bytes = parse_u64(span, "bytes").unwrap_or(0);
     Some(ParsedOp {
         parent: span.parent,
         node_id,
@@ -171,11 +192,13 @@ fn parse_op(span: &Span) -> Option<ParsedOp> {
             node_id,
             name: name.to_string(),
             detail,
-            wall: span.duration(),
+            wall,
             rows_in: parse_u64(span, "rows_in").unwrap_or(0),
-            rows_out: parse_u64(span, "rows_out").unwrap_or(0),
+            rows_out,
             batches: parse_u64(span, "batches").unwrap_or(0),
-            bytes: parse_u64(span, "bytes").unwrap_or(0),
+            bytes,
+            rows_per_s: throughput(rows_out, wall),
+            bytes_per_s: throughput(bytes, wall),
             sample_fraction: parse_f64(span, "sample_fraction"),
             resamples: parse_u64(span, "resamples"),
             workers: Vec::new(),
@@ -344,6 +367,12 @@ impl OpProfile {
             "{indent}    rows {} -> {}, batches {}, ~{} B",
             self.rows_in, self.rows_out, self.batches, self.bytes
         );
+        if let Some(r) = self.rows_per_s {
+            let _ = write!(line, ", {r:.0} rows/s");
+        }
+        if let Some(b) = self.bytes_per_s {
+            let _ = write!(line, ", {b:.0} B/s");
+        }
         if let Some(f) = self.sample_fraction {
             let _ = write!(line, ", fraction {f}");
         }
@@ -399,6 +428,14 @@ impl OpProfile {
             ",\"rows_in\":{},\"rows_out\":{},\"batches\":{},\"bytes\":{}",
             self.rows_in, self.rows_out, self.batches, self.bytes
         );
+        if let Some(r) = self.rows_per_s {
+            out.push_str(",\"rows_per_s\":");
+            push_f64(out, r);
+        }
+        if let Some(b) = self.bytes_per_s {
+            out.push_str(",\"bytes_per_s\":");
+            push_f64(out, b);
+        }
         if let Some(f) = self.sample_fraction {
             out.push_str(",\"sample_fraction\":");
             push_f64(out, f);
@@ -706,13 +743,29 @@ mod tests {
         let text = a.render_text();
         assert!(text.contains("Scan[sessions]  (op #3, wall 4.000ms)"));
         assert!(text.contains("rows 100 -> 25"));
+        // Scan: 100 rows / 2400 B over 4ms.
+        assert!(text.contains("25000 rows/s"), "{text}");
+        assert!(text.contains("600000 B/s"), "{text}");
         assert!(text.contains("workers[2] busy=[2.000, 5.000]ms slowdown=x1.00"));
         let json = a.to_json();
         assert!(json.starts_with("{\"op\":\"ErrorEstimate\""));
         assert!(json.contains("\"resamples\":100"));
         assert!(json.contains("\"sample_fraction\":0.05"));
+        assert!(json.contains("\"rows_per_s\":25000"), "{json}");
+        assert!(json.contains("\"bytes_per_s\":600000"), "{json}");
         assert!(json.contains("\"children\":["));
         assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn throughput_is_none_on_zero_wall_and_exact_otherwise() {
+        assert_eq!(throughput(100, Duration::ZERO), None);
+        assert_eq!(throughput(100, ms(4)), Some(25_000.0));
+        assert_eq!(throughput(0, ms(4)), Some(0.0));
+        let tree = OpProfile::from_trace(&engine_like_trace()).expect("tree");
+        let scan = tree.find("Scan").expect("scan");
+        assert_eq!(scan.rows_per_s, Some(25_000.0));
+        assert_eq!(scan.bytes_per_s, Some(600_000.0));
     }
 
     #[test]

@@ -24,7 +24,11 @@ enum Direction {
 }
 
 fn direction(name: &str) -> Direction {
-    if name.ends_with("_s")
+    if name.contains("per_sec") || name.contains("throughput") {
+        // Throughput regresses downward; checked before the `_s` suffix
+        // rule so `rows_per_sec`-style names never read as latencies.
+        Direction::LowerWorse
+    } else if name.ends_with("_s")
         || name.ends_with("_ms")
         || name.contains("mean_rows")
         || name.contains("alerts")
@@ -225,6 +229,17 @@ mod tests {
         let new = metrics(&[("fig8.qset2.speedup_p50", 20.0), ("audit.coverage_pct", 70.0)]);
         let r = compare(&old, &new, 0.2);
         assert_eq!(r.regressions, 2);
+    }
+
+    #[test]
+    fn throughput_regresses_downward_despite_the_s_suffix() {
+        // `..._per_sec` ends with `_s` lexically but is a throughput:
+        // dropping is a regression, rising is fine.
+        let old = metrics(&[("profile.scan_rows_per_sec", 1e6), ("contprof.throughput", 5.0)]);
+        let new = metrics(&[("profile.scan_rows_per_sec", 2e6), ("contprof.throughput", 2.0)]);
+        let r = compare(&old, &new, 0.2);
+        assert_eq!(r.regressions, 1);
+        assert!(r.lines.iter().any(|l| l.starts_with("FAIL") && l.contains("throughput")));
     }
 
     #[test]

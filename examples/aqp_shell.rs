@@ -21,19 +21,25 @@
 //! snapshot as JSONL when the shell exits. Launch with `--explain`
 //! (annotated text tree) or `--explain-json` (one JSON object per
 //! query) to print the EXPLAIN ANALYZE operator profile after every
-//! query.
+//! query. Launch with `--flame out.folded` to profile the whole shell
+//! session continuously and write folded flamegraph stacks on exit, or
+//! `--chrome-trace out.json` to write the last query's trace in
+//! chrome://tracing format on exit.
 
 use std::io::{BufRead, Write};
 
-use reliable_aqp::{AqpSession, ExplainMode, SessionConfig};
+use reliable_aqp::prof::export::{chrome_trace, folded_stacks};
 use reliable_aqp::workload::conviva_sessions_table;
+use reliable_aqp::{AqpSession, ContProfConfig, ExplainMode, SessionConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let metrics_path = args
-        .iter()
-        .position(|a| a == "--metrics")
-        .and_then(|i| args.get(i + 1).cloned());
+    let flag_value = |flag: &str| {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    };
+    let metrics_path = flag_value("--metrics");
+    let flame_path = flag_value("--flame");
+    let chrome_path = flag_value("--chrome-trace");
     let explain = if args.iter().any(|a| a == "--explain-json") {
         ExplainMode::Json
     } else if args.iter().any(|a| a == "--explain") {
@@ -43,10 +49,20 @@ fn main() {
     };
     let rows = 1_000_000;
     eprintln!("loading {rows}-row synthetic `sessions` table ...");
-    let session = AqpSession::new(SessionConfig { seed: 1, explain, ..Default::default() });
+    let session = AqpSession::new(SessionConfig {
+        seed: 1,
+        explain,
+        // `--flame` profiles every query of the shell session; split the
+        // error-bounded queries from the plain ones, like quickstart.
+        contprof: flame_path
+            .is_some()
+            .then(|| ContProfConfig::new().with_class("bounded", "WITHIN")),
+        ..Default::default()
+    });
     session.register_table(conviva_sessions_table(rows, 16, 1)).expect("register");
     eprintln!("ready. type \\schema for columns, \\sample 50000 to enable approximation.");
 
+    let mut last_trace = None;
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
     loop {
@@ -157,6 +173,9 @@ fn main() {
                         ExplainMode::Off => {}
                     }
                 }
+                if chrome_path.is_some() {
+                    last_trace = Some(answer.trace);
+                }
             }
             Err(e) => println!("error: {e}"),
         }
@@ -166,6 +185,26 @@ fn main() {
         match std::fs::write(&path, snapshot.to_jsonl()) {
             Ok(()) => eprintln!("metrics snapshot written to {path}"),
             Err(e) => eprintln!("failed writing metrics snapshot to {path}: {e}"),
+        }
+    }
+    if let Some(path) = flame_path {
+        let cum = session.cumulative_profile().expect("contprof is on under --flame");
+        match std::fs::write(&path, folded_stacks(&cum)) {
+            Ok(()) => eprintln!(
+                "folded stacks written to {path} ({} queries, {} paths)",
+                cum.queries_observed(),
+                cum.paths()
+            ),
+            Err(e) => eprintln!("failed writing folded stacks to {path}: {e}"),
+        }
+    }
+    if let Some(path) = chrome_path {
+        match &last_trace {
+            Some(trace) => match std::fs::write(&path, chrome_trace(trace)) {
+                Ok(()) => eprintln!("chrome trace written to {path}"),
+                Err(e) => eprintln!("failed writing chrome trace to {path}: {e}"),
+            },
+            None => eprintln!("no query ran; nothing to write to {path}"),
         }
     }
     eprintln!("bye");

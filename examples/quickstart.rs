@@ -14,11 +14,15 @@
 //! (counters, fallback rates, latency percentiles) as JSONL. Pass
 //! `--explain` (annotated text tree) or `--explain-json` (one JSON
 //! object per query) to print the EXPLAIN ANALYZE operator profile of
-//! each query.
+//! each query. Pass `--flame out.folded` to enable continuous profiling
+//! and write the cumulative operator profile as folded flamegraph
+//! stacks, or `--chrome-trace out.json` to write the last query's trace
+//! in chrome://tracing format (load it at <https://ui.perfetto.dev>).
 
 use reliable_aqp::obs::{Clock, MetricsRegistry};
+use reliable_aqp::prof::export::{chrome_trace, folded_stacks};
 use reliable_aqp::workload::conviva_sessions_table;
-use reliable_aqp::{AqpAnswer, AqpSession, ExplainMode, SessionConfig};
+use reliable_aqp::{AqpAnswer, AqpSession, ContProfConfig, ExplainMode, SessionConfig};
 
 /// Print an answer's operator profile per the chosen mode.
 fn print_profile(answer: &AqpAnswer, mode: ExplainMode) {
@@ -32,10 +36,12 @@ fn print_profile(answer: &AqpAnswer, mode: ExplainMode) {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let metrics_path = args
-        .iter()
-        .position(|a| a == "--metrics")
-        .and_then(|i| args.get(i + 1).cloned());
+    let flag_value = |flag: &str| {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    };
+    let metrics_path = flag_value("--metrics");
+    let flame_path = flag_value("--flame");
+    let chrome_path = flag_value("--chrome-trace");
     let explain = if args.iter().any(|a| a == "--explain-json") {
         ExplainMode::Json
     } else if args.iter().any(|a| a == "--explain") {
@@ -51,7 +57,16 @@ fn main() {
     // Seed chosen so the diagnostic accepts the benign AVG (most seeds do;
     // a few land in its ~few-percent false-negative band and would fall
     // back to exact, which is safe but defeats this demo).
-    let session = AqpSession::new(SessionConfig { seed: 1, explain, ..Default::default() });
+    let session = AqpSession::new(SessionConfig {
+        seed: 1,
+        explain,
+        // `--flame` wants the fleet view, so profile continuously with
+        // the error-bounded queries split from the plain ones.
+        contprof: flame_path
+            .is_some()
+            .then(|| ContProfConfig::new().with_class("bounded", "WITHIN")),
+        ..Default::default()
+    });
     session.register_table(table).expect("register");
     println!("building uniform samples (2.5% and 5%) ...");
     session.build_samples("sessions", &[rows / 40, rows / 20], 7).expect("sample");
@@ -107,6 +122,22 @@ fn main() {
         match std::fs::write(&path, snapshot.to_jsonl()) {
             Ok(()) => println!("metrics snapshot written to {path}"),
             Err(e) => eprintln!("failed writing metrics snapshot to {path}: {e}"),
+        }
+    }
+    if let Some(path) = flame_path {
+        let cum = session.cumulative_profile().expect("contprof is on under --flame");
+        match std::fs::write(&path, folded_stacks(&cum)) {
+            Ok(()) => println!(
+                "folded stacks written to {path} ({} paths; render with flamegraph.pl or inferno)",
+                cum.paths()
+            ),
+            Err(e) => eprintln!("failed writing folded stacks to {path}: {e}"),
+        }
+    }
+    if let Some(path) = chrome_path {
+        match std::fs::write(&path, chrome_trace(&tight.trace)) {
+            Ok(()) => println!("chrome trace written to {path} (open at https://ui.perfetto.dev)"),
+            Err(e) => eprintln!("failed writing chrome trace to {path}: {e}"),
         }
     }
 }

@@ -34,7 +34,10 @@
 #![warn(missing_docs)]
 
 pub use aqp_core::answer::AnswerMode;
-pub use aqp_core::{AqpAnswer, AqpSession, ExplainMode, OpProfile, SessionConfig};
+pub use aqp_core::{
+    AqpAnswer, AqpSession, ContProfConfig, CumulativeProfile, ExplainMode, OpProfile,
+    SessionConfig,
+};
 
 /// Observability: clock abstraction, metrics registry, query traces.
 pub use aqp_obs as obs;

@@ -115,8 +115,14 @@ fn enabling_slo_leaves_answers_and_traces_bit_identical() {
         coverage_slo().with_latency(SloConfig::DEFAULT_CLASS, 0.95, 40.0),
     ));
     assert_eq!(off.0, on.0, "answers changed when the SLO engine was enabled");
-    assert_eq!(off.1, on.1, "traces changed when the SLO engine was enabled");
-    assert_eq!(off.2, on.2, "shared metrics changed when the SLO engine was enabled");
+    // Under `count-alloc`, stage spans carry live allocator counts that
+    // are not reproducible across runs (the feature is excluded from
+    // bit-stable artifacts by contract); default builds — what CI runs —
+    // keep the byte-for-byte guarantee.
+    if !reliable_aqp::obs::alloc::enabled() {
+        assert_eq!(off.1, on.1, "traces changed when the SLO engine was enabled");
+        assert_eq!(off.2, on.2, "shared metrics changed when the SLO engine was enabled");
+    }
 }
 
 #[test]
