@@ -136,12 +136,15 @@ struct Meters {
     false_negatives: Counter,
     alerts: Counter,
     log_errors: Counter,
+    /// Registered only when a JSONL log is configured, so log-less
+    /// sessions keep their metric surface unchanged.
+    sink_dropped: Option<Counter>,
     window_coverage: Gauge,
     replay_ms: Histogram,
 }
 
 impl Meters {
-    fn new(obs: &ObsHandle) -> Self {
+    fn new(obs: &ObsHandle, has_log: bool) -> Self {
         let m = &obs.metrics;
         Meters {
             considered: m.counter(name::AUDIT_CONSIDERED),
@@ -155,6 +158,7 @@ impl Meters {
             false_negatives: m.counter(name::AUDIT_FALSE_NEGATIVES),
             alerts: m.counter(name::AUDIT_ALERTS_FIRED),
             log_errors: m.counter(name::AUDIT_LOG_ERRORS),
+            sink_dropped: has_log.then(|| m.counter(name::OBS_SINK_DROPPED_LINES)),
             window_coverage: m.gauge(name::AUDIT_WINDOW_COVERAGE),
             replay_ms: m.histogram(name::AUDIT_REPLAY_MS),
         }
@@ -192,7 +196,8 @@ impl Auditor {
             alerts: Vec::new(),
             sink,
         };
-        Auditor { cfg, sampler, meters: Meters::new(obs), state: Mutex::new(state) }
+        let meters = Meters::new(obs, cfg.log.is_some());
+        Auditor { cfg, sampler, meters, state: Mutex::new(state) }
     }
 
     /// The configuration this auditor runs under.
@@ -256,7 +261,12 @@ impl Auditor {
             ks.window.push(s);
 
             let line = audit_line(&audit, a, &s);
-            write_line(&mut st.sink, &line, &self.meters.log_errors);
+            write_line(
+                &mut st.sink,
+                &line,
+                &self.meters.log_errors,
+                self.meters.sink_dropped.as_ref(),
+            );
 
             let at_result = st.overall.cum.scored;
             let mut new_alerts = Vec::new();
@@ -272,7 +282,12 @@ impl Auditor {
             for alert in new_alerts {
                 self.meters.alerts.inc();
                 let line = alert_line(&alert);
-                write_line(&mut st.sink, &line, &self.meters.log_errors);
+                write_line(
+                &mut st.sink,
+                &line,
+                &self.meters.log_errors,
+                self.meters.sink_dropped.as_ref(),
+            );
                 st.alerts.push(alert.clone());
                 fired.push(alert);
             }
@@ -429,13 +444,18 @@ impl AuditReport {
     }
 }
 
-fn write_line(sink: &mut SinkState, line: &str, errors: &Counter) {
+fn write_line(sink: &mut SinkState, line: &str, errors: &Counter, dropped: Option<&Counter>) {
     loop {
         match sink {
             SinkState::Disabled | SinkState::Failed => return,
             SinkState::Unopened(cfg) => {
                 match JsonlSink::open(&cfg.path, cfg.max_bytes, cfg.max_rotations) {
-                    Ok(s) => *sink = SinkState::Open(s),
+                    Ok(s) => {
+                        *sink = SinkState::Open(match dropped {
+                            Some(c) => s.with_dropped_lines_counter(c.clone()),
+                            None => s,
+                        })
+                    }
                     Err(_) => {
                         errors.inc();
                         *sink = SinkState::Failed;

@@ -18,7 +18,9 @@
 use aqp_audit::AuditConfig;
 use aqp_bench::{percentile, section, Args};
 use aqp_cluster::{simulate_query, ClusterConfig, PhysicalTuning, PlanMode};
-use aqp_core::{required_sample_rows, AqpSession, ContProfConfig, ExplainMode, SessionConfig};
+use aqp_core::{
+    required_sample_rows, AqpSession, ContProfConfig, ExplainMode, IntrospectConfig, SessionConfig,
+};
 use aqp_obs::json::{push_f64, push_str_lit};
 use aqp_obs::{Clock, FlightRecorderConfig, ObsHandle};
 use aqp_slo::SloConfig;
@@ -117,6 +119,14 @@ fn main() {
     put("slo.drift_signals", slo.2);
     put("slo.recorder_dumps", slo.3);
     put("slo.min_budget_pct", slo.4);
+
+    // --- Introspect leg: a fixed-seed introspected replay under a mock
+    // clock; stamps the telemetry volume folded per query as a nominal
+    // ingest rate and overhead share (the real-clock <5% bound lives in
+    // tests/introspect.rs), so `_telemetry.*` schema growth is drift. ---
+    let (ingest_rows_per_s, overhead_pct) = introspect_leg(seed);
+    put("introspect.ingest_rows_per_s", ingest_rows_per_s);
+    put("introspect.overhead_pct", overhead_pct);
 
     let json = render_trajectory(seed, &metrics);
     match std::fs::write(&out, &json) {
@@ -306,6 +316,49 @@ fn profile_leg(seed: u64) -> (f64, f64, f64, f64, f64, f64) {
         cum.paths() as f64,
         peak_op_bytes as f64,
     )
+}
+
+/// The introspect leg: 45 mixed queries with the self-hosted telemetry
+/// pipeline on, closed by one introspection query that forces a catalog
+/// sync. The mock clock keeps every counter bit-stable; wall-clock
+/// overhead is enforced on a real clock by `tests/introspect.rs`. The
+/// stamped figures model the *volume* side of that bound: telemetry
+/// rows folded per query converted to an ingest rate and an overhead
+/// share at a nominal 100 queries/s fleet and 500 ns per folded row, so
+/// a schema or fold-path change that inflates per-query telemetry moves
+/// both numbers. Returns (ingest rows/s, overhead %).
+fn introspect_leg(seed: u64) -> (f64, f64) {
+    const NOMINAL_QUERIES_PER_S: f64 = 100.0;
+    const NOMINAL_FOLD_NS_PER_ROW: f64 = 500.0;
+    let obs = ObsHandle::isolated(Clock::mock());
+    let session = AqpSession::new(SessionConfig {
+        seed,
+        threads: 1,
+        bootstrap_k: 40,
+        diagnostic_p: 50,
+        obs: obs.clone(),
+        introspect: Some(IntrospectConfig::new().with_class("dashboards", "GROUP BY")),
+        ..Default::default()
+    });
+    session.register_table(conviva_sessions_table(30_000, 4, seed)).expect("register");
+    session.build_samples("sessions", &[6_000], seed ^ 7).expect("samples");
+    for i in 0..45 {
+        let sql = match i % 3 {
+            0 => "SELECT AVG(time) FROM sessions",
+            1 => "SELECT SUM(time) FROM sessions",
+            _ => "SELECT city, COUNT(*) FROM sessions GROUP BY city",
+        };
+        session.execute(sql).expect("introspected query");
+    }
+    session.execute("SELECT COUNT(*) FROM _telemetry.spans").expect("introspection query");
+    let snap = obs.metrics.snapshot();
+    let rows = snap.counter(aqp_obs::name::INTROSPECT_ROWS_INGESTED).unwrap_or(0) as f64;
+    let folded = snap.counter(aqp_obs::name::INTROSPECT_QUERIES_FOLDED).unwrap_or(0).max(1) as f64;
+    let rows_per_query = rows / folded;
+    let ingest_rows_per_s = rows_per_query * NOMINAL_QUERIES_PER_S;
+    let nominal_query_ns = 1e9 / NOMINAL_QUERIES_PER_S;
+    let overhead_pct = rows_per_query * NOMINAL_FOLD_NS_PER_ROW / nominal_query_ns * 100.0;
+    (ingest_rows_per_s, overhead_pct)
 }
 
 /// The row-at-a-time scan baseline: `ROWS` rows replayed one batch per

@@ -46,6 +46,7 @@ pub use progressive::{ProgressiveResult, ProgressiveStep};
 pub use sample_selection::required_sample_rows;
 pub use session::{AqpSession, SessionConfig};
 
+pub use aqp_introspect::IntrospectConfig;
 pub use aqp_prof::contprof::{ContProfConfig, CumulativeProfile};
 pub use aqp_prof::{ExplainMode, OpProfile};
 

@@ -73,6 +73,15 @@ pub struct SessionConfig {
     /// and answers/traces/metrics are bit-identical to a build without
     /// the profiler). See [`AqpSession::cumulative_profile`].
     pub contprof: Option<aqp_prof::contprof::ContProfConfig>,
+    /// Self-hosted telemetry analytics: fold every query's telemetry
+    /// (spans, timings, faults, audit scores, SLO alerts, operator
+    /// rows) into bounded `_telemetry.*` tables the session itself
+    /// answers aqp-sql over — exactly and approximately, with CIs and
+    /// diagnostic verdicts (`None` = off, the default — with `None`
+    /// nothing is constructed, no `aqp.introspect.*` metrics are
+    /// registered, and answers/traces/metrics are bit-identical to a
+    /// build without the introspection layer).
+    pub introspect: Option<aqp_introspect::IntrospectConfig>,
 }
 
 impl Default for SessionConfig {
@@ -91,6 +100,7 @@ impl Default for SessionConfig {
             faults: None,
             slo: None,
             contprof: None,
+            introspect: None,
         }
     }
 }
@@ -118,6 +128,7 @@ pub struct AqpSession {
     auditor: Option<Auditor>,
     slo: Option<SloRuntime>,
     contprof: Option<ContProfRuntime>,
+    introspect: Option<aqp_introspect::Introspector>,
 }
 
 impl AqpSession {
@@ -135,6 +146,10 @@ impl AqpSession {
             config: cfg,
             cumulative: Mutex::new(aqp_prof::contprof::CumulativeProfile::new()),
         });
+        let introspect = config
+            .introspect
+            .clone()
+            .map(|cfg| aqp_introspect::Introspector::new(cfg, &config.obs));
         AqpSession {
             catalog: Catalog::new(),
             registry: Mutex::new(UdfRegistry::default()),
@@ -142,6 +157,7 @@ impl AqpSession {
             auditor,
             slo,
             contprof,
+            introspect,
         }
     }
 
@@ -341,6 +357,16 @@ impl AqpSession {
     pub fn execute(&self, sql: &str) -> Result<AqpAnswer> {
         let obs = &self.config.obs;
         obs.metrics.counter(name::CORE_QUERIES).inc();
+        // Queries over the reserved `_telemetry` namespace read the
+        // introspection tables: materialize any reservoir that changed
+        // since the last sync (and rebuild its uniform sample) first,
+        // so the answer — approximate or exact — sees current data.
+        if let Some(intr) = &self.introspect {
+            if intr.is_introspection_query(sql) {
+                intr.count_served();
+                intr.sync_into(&self.catalog)?;
+            }
+        }
         let started = obs.clock.now();
         let rec = obs.recorder();
         let result = self.execute_traced(sql, &rec);
@@ -371,6 +397,7 @@ impl AqpSession {
                     .record_ms(obs.clock.now().duration_since(eval_started).as_secs_f64() * 1e3);
             }
         }
+        let mut latency_alerts: Vec<(String, String, String)> = Vec::new();
         if let Some(slo) = &self.slo {
             let eval_started = obs.clock.now();
             if let Ok(a) = &answer {
@@ -392,9 +419,43 @@ impl AqpSession {
                     ],
                 );
             }
+            if self.introspect.is_some() {
+                latency_alerts.extend(alerts.iter().map(|a| {
+                    (
+                        a.objective.clone(),
+                        a.severity.as_str().to_string(),
+                        "latency".to_string(),
+                    )
+                }));
+            }
             obs.metrics
                 .histogram(name::SLO_EVAL_MS)
                 .record_ms(obs.clock.now().duration_since(eval_started).as_secs_f64() * 1e3);
+        }
+        if let Some(intr) = &self.introspect {
+            if let Ok(a) = &answer {
+                if intr.should_fold(sql) {
+                    let eval_started = obs.clock.now();
+                    let profile =
+                        a.profile.clone().or_else(|| OpProfile::from_trace(&a.trace));
+                    intr.fold_query(&aqp_introspect::QueryRecord {
+                        sql,
+                        trace: &a.trace,
+                        mode: mode_label(a.mode),
+                        wall_ms: elapsed.as_secs_f64() * 1e3,
+                        sample_rows: a.sample_rows as u64,
+                        population_rows: a.population_rows as u64,
+                        groups: a.groups.len() as u64,
+                        fell_back: a.fell_back,
+                        degraded: a.degraded.is_some(),
+                        profile: profile.as_ref(),
+                        slo_alerts: &latency_alerts,
+                    });
+                    obs.metrics.histogram(name::INTROSPECT_EVAL_MS).record_ms(
+                        obs.clock.now().duration_since(eval_started).as_secs_f64() * 1e3,
+                    );
+                }
+            }
         }
         answer
     }
@@ -820,12 +881,26 @@ impl AqpSession {
         } else {
             Vec::new()
         };
+        // Fold the scored aggregates into `_telemetry.audit` before the
+        // auditor consumes them (ingest takes ownership).
+        if let Some(intr) = &self.introspect {
+            if intr.should_fold(sql) {
+                intr.fold_audit(ordinal, sql, &aggregates);
+            }
+        }
         let audit_alerts = auditor.ingest(QueryAudit {
             ordinal,
             sql: sql.to_string(),
             replay_ms,
             aggregates,
         });
+        if let Some(intr) = &self.introspect {
+            if intr.should_fold(sql) {
+                for alert in &audit_alerts {
+                    intr.fold_slo_alert(sql, &alert.key, "warn", "audit");
+                }
+            }
+        }
         if let Some(slo) = &self.slo {
             let eval_started = obs.clock.now();
             let class = slo.engine.classify(sql);
@@ -851,6 +926,18 @@ impl AqpSession {
                         ("trigger", "audit_score"),
                     ],
                 );
+            }
+            if let Some(intr) = &self.introspect {
+                if intr.should_fold(sql) {
+                    for alert in &slo_alerts {
+                        intr.fold_slo_alert(
+                            sql,
+                            &alert.objective,
+                            alert.severity.as_str(),
+                            "audit_score",
+                        );
+                    }
+                }
             }
             obs.metrics
                 .histogram(name::SLO_EVAL_MS)
@@ -932,6 +1019,17 @@ fn finish_with_trace(
         a.trace = trace;
         a
     })
+}
+
+/// The `_telemetry.queries.mode` label of an answer mode.
+fn mode_label(mode: AnswerMode) -> &'static str {
+    match mode {
+        AnswerMode::Approximate => "approximate",
+        AnswerMode::ApproximateUnchecked => "approximate_unchecked",
+        AnswerMode::ExactFallback => "exact_fallback",
+        AnswerMode::PartialFallback => "partial_fallback",
+        AnswerMode::Exact => "exact",
+    }
 }
 
 /// Apply a HAVING predicate to an answer's groups: each group becomes a

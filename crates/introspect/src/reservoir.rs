@@ -1,0 +1,150 @@
+//! Deterministic seeded reservoir downsampling (Vitter's Algorithm R).
+//!
+//! Once a telemetry table's row budget fills, each new event either
+//! replaces a uniformly chosen resident row or is dropped, keeping a
+//! uniform sample of the full event stream in bounded memory. The slot
+//! draw comes from a [`SeedStream`] labelled with the event's sequence
+//! number, so retention — and therefore every downstream query answer —
+//! is a pure function of *(seed, event sequence)*, never of wall-clock
+//! timing or thread interleaving.
+
+use aqp_stats::rng::SeedStream;
+
+use crate::tables::Cell;
+
+/// A bounded, seeded reservoir of telemetry rows.
+#[derive(Debug)]
+pub struct Reservoir {
+    budget: usize,
+    seeds: SeedStream,
+    seq: u64,
+    dropped: u64,
+    rows: Vec<Vec<Cell>>,
+}
+
+impl Reservoir {
+    /// An empty reservoir holding at most `budget` rows (at least 1).
+    pub fn new(budget: usize, seed: u64) -> Self {
+        Reservoir {
+            budget: budget.max(1),
+            seeds: SeedStream::new(seed),
+            seq: 0,
+            dropped: 0,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Offer one row. Below budget it is appended; at budget, Algorithm
+    /// R keeps it with probability `budget / (seq + 1)` by overwriting
+    /// a seeded-uniform resident slot, else drops it. Returns `true`
+    /// when the row was retained.
+    pub fn offer(&mut self, row: Vec<Cell>) -> bool {
+        let seq = self.seq;
+        self.seq += 1;
+        if self.rows.len() < self.budget {
+            self.rows.push(row);
+            return true;
+        }
+        // Uniform draw over [0, seq] via the per-event derived seed; the
+        // modulo bias over a u64 range is < 2^-40 for any plausible
+        // budget and irrelevant next to bit-stability, which only needs
+        // the draw to be a pure function of (seed, seq).
+        let j = (self.seeds.seed(seq) % (seq + 1)) as usize;
+        if j < self.budget {
+            self.rows[j] = row;
+            true
+        } else {
+            self.dropped += 1;
+            false
+        }
+    }
+
+    /// Retained rows, in slot order.
+    pub fn rows(&self) -> &[Vec<Cell>] {
+        &self.rows
+    }
+
+    /// Total rows ever offered.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Rows offered but not retained (replaced residents are not
+    /// counted here; this is the rejection count of the final stream).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(i: i64) -> Vec<Cell> {
+        vec![Cell::Int(i)]
+    }
+
+    #[test]
+    fn below_budget_everything_is_kept_in_order() {
+        let mut r = Reservoir::new(4, 7);
+        for i in 0..4 {
+            assert!(r.offer(row(i)));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.rows()[2], row(2));
+    }
+
+    #[test]
+    fn over_budget_retention_is_bounded_and_deterministic() {
+        let run = |seed: u64| {
+            let mut r = Reservoir::new(8, seed);
+            for i in 0..1000 {
+                r.offer(row(i));
+            }
+            (r.rows().to_vec(), r.dropped())
+        };
+        let (rows_a, dropped_a) = run(42);
+        let (rows_b, dropped_b) = run(42);
+        assert_eq!(rows_a, rows_b);
+        assert_eq!(dropped_a, dropped_b);
+        assert_eq!(rows_a.len(), 8);
+        // Of the 992 over-budget offers, each was either dropped or
+        // replaced a resident; with budget 8 over a 1000-row stream the
+        // vast majority must be drops.
+        assert!(dropped_a > 900 && dropped_a < 992, "dropped {dropped_a}");
+        // A different seed retains a different subset.
+        let (rows_c, _) = run(43);
+        assert_ne!(rows_a, rows_c);
+    }
+
+    #[test]
+    fn reservoir_stays_roughly_uniform() {
+        // Offer 0..2000 into a budget of 200; the retained mean should
+        // land near the stream mean (999.5), not near either end.
+        let mut r = Reservoir::new(200, 1);
+        for i in 0..2000 {
+            r.offer(row(i));
+        }
+        let mean: f64 = r
+            .rows()
+            .iter()
+            .map(|c| match c[0] {
+                Cell::Int(i) => i as f64,
+                _ => 0.0,
+            })
+            .sum::<f64>()
+            / r.len() as f64;
+        assert!((mean - 999.5).abs() < 250.0, "mean {mean} far from uniform");
+    }
+}

@@ -34,6 +34,7 @@ pub mod clock;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
+pub mod router;
 pub mod sink;
 pub mod trace;
 
@@ -43,6 +44,7 @@ pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
 };
 pub use recorder::{FlightRecorder, FlightRecorderConfig};
+pub use router::{ClassRouter, ClassRule};
 pub use sink::JsonlSink;
 pub use trace::{stage, QueryTrace, Span, SpanId, TraceRecorder};
 
@@ -154,6 +156,10 @@ pub mod name {
     /// Flight-recorder dump artifacts that failed to append to disk
     /// (sink I/O errors; the query path never fails on them).
     pub const OBS_RECORDER_DUMP_ERRORS: &str = "aqp.obs.recorder_dump_write_errors";
+    /// JSONL lines destroyed by sink rotation (oldest rotation dropped,
+    /// or the live file truncated in place) — absence-is-data: silent
+    /// log loss becomes a visible counter.
+    pub const OBS_SINK_DROPPED_LINES: &str = "aqp.obs.sink_dropped_lines";
 
     /// Per-query SLO events observed (one per objective per query).
     pub const SLO_EVENTS: &str = "aqp.slo.events_observed";
@@ -188,6 +194,25 @@ pub mod name {
     /// profile (histogram, ms — the <5% overhead budget is enforced on
     /// it; contprof enabled only).
     pub const PROF_CONTPROF_EVAL_MS: &str = "aqp.prof.contprof_eval_ms";
+
+    /// Queries whose telemetry (spans, timings, faults, operator rows)
+    /// was folded into the `_telemetry.*` tables (introspect enabled
+    /// only).
+    pub const INTROSPECT_QUERIES_FOLDED: &str = "aqp.introspect.queries_folded";
+    /// Rows ingested across all `_telemetry.*` reservoir tables.
+    pub const INTROSPECT_ROWS_INGESTED: &str = "aqp.introspect.rows_ingested";
+    /// Rows rejected or evicted by the seeded reservoirs after a
+    /// table's row budget filled (the downsampling drop count).
+    pub const INTROSPECT_ROWS_DROPPED: &str = "aqp.introspect.rows_dropped";
+    /// Introspection queries served over the `_telemetry` namespace.
+    pub const INTROSPECT_QUERIES_SERVED: &str = "aqp.introspect.queries_served";
+    /// Catalog refreshes that re-materialized dirty telemetry tables
+    /// (and rebuilt their uniform samples).
+    pub const INTROSPECT_SYNCS: &str = "aqp.introspect.catalog_syncs";
+    /// Wall-clock spent folding telemetry per query (histogram, ms —
+    /// the <5% overhead budget is enforced on it; introspect enabled
+    /// only).
+    pub const INTROSPECT_EVAL_MS: &str = "aqp.introspect.eval_ms";
 
     /// Heap allocations observed by the counting global allocator since
     /// process start (gauge; 0 unless the `count-alloc` feature is on).

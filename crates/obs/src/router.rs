@@ -1,0 +1,103 @@
+//! Shared SQL-substring workload-class router.
+//!
+//! Three subsystems bucket queries into workload classes from the query
+//! text: the SLO engine (objectives per class), the continuous profiler
+//! (fleet profiles per class), and the introspection pipeline
+//! (`_telemetry.*` rows tagged per class). They must slice the fleet
+//! identically, so the routing lives here once: an ordered list of
+//! case-sensitive substring rules, first match wins, everything else in
+//! [`DEFAULT_CLASS`].
+
+/// The class queries fall into when no [`ClassRule`] matches.
+pub const DEFAULT_CLASS: &str = "default";
+
+/// One routing rule: queries whose SQL contains `sql_contains` belong
+/// to `class`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassRule {
+    /// Class name (used in objective ids, profiles, and dashboards).
+    pub class: String,
+    /// Case-sensitive substring the query's SQL must contain.
+    pub sql_contains: String,
+}
+
+/// An ordered set of [`ClassRule`]s; the first matching rule wins.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClassRouter {
+    /// The rules, in priority order.
+    pub rules: Vec<ClassRule>,
+}
+
+impl ClassRouter {
+    /// An empty router: every query lands in [`DEFAULT_CLASS`].
+    pub fn new() -> Self {
+        ClassRouter::default()
+    }
+
+    /// Append a rule routing queries whose SQL contains `sql_contains`
+    /// to `class`. Rules are tried in registration order.
+    pub fn with_rule(mut self, class: &str, sql_contains: &str) -> Self {
+        self.push_rule(class, sql_contains);
+        self
+    }
+
+    /// In-place form of [`ClassRouter::with_rule`].
+    pub fn push_rule(&mut self, class: &str, sql_contains: &str) {
+        self.rules.push(ClassRule {
+            class: class.to_string(),
+            sql_contains: sql_contains.to_string(),
+        });
+    }
+
+    /// The workload class for `sql`: the first matching rule's class,
+    /// else [`DEFAULT_CLASS`].
+    pub fn classify<'a>(&'a self, sql: &str) -> &'a str {
+        self.rules
+            .iter()
+            .find(|r| sql.contains(r.sql_contains.as_str()))
+            .map(|r| r.class.as_str())
+            .unwrap_or(DEFAULT_CLASS)
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// `true` when no rules are registered.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_match_wins_with_default_fallback() {
+        let r = ClassRouter::new()
+            .with_rule("interactive", "AVG(")
+            .with_rule("batch", "SUM(");
+        assert_eq!(r.classify("SELECT AVG(time) FROM sessions"), "interactive");
+        assert_eq!(r.classify("SELECT SUM(bytes) FROM sessions"), "batch");
+        // Both rules match; registration order decides.
+        assert_eq!(r.classify("SELECT AVG(a), SUM(b) FROM t"), "interactive");
+        assert_eq!(r.classify("SELECT COUNT(*) FROM t"), DEFAULT_CLASS);
+    }
+
+    #[test]
+    fn empty_router_routes_everything_to_default() {
+        let r = ClassRouter::new();
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.classify("anything"), DEFAULT_CLASS);
+    }
+
+    #[test]
+    fn matching_is_case_sensitive() {
+        let r = ClassRouter::new().with_rule("dash", "FROM sessions");
+        assert_eq!(r.classify("SELECT 1 FROM SESSIONS"), DEFAULT_CLASS);
+        assert_eq!(r.classify("SELECT 1 FROM sessions"), "dash");
+    }
+}

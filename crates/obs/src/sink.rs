@@ -11,12 +11,18 @@ use std::fs::{File, OpenOptions};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
+use crate::metrics::Counter;
+
 /// An append-only JSONL file with size-based rotation.
 ///
 /// `append` writes one line per call (a trailing newline is added when
 /// missing). When the live file would exceed `max_bytes`, it is rotated
 /// to `<path>.1` first (existing rotations shift up, the oldest beyond
 /// `max_rotations` is dropped), so a line is never split across files.
+/// Destroyed lines are not silently lost: attach a counter with
+/// [`JsonlSink::with_dropped_lines_counter`]
+/// (`aqp.obs.sink_dropped_lines`) and every rotation counts the lines
+/// of the file it is about to drop or truncate.
 #[derive(Debug)]
 pub struct JsonlSink {
     path: PathBuf,
@@ -24,6 +30,7 @@ pub struct JsonlSink {
     max_rotations: usize,
     file: File,
     written: u64,
+    dropped: Option<Counter>,
 }
 
 impl JsonlSink {
@@ -45,7 +52,16 @@ impl JsonlSink {
             max_rotations,
             file,
             written,
+            dropped: None,
         })
+    }
+
+    /// Count lines destroyed by rotation (oldest rotation dropped, or
+    /// the live file truncated in place when `max_rotations == 0`) into
+    /// `counter` instead of discarding them silently.
+    pub fn with_dropped_lines_counter(mut self, counter: Counter) -> Self {
+        self.dropped = Some(counter);
+        self
     }
 
     /// The live file's path.
@@ -83,8 +99,10 @@ impl JsonlSink {
     fn rotate(&mut self) -> io::Result<()> {
         self.file.flush()?;
         if self.max_rotations == 0 {
+            self.count_destroyed_lines(&self.path);
             self.file = File::create(&self.path)?;
         } else {
+            self.count_destroyed_lines(&rotated(&self.path, self.max_rotations));
             for i in (1..self.max_rotations).rev() {
                 let from = rotated(&self.path, i);
                 if from.exists() {
@@ -96,6 +114,26 @@ impl JsonlSink {
         }
         self.written = 0;
         Ok(())
+    }
+
+    /// Count the lines of a file rotation is about to destroy into the
+    /// dropped-lines counter. A missing file (nothing to destroy) or an
+    /// unreadable one counts nothing; the write path never fails on
+    /// accounting.
+    fn count_destroyed_lines(&self, path: &Path) {
+        let Some(counter) = &self.dropped else {
+            return;
+        };
+        let Ok(bytes) = std::fs::read(path) else {
+            return;
+        };
+        let newlines = bytes.iter().filter(|&&b| b == b'\n').count() as u64;
+        // A trailing partial line (no final newline) is still a lost line.
+        let partial = u64::from(bytes.last().is_some_and(|&b| b != b'\n'));
+        let lost = newlines + partial;
+        if lost > 0 {
+            counter.add(lost);
+        }
     }
 }
 
@@ -173,6 +211,40 @@ mod tests {
         s.flush().unwrap();
         assert_eq!(std::fs::read_to_string(&p).unwrap(), "line002\n");
         assert!(!rotated(&p, 1).exists());
+    }
+
+    #[test]
+    fn rotation_counts_destroyed_lines() {
+        let p = tmp("dropped.jsonl");
+        for i in 1..4 {
+            let _ = std::fs::remove_file(rotated(&p, i));
+        }
+        let _ = std::fs::remove_file(&p);
+        let reg = crate::MetricsRegistry::new();
+        let c = reg.counter(crate::name::OBS_SINK_DROPPED_LINES);
+        // Budget fits exactly one 8-byte line; one rotation kept.
+        let mut s = JsonlSink::open(&p, 8, 1).unwrap().with_dropped_lines_counter(c.clone());
+        s.append("line001").unwrap(); // live
+        s.append("line002").unwrap(); // rotates; .1 empty before → 0 dropped
+        assert_eq!(c.get(), 0);
+        s.append("line003").unwrap(); // rotates; old .1 (line001) destroyed
+        assert_eq!(c.get(), 1);
+        s.append("line004").unwrap();
+        assert_eq!(c.get(), 2);
+    }
+
+    #[test]
+    fn truncation_in_place_counts_destroyed_lines() {
+        let p = tmp("dropped_trunc.jsonl");
+        let _ = std::fs::remove_file(&p);
+        let reg = crate::MetricsRegistry::new();
+        let c = reg.counter(crate::name::OBS_SINK_DROPPED_LINES);
+        let mut s = JsonlSink::open(&p, 16, 0).unwrap().with_dropped_lines_counter(c.clone());
+        s.append("line001").unwrap();
+        s.append("line002").unwrap(); // both fit (16 bytes)
+        s.append("line003").unwrap(); // truncates in place: 2 lines lost
+        assert_eq!(c.get(), 2);
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "line003\n");
     }
 
     #[test]

@@ -28,7 +28,7 @@ use aqp_obs::json::push_str_lit;
 use crate::OpProfile;
 
 /// The class assigned to queries no [`ContProfConfig`] rule matches.
-pub const DEFAULT_CLASS: &str = "default";
+pub const DEFAULT_CLASS: &str = aqp_obs::router::DEFAULT_CLASS;
 
 /// Separator between operator names in a cumulative profile path
 /// (root-first: `ErrorEstimate;Filter;Scan`), matching the folded
@@ -36,12 +36,13 @@ pub const DEFAULT_CLASS: &str = "default";
 pub const PATH_SEPARATOR: char = ';';
 
 /// Configuration for the session's continuous profiler: workload
-/// classes routed by SQL substring, first match wins (the
-/// [`SloConfig`](../../aqp_slo/struct.SloConfig.html) idiom).
+/// classes routed by SQL substring through the shared
+/// [`aqp_obs::router::ClassRouter`], first match wins — the same
+/// routing the SLO engine and the introspection pipeline use.
 #[derive(Debug, Clone, Default)]
 pub struct ContProfConfig {
-    /// `(class, sql substring)` routing rules, in priority order.
-    classes: Vec<(String, String)>,
+    /// Routing rules, in priority order.
+    classes: aqp_obs::router::ClassRouter,
 }
 
 impl ContProfConfig {
@@ -53,18 +54,14 @@ impl ContProfConfig {
     /// Route queries whose SQL contains `sql_contains` to `class`.
     /// Rules are tried in registration order; the first match wins.
     pub fn with_class(mut self, class: &str, sql_contains: &str) -> Self {
-        self.classes.push((class.to_string(), sql_contains.to_string()));
+        self.classes.push_rule(class, sql_contains);
         self
     }
 
     /// The workload class for `sql`: the first matching rule's class,
     /// else [`DEFAULT_CLASS`].
     pub fn classify<'a>(&'a self, sql: &str) -> &'a str {
-        self.classes
-            .iter()
-            .find(|(_, needle)| sql.contains(needle.as_str()))
-            .map(|(class, _)| class.as_str())
-            .unwrap_or(DEFAULT_CLASS)
+        self.classes.classify(sql)
     }
 }
 

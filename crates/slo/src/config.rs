@@ -7,16 +7,10 @@ use std::time::Duration;
 
 use aqp_obs::FlightRecorderConfig;
 
-/// Assigns queries to a workload class by SQL substring match; the
-/// first matching rule wins, everything else lands in
-/// [`SloConfig::DEFAULT_CLASS`].
-#[derive(Debug, Clone)]
-pub struct ClassRule {
-    /// Class name (used in objective ids and dashboards).
-    pub class: String,
-    /// Case-sensitive substring the query's SQL must contain.
-    pub sql_contains: String,
-}
+// Class routing is the shared `aqp_obs::router` substring router, so
+// SLO objectives, continuous profiles, and introspection rows slice
+// the fleet identically.
+pub use aqp_obs::router::{ClassRouter, ClassRule};
 
 /// What one objective promises.
 #[derive(Debug, Clone)]
@@ -186,8 +180,9 @@ impl SloLogConfig {
 /// them with the builder methods.
 #[derive(Debug, Clone, Default)]
 pub struct SloConfig {
-    /// Class-assignment rules, checked in order.
-    pub classes: Vec<ClassRule>,
+    /// Class-assignment rules, checked in order (the shared
+    /// [`ClassRouter`]).
+    pub classes: ClassRouter,
     /// The declared objectives.
     pub objectives: Vec<Objective>,
     /// Burn-rate alert thresholds.
@@ -204,7 +199,7 @@ pub struct SloConfig {
 
 impl SloConfig {
     /// The class queries fall into when no [`ClassRule`] matches.
-    pub const DEFAULT_CLASS: &'static str = "default";
+    pub const DEFAULT_CLASS: &'static str = aqp_obs::router::DEFAULT_CLASS;
 
     /// Recommended knobs, no objectives.
     pub fn new() -> Self {
@@ -214,10 +209,7 @@ impl SloConfig {
     /// Add a class rule: queries whose SQL contains `sql_contains` are
     /// assigned to `class` (first matching rule wins).
     pub fn with_class(mut self, class: &str, sql_contains: &str) -> Self {
-        self.classes.push(ClassRule {
-            class: class.to_string(),
-            sql_contains: sql_contains.to_string(),
-        });
+        self.classes.push_rule(class, sql_contains);
         self
     }
 
@@ -254,11 +246,7 @@ impl SloConfig {
     /// The workload class of `sql`: first matching rule, else
     /// [`SloConfig::DEFAULT_CLASS`].
     pub fn classify<'a>(&'a self, sql: &str) -> &'a str {
-        self.classes
-            .iter()
-            .find(|r| sql.contains(&r.sql_contains))
-            .map(|r| r.class.as_str())
-            .unwrap_or(SloConfig::DEFAULT_CLASS)
+        self.classes.classify(sql)
     }
 }
 

@@ -215,6 +215,9 @@ struct Meters {
     min_budget: Gauge,
     drift_signals: Counter,
     log_errors: Counter,
+    /// Registered only when a JSONL log is configured, so log-less
+    /// engines keep their metric surface unchanged.
+    sink_dropped: Option<Counter>,
 }
 
 /// State behind the engine lock.
@@ -256,6 +259,10 @@ impl SloEngine {
                 min_budget: metrics.gauge(name::SLO_MIN_BUDGET_REMAINING),
                 drift_signals: metrics.counter(name::SLO_DRIFT_SIGNALS),
                 log_errors: metrics.counter(name::SLO_LOG_ERRORS),
+                sink_dropped: cfg
+                    .log
+                    .is_some()
+                    .then(|| metrics.counter(name::OBS_SINK_DROPPED_LINES)),
             },
             state: Mutex::new(State {
                 events: 0,
@@ -390,7 +397,7 @@ impl SloEngine {
             .observe(x)?;
         self.meters.drift_signals.inc();
         let line = drift_line(&signal);
-        write_line(&mut st.sink, &line, &self.meters.log_errors);
+        write_line(&mut st.sink, &line, &self.meters.log_errors, self.meters.sink_dropped.as_ref());
         Some(signal)
     }
 
@@ -463,7 +470,12 @@ impl SloEngine {
                 Severity::Warn => self.meters.warn_alerts.inc(),
             }
             let line = alert_line(alert);
-            write_line(&mut st.sink, &line, &self.meters.log_errors);
+            write_line(
+                &mut st.sink,
+                &line,
+                &self.meters.log_errors,
+                self.meters.sink_dropped.as_ref(),
+            );
         }
         st.alerts.extend(fired.iter().cloned());
         fired
@@ -622,13 +634,18 @@ impl SloReport {
 }
 
 /// Write one line through the lazily-opened sink; failures only count.
-fn write_line(sink: &mut SinkState, line: &str, errors: &Counter) {
+fn write_line(sink: &mut SinkState, line: &str, errors: &Counter, dropped: Option<&Counter>) {
     loop {
         match sink {
             SinkState::Disabled | SinkState::Failed => return,
             SinkState::Unopened(cfg) => {
                 match JsonlSink::open(&cfg.path, cfg.max_bytes, cfg.max_rotations) {
-                    Ok(s) => *sink = SinkState::Open(s),
+                    Ok(s) => {
+                        *sink = SinkState::Open(match dropped {
+                            Some(c) => s.with_dropped_lines_counter(c.clone()),
+                            None => s,
+                        })
+                    }
                     Err(_) => {
                         errors.inc();
                         *sink = SinkState::Failed;

@@ -37,7 +37,8 @@ pub mod drift;
 pub mod engine;
 
 pub use config::{
-    BurnThresholds, ClassRule, DriftConfig, Objective, ObjectiveKind, SloConfig, SloLogConfig,
+    BurnThresholds, ClassRouter, ClassRule, DriftConfig, Objective, ObjectiveKind, SloConfig,
+    SloLogConfig,
     SloWindows,
 };
 pub use drift::{Detector, DriftDetector, DriftSignal, DriftStatus};

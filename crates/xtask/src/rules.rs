@@ -35,7 +35,7 @@ use std::path::Path;
 
 /// Crates whose library code must be panic-free (the request path).
 pub const PANIC_FREE_CRATES: &[&str] =
-    &["exec", "core", "stats", "storage", "obs", "prof", "faults", "slo"];
+    &["exec", "core", "stats", "storage", "obs", "prof", "faults", "slo", "introspect"];
 
 /// Sanctioned metric families: the `<family>` of `aqp.<family>.<name>`.
 /// One entry per workspace crate that registers metrics, so a typo'd
@@ -47,6 +47,10 @@ pub const METRIC_FAMILIES: &[&str] = &[
     "diagnostics",
     "exec",
     "faults",
+    // Self-hosted telemetry analytics (crates/introspect): fold-in,
+    // retention, and catalog-sync accounting for the `_telemetry.*`
+    // tables.
+    "introspect",
     // Memory-accounting gauges fed by the opt-in counting allocator
     // (crates/obs/src/alloc.rs); a family of its own so dashboards can
     // slice heap series apart from the obs substrate's bookkeeping.

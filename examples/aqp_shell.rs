@@ -14,8 +14,15 @@
 //!                             grow the sample until the bound is met
 //! \csv <path> <name>          load a CSV file as a new table
 //! \schema                     show the sessions schema
+//! \introspect                 summarize the shell's own telemetry
+//!                             (`_telemetry.*` tables, AQP over AQP)
 //! \quit                       exit
 //! ```
+//!
+//! The self-hosted telemetry pipeline is always on: every query folds
+//! its spans, timings, and outcomes into the `_telemetry.*` tables, so
+//! `SELECT stage, AVG(wall_ms) FROM _telemetry.spans GROUP BY stage`
+//! works like any other query — error bars included.
 //!
 //! Launch with `--metrics out.jsonl` to dump the session's metrics
 //! snapshot as JSONL when the shell exits. Launch with `--explain`
@@ -30,7 +37,7 @@ use std::io::{BufRead, Write};
 
 use reliable_aqp::prof::export::{chrome_trace, folded_stacks};
 use reliable_aqp::workload::conviva_sessions_table;
-use reliable_aqp::{AqpSession, ContProfConfig, ExplainMode, SessionConfig};
+use reliable_aqp::{AqpSession, ContProfConfig, ExplainMode, IntrospectConfig, SessionConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -57,10 +64,16 @@ fn main() {
         contprof: flame_path
             .is_some()
             .then(|| ContProfConfig::new().with_class("bounded", "WITHIN")),
+        // The shell watches itself: telemetry folds into `_telemetry.*`
+        // so the operator can query the session about the session.
+        introspect: Some(IntrospectConfig::new().with_class("bounded", "WITHIN")),
         ..Default::default()
     });
     session.register_table(conviva_sessions_table(rows, 16, 1)).expect("register");
-    eprintln!("ready. type \\schema for columns, \\sample 50000 to enable approximation.");
+    eprintln!(
+        "ready. type \\schema for columns, \\sample 50000 to enable approximation, \\introspect \
+         to query the shell's own telemetry."
+    );
 
     let mut last_trace = None;
     let stdin = std::io::stdin();
@@ -78,6 +91,23 @@ fn main() {
         }
         if line == "\\quit" || line == "\\q" {
             break;
+        }
+        if line == "\\introspect" {
+            // A canned panel over the session's own telemetry; each of
+            // these is an ordinary AQP query an operator could type.
+            for sql in [
+                "SELECT COUNT(*) FROM _telemetry.queries",
+                "SELECT class, AVG(wall_ms) FROM _telemetry.queries GROUP BY class",
+                "SELECT stage, AVG(wall_ms) FROM _telemetry.spans GROUP BY stage",
+            ] {
+                println!("  {sql}");
+                match session.execute(sql) {
+                    Ok(a) => print!("{}", a.summary()),
+                    Err(e) => println!("  (no telemetry yet: {e})"),
+                }
+            }
+            println!("  (tables: _telemetry.spans, queries, metrics, audit, faults, slo_alerts, ops)");
+            continue;
         }
         if line == "\\schema" {
             let t = session.catalog().table("sessions").expect("table");

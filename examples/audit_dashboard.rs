@@ -18,6 +18,12 @@
 //! floor, so each panel shows the objective's burn rates and remaining
 //! error budget next to the audit coverage bars.
 //!
+//! Both sessions also run the **self-hosted telemetry pipeline**
+//! (`crates/introspect`): after the report panels, the dashboard turns
+//! the AQP engine on itself and answers its accuracy questions by
+//! querying the `_telemetry.audit` table — with the same error bars and
+//! diagnostic verdicts it gives user queries.
+//!
 //! Pass `--metrics out.jsonl` to also dump the metrics registry
 //! (including the `aqp.audit.*` and `aqp.slo.*` series) as JSONL.
 
@@ -25,7 +31,7 @@ use reliable_aqp::audit::{AuditConfig, AuditReport};
 use reliable_aqp::obs::MetricsRegistry;
 use reliable_aqp::slo::{SloConfig, SloReport};
 use reliable_aqp::workload::{conviva_sessions_table, facebook_events_table};
-use reliable_aqp::{AqpSession, SessionConfig};
+use reliable_aqp::{AqpSession, IntrospectConfig, SessionConfig};
 
 fn coverage_bar(cov: Option<f64>, width: usize) -> String {
     let mut s = String::new();
@@ -79,6 +85,36 @@ fn panel(title: &str, r: &AuditReport, slo: Option<&SloReport>) {
     }
 }
 
+/// Answer introspection queries through the session itself and print
+/// each estimate with its error bar and diagnostic verdict.
+fn introspect_panel(title: &str, session: &AqpSession, queries: &[&str]) {
+    println!("\n== {title} ==");
+    for sql in queries {
+        match session.execute(sql) {
+            Ok(a) => {
+                println!("   {sql}");
+                println!("      [{:?}, sample {}/{}]", a.mode, a.sample_rows, a.population_rows);
+                for g in &a.groups {
+                    for agg in &g.aggs {
+                        let ci = agg
+                            .ci
+                            .as_ref()
+                            .map(|c| format!(" ± {:.4} @{:.0}%", c.half_width, c.confidence * 100.0))
+                            .unwrap_or_default();
+                        let verdict = match &agg.diagnostic {
+                            Some(d) if d.accepted => "  [diagnostic ok]",
+                            Some(_) => "  [diagnostic REJECTED]",
+                            None => "",
+                        };
+                        println!("      {:<12} {} = {:.4}{}{}", g.key, agg.name, agg.estimate, ci, verdict);
+                    }
+                }
+            }
+            Err(e) => println!("   {sql}\n      error: {e}"),
+        }
+    }
+}
+
 fn main() {
     let metrics_path = {
         let args: Vec<String> = std::env::args().collect();
@@ -95,13 +131,17 @@ fn main() {
         threads: 1,
         diagnostic_p: 50,
         audit: Some(AuditConfig {
-            sample_rate: 0.2,
+            sample_rate: 0.5,
             window: 50,
             min_window_for_alert: 10,
             column_families: vec![("time".into(), "lognormal".into()), ("*".into(), "count".into())],
             ..Default::default()
         }),
         slo: Some(SloConfig::new().with_coverage(SloConfig::DEFAULT_CLASS, 0.95)),
+        introspect: Some(IntrospectConfig {
+            min_rows_for_sampling: 32,
+            ..IntrospectConfig::new().with_class("dashboards", "GROUP BY")
+        }),
         ..Default::default()
     });
     healthy.register_table(conviva_sessions_table(rows, 8, 1)).expect("register");
@@ -131,6 +171,10 @@ fn main() {
             ..Default::default()
         }),
         slo: Some(SloConfig::new().with_coverage(SloConfig::DEFAULT_CLASS, 0.95)),
+        introspect: Some(IntrospectConfig {
+            min_rows_for_sampling: 32,
+            ..IntrospectConfig::new()
+        }),
         ..Default::default()
     });
     suspect.register_table(facebook_events_table(rows, 8, 2)).expect("register");
@@ -150,6 +194,27 @@ fn main() {
         "miscalibrated (error bars unchecked)",
         &suspect.audit_report().expect("auditing on"),
         suspect_slo.as_ref(),
+    );
+
+    // The dashboard now asks the engine about itself: the same audit
+    // evidence, answered as AQP queries over `_telemetry.audit` with
+    // error bars of their own.
+    introspect_panel(
+        "self-hosted: the healthy session queries its own audit trail",
+        &healthy,
+        &[
+            "SELECT family, AVG(covered) FROM _telemetry.audit GROUP BY family",
+            "SELECT AVG(error_ratio) FROM _telemetry.audit",
+            "SELECT stage, AVG(wall_ms) FROM _telemetry.spans GROUP BY stage",
+        ],
+    );
+    introspect_panel(
+        "self-hosted: the miscalibrated session cannot hide from itself",
+        &suspect,
+        &[
+            "SELECT AVG(covered) FROM _telemetry.audit",
+            "SELECT COUNT(*) FROM _telemetry.queries",
+        ],
     );
 
     println!(

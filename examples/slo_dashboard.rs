@@ -19,6 +19,11 @@
 //!   rate crosses the page threshold, and every latched alert freezes a
 //!   flight-recorder dump.
 //!
+//! The session also runs the self-hosted telemetry pipeline
+//! (`crates/introspect`): the closing panel answers fleet questions —
+//! alert counts by severity, fault mix, span volume per stage — by
+//! running AQP queries over the session's own `_telemetry.*` tables.
+//!
 //! Flags: `--queries N` total replayed queries (default 150),
 //! `--dump PATH` appends recorder dumps there, `--log PATH` routes the
 //! JSONL alert log there, `--metrics PATH` writes a final metrics
@@ -29,7 +34,7 @@ use reliable_aqp::faults::FaultConfig;
 use reliable_aqp::obs::{Clock, FlightRecorderConfig, ObsHandle};
 use reliable_aqp::slo::{SloConfig, SloLogConfig};
 use reliable_aqp::workload::{conviva_sessions_table, facebook_events_table};
-use reliable_aqp::{AqpSession, SessionConfig};
+use reliable_aqp::{AqpSession, IntrospectConfig, SessionConfig};
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
@@ -64,8 +69,10 @@ fn main() {
 
     // Deterministic fault injection: enough truncation to degrade some
     // scans (widened error bars, occasional exact fallback), plus a few
-    // transient errors the retry policy absorbs.
-    let mut faults = FaultConfig::quiescent(11);
+    // transient errors the retry policy absorbs. Fault draws are fixed
+    // per (seed, task, attempt); seed 3 is a stream where the 25%
+    // truncation draw actually fires on this table's partitions.
+    let mut faults = FaultConfig::quiescent(3);
     faults.truncation_prob = 0.25;
     faults.truncation_keep = 0.5;
     faults.transient_error_prob = 0.05;
@@ -89,6 +96,10 @@ fn main() {
         }),
         faults: Some(faults),
         slo: Some(slo),
+        introspect: Some(IntrospectConfig {
+            min_rows_for_sampling: 32,
+            ..IntrospectConfig::new().with_class("tail", "MAX(")
+        }),
         ..Default::default()
     });
 
@@ -151,6 +162,35 @@ fn main() {
     }
     if let Some(path) = &dump_path {
         println!("   dump artifact appended to {path}");
+    }
+
+    // The fleet questions an operator would grep logs for, answered by
+    // the engine itself over its own telemetry tables.
+    println!("\n== self-hosted telemetry (AQP over _telemetry.*) ==");
+    for sql in [
+        "SELECT severity, COUNT(*) FROM _telemetry.slo_alerts GROUP BY severity",
+        "SELECT kind, COUNT(*) FROM _telemetry.faults GROUP BY kind",
+        "SELECT stage, COUNT(*) FROM _telemetry.spans GROUP BY stage",
+        "SELECT class, AVG(sample_rows) FROM _telemetry.queries GROUP BY class",
+    ] {
+        match session.execute(sql) {
+            Ok(a) => {
+                println!("   {sql}");
+                println!("      [{:?}, sample {}/{}]", a.mode, a.sample_rows, a.population_rows);
+                for g in &a.groups {
+                    for agg in &g.aggs {
+                        let ci = agg
+                            .ci
+                            .as_ref()
+                            .filter(|c| c.half_width > 0.0)
+                            .map(|c| format!(" ± {:.1}", c.half_width))
+                            .unwrap_or_default();
+                        println!("      {:<16} {} = {:.1}{}", g.key, agg.name, agg.estimate, ci);
+                    }
+                }
+            }
+            Err(e) => println!("   {sql}\n      error: {e}"),
+        }
     }
 
     println!(

@@ -35,8 +35,8 @@
 
 pub use aqp_core::answer::AnswerMode;
 pub use aqp_core::{
-    AqpAnswer, AqpSession, ContProfConfig, CumulativeProfile, ExplainMode, OpProfile,
-    SessionConfig,
+    AqpAnswer, AqpSession, ContProfConfig, CumulativeProfile, ExplainMode, IntrospectConfig,
+    OpProfile, SessionConfig,
 };
 
 /// Observability: clock abstraction, metrics registry, query traces.
@@ -51,6 +51,9 @@ pub use aqp_faults as faults;
 pub use aqp_prof as prof;
 /// Continuous error-bar coverage auditing and diagnostic scorekeeping.
 pub use aqp_audit as audit;
+/// Self-hosted telemetry analytics: query the system's own telemetry
+/// through the AQP engine (`_telemetry.*` tables, with error bars).
+pub use aqp_introspect as introspect;
 /// Columnar storage substrate.
 pub use aqp_storage as storage;
 /// Statistical substrate (bootstrap, closed forms, large deviations).
