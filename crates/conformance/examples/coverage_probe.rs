@@ -1,0 +1,43 @@
+//! One-off probe: acceptance rate and CI coverage per scalar query
+//! family across many session seeds (not part of the corpus).
+fn main() {
+    let table = aqp_workload::conviva_sessions_table(20000, 4, 7);
+    let events = aqp_workload::facebook_events_table(20000, 4, 11);
+    let queries = [
+        ("sessions", "SELECT AVG(bitrate) FROM sessions"),
+        ("sessions", "SELECT SUM(bitrate) FROM sessions"),
+        ("sessions", "SELECT AVG(time) FROM sessions"),
+        ("sessions", "SELECT SUM(bytes) FROM sessions"),
+        ("sessions", "SELECT COUNT(*) FROM sessions WHERE bitrate > 2500"),
+        ("sessions", "SELECT AVG(buffer_ratio) FROM sessions"),
+        ("events", "SELECT AVG(latency_ms) FROM events"),
+        ("events", "SELECT AVG(dwell_frac) FROM events"),
+        ("events", "SELECT AVG(score) FROM events"),
+        ("events", "SELECT SUM(wait_s) FROM events"),
+    ];
+    for (tname, sql) in queries {
+        let t = if tname == "sessions" { table.clone() } else { events.clone() };
+        // exact truth
+        let obs = aqp_obs::ObsHandle::isolated(aqp_obs::Clock::mock());
+        let s = aqp_core::AqpSession::new(aqp_core::SessionConfig { threads: 1, obs, ..Default::default() });
+        s.register_table(t.clone()).unwrap();
+        let truth = s.execute(sql).unwrap().scalar().unwrap().estimate;
+        let (mut acc, mut cov, mut tot) = (0, 0, 0);
+        for seed in 0..60u64 {
+            let obs = aqp_obs::ObsHandle::isolated(aqp_obs::Clock::mock());
+            let s = aqp_core::AqpSession::new(aqp_core::SessionConfig { seed: 1000 + seed * 13, threads: 1, obs, ..Default::default() });
+            s.register_table(t.clone()).unwrap();
+            s.build_samples(tname, &[4000], seed * 7 + 1).unwrap();
+            let a = s.execute(sql).unwrap();
+            tot += 1;
+            if a.mode == aqp_core::AnswerMode::Approximate {
+                let sc = a.scalar().unwrap();
+                if sc.error_bars_reliable() {
+                    acc += 1;
+                    if sc.ci.as_ref().unwrap().contains(truth) { cov += 1; }
+                }
+            }
+        }
+        println!("{sql}: accepted {acc}/{tot} covered {cov}/{acc}");
+    }
+}

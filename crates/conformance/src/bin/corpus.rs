@@ -1,0 +1,153 @@
+//! Corpus driver CLI (normally invoked as `cargo xtask corpus ...`).
+//!
+//! ```text
+//! corpus verify [--dir DIR] [--report PATH]   re-run + byte-compare every case
+//! corpus bless  [--dir DIR] [--out DIR]       re-record [expect] bodies
+//! corpus drift  [--dir DIR]                   bless to a scratch dir, diff against committed
+//! ```
+//!
+//! `--bless` is accepted as an alias for `bless` (the ISSUE's spelling).
+//! Exit status: 0 on pass, 1 on any case failure, answers_match
+//! mismatch, oracle coverage outside tolerance, or drift.
+
+#![deny(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use aqp_conformance::{run_corpus, CorpusMode};
+
+fn default_corpus_dir() -> PathBuf {
+    // crates/conformance -> workspace root -> tests/corpus.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+fn default_scratch_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/corpus-rebless")
+}
+
+fn usage() -> String {
+    "usage: corpus <verify|bless|drift> [--dir DIR] [--out DIR] [--report PATH]".to_string()
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(pass) => {
+            if pass {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("corpus: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn real_main() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mode_arg: Option<String> = None;
+    let mut dir = default_corpus_dir();
+    let mut out: Option<PathBuf> = None;
+    let mut report_path: Option<PathBuf> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "verify" | "bless" | "drift" => mode_arg = Some(a.clone()),
+            "--bless" => mode_arg = Some("bless".to_string()),
+            "--dir" => {
+                dir = PathBuf::from(it.next().ok_or_else(|| format!("--dir needs a value\n{}", usage()))?)
+            }
+            "--out" => {
+                out = Some(PathBuf::from(
+                    it.next().ok_or_else(|| format!("--out needs a value\n{}", usage()))?,
+                ))
+            }
+            "--report" => {
+                report_path = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| format!("--report needs a value\n{}", usage()))?,
+                ))
+            }
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+
+    let mode_arg = mode_arg.ok_or_else(usage)?;
+    match mode_arg.as_str() {
+        "verify" => {
+            let report = run_corpus(&dir, &CorpusMode::Verify)?;
+            let text = report.render();
+            print!("{text}");
+            if let Some(p) = report_path {
+                std::fs::write(&p, &text).map_err(|e| format!("write {}: {e}", p.display()))?;
+            }
+            Ok(report.pass)
+        }
+        "bless" => {
+            let report = run_corpus(&dir, &CorpusMode::Bless { out: out.clone() })?;
+            print!("{}", report.render());
+            match &out {
+                Some(d) => println!("blessed {} cases into {}", report.cases.len(), d.display()),
+                None => println!("blessed {} cases in place under {}", report.cases.len(), dir.display()),
+            }
+            Ok(report.pass)
+        }
+        "drift" => {
+            let scratch = default_scratch_dir();
+            // Clear stale re-records so removed cases cannot mask drift.
+            if scratch.exists() {
+                std::fs::remove_dir_all(&scratch)
+                    .map_err(|e| format!("clear {}: {e}", scratch.display()))?;
+            }
+            let report = run_corpus(&dir, &CorpusMode::Bless { out: Some(scratch.clone()) })?;
+            if !report.pass {
+                print!("{}", report.render());
+            }
+            let drifted = diff_dirs(&dir, &scratch)?;
+            for name in &drifted {
+                println!("DRIFT {name}");
+            }
+            if drifted.is_empty() {
+                println!("no bless drift across {} cases", report.cases.len());
+            }
+            Ok(report.pass && drifted.is_empty())
+        }
+        other => Err(format!("unknown mode {other:?}\n{}", usage())),
+    }
+}
+
+/// Names of `.case` files whose bytes differ between the committed
+/// corpus and the re-recorded scratch dir (either direction).
+fn diff_dirs(committed: &Path, rerecorded: &Path) -> Result<Vec<String>, String> {
+    let list = |d: &Path| -> Result<Vec<String>, String> {
+        let mut names: Vec<String> = std::fs::read_dir(d)
+            .map_err(|e| format!("read_dir {}: {e}", d.display()))?
+            .filter_map(|r| r.ok().map(|e| e.path()))
+            .filter(|p| p.extension().map(|e| e == "case").unwrap_or(false))
+            .filter_map(|p| p.file_name().and_then(|n| n.to_str()).map(String::from))
+            .collect();
+        names.sort();
+        Ok(names)
+    };
+    let a = list(committed)?;
+    let b = list(rerecorded)?;
+    let mut drifted = Vec::new();
+    for name in a.iter().chain(b.iter()) {
+        if drifted.contains(name) {
+            continue;
+        }
+        let (pa, pb) = (committed.join(name), rerecorded.join(name));
+        let ba = std::fs::read(&pa).ok();
+        let bb = std::fs::read(&pb).ok();
+        if ba != bb {
+            drifted.push(name.clone());
+        }
+    }
+    drifted.sort();
+    drifted.dedup();
+    Ok(drifted)
+}

@@ -1,0 +1,412 @@
+//! The declarative `.case` file format.
+//!
+//! A case file is line-oriented:
+//!
+//! ```text
+//! # free-form comment (preserved verbatim by bless)
+//! [case]
+//! table = sessions
+//! sample_rows = 4000
+//! seed = 42
+//! sql = SELECT AVG(bitrate) FROM sessions
+//! [expect]
+//! mode = Approximate
+//! ...
+//! ```
+//!
+//! Everything up to and including the `[expect]` line is the authored
+//! preamble; bless preserves it byte-for-byte and rewrites only the
+//! body below. A file with no `[expect]` section yet is a valid
+//! *unblessed* case (verify fails on it until blessed). Unknown keys
+//! are an error so typos cannot silently author a default-config case.
+
+use std::time::Duration;
+
+/// Which synthetic workload table the case queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TableKind {
+    /// `conviva_sessions_table` — benign numeric columns (`bitrate`),
+    /// Zipf group keys (`city`, `site`), lognormal `time`.
+    Sessions,
+    /// `facebook_events_table` — heavy-tailed `payload_kb`
+    /// (Pareto α=1.3, infinite variance), Zipf `country`.
+    Events,
+}
+
+impl TableKind {
+    /// Registered table name (matches the workload constructors).
+    pub fn table_name(self) -> &'static str {
+        match self {
+            TableKind::Sessions => "sessions",
+            TableKind::Events => "events",
+        }
+    }
+}
+
+/// Fault-injection knobs for a case (subset of `aqp_faults::FaultConfig`
+/// the corpus exercises; everything else stays at the crate default).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultKnobs {
+    /// Root seed for the fault plan.
+    pub seed: u64,
+    /// Probability a worker dies mid-task.
+    pub worker_death: f64,
+    /// Probability of a transient scan error.
+    pub transient: f64,
+    /// Probability of corrupt partition data.
+    pub corruption: f64,
+    /// Probability a partition is truncated (degraded success).
+    pub truncation: f64,
+    /// Fraction of rows kept when a truncation fires.
+    pub truncation_keep: f64,
+    /// Probability an attempt is straggler-delayed.
+    pub straggler: f64,
+    /// Retries allowed after the first attempt.
+    pub max_retries: usize,
+    /// Maximum lost-partition fraction before exact fallback.
+    pub max_lost_fraction: f64,
+    /// Speculative execution of straggler-delayed attempts.
+    pub speculative: bool,
+}
+
+impl Default for FaultKnobs {
+    fn default() -> Self {
+        let d = aqp_faults::FaultConfig::default();
+        FaultKnobs {
+            seed: d.seed,
+            worker_death: d.worker_death_prob,
+            transient: d.transient_error_prob,
+            corruption: d.corruption_prob,
+            truncation: d.truncation_prob,
+            truncation_keep: d.truncation_keep,
+            straggler: d.straggler_prob,
+            max_retries: d.recovery.max_retries,
+            max_lost_fraction: d.recovery.max_lost_fraction,
+            speculative: d.recovery.speculative,
+        }
+    }
+}
+
+impl FaultKnobs {
+    /// Lower the knobs into the executor's fault config. Straggler
+    /// delays are pinned to a fixed 50 ms (mock-clock deterministic)
+    /// so the corpus never depends on lognormal delay draws.
+    pub fn to_config(&self) -> aqp_faults::FaultConfig {
+        let mut cfg = aqp_faults::FaultConfig::quiescent(self.seed);
+        cfg.worker_death_prob = self.worker_death;
+        cfg.transient_error_prob = self.transient;
+        cfg.corruption_prob = self.corruption;
+        cfg.truncation_prob = self.truncation;
+        cfg.truncation_keep = self.truncation_keep;
+        cfg.straggler_prob = self.straggler;
+        cfg.straggler_delay = aqp_faults::StragglerDelay::Fixed(Duration::from_millis(50));
+        cfg.recovery.max_retries = self.max_retries;
+        cfg.recovery.max_lost_fraction = self.max_lost_fraction;
+        cfg.recovery.speculative = self.speculative;
+        cfg
+    }
+}
+
+/// Parsed `[case]` preamble: everything the runner needs to rebuild
+/// the session and query deterministically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseSpec {
+    /// Workload table the case registers.
+    pub table: TableKind,
+    /// Table rows.
+    pub rows: usize,
+    /// Table partitions.
+    pub partitions: usize,
+    /// Data-generation seed.
+    pub table_seed: u64,
+    /// Uniform sample rows (0 = no sample; the query runs exact).
+    pub sample_rows: usize,
+    /// Sample-build seed.
+    pub sample_seed: u64,
+    /// Optional stratified sample: `(column, rows_per_stratum)`.
+    pub stratify: Option<(String, usize)>,
+    /// Session seed (bootstrap, diagnostics, audit draws).
+    pub seed: u64,
+    /// Bootstrap resamples K.
+    pub bootstrap_k: usize,
+    /// Diagnostic subsamples per size p.
+    pub diagnostic_p: usize,
+    /// Run the error-estimate diagnostic.
+    pub diagnostics: bool,
+    /// Default confidence for queries without an error clause.
+    pub confidence: f64,
+    /// Continuous audit on (sample_rate 1.0, seeded from the session
+    /// seed, no log sink).
+    pub audit: bool,
+    /// Fault injection (None = no fault layer at all).
+    pub fault: Option<FaultKnobs>,
+    /// Name of another case whose `result` lines must match this
+    /// case's bit-for-bit (cross-case invariants, e.g. quiescent
+    /// faults ≡ fault-free).
+    pub answers_match: Option<String>,
+    /// The query under test.
+    pub sql: String,
+}
+
+impl Default for CaseSpec {
+    fn default() -> Self {
+        CaseSpec {
+            table: TableKind::Sessions,
+            rows: 20_000,
+            partitions: 4,
+            table_seed: 7,
+            sample_rows: 0,
+            sample_seed: 9,
+            stratify: None,
+            seed: 0,
+            bootstrap_k: 100,
+            diagnostic_p: 100,
+            diagnostics: true,
+            confidence: 0.95,
+            audit: false,
+            fault: None,
+            answers_match: None,
+            sql: String::new(),
+        }
+    }
+}
+
+/// One `.case` file: authored preamble + parsed spec + stored expect.
+#[derive(Debug, Clone)]
+pub struct CaseFile {
+    /// File stem (`avg_uniform_clean` for `avg_uniform_clean.case`).
+    pub name: String,
+    /// Authored bytes up to and including the `[expect]` line; bless
+    /// preserves these verbatim.
+    pub preamble: String,
+    /// Parsed spec.
+    pub spec: CaseSpec,
+    /// Stored `[expect]` body (empty when the case is unblessed).
+    pub expect: String,
+}
+
+fn parse_bool(key: &str, v: &str) -> Result<bool, String> {
+    match v {
+        "on" | "true" | "yes" => Ok(true),
+        "off" | "false" | "no" => Ok(false),
+        _ => Err(format!("{key}: expected on/off, got {v:?}")),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, v: &str) -> Result<T, String> {
+    v.parse::<T>().map_err(|_| format!("{key}: cannot parse {v:?}"))
+}
+
+impl CaseFile {
+    /// Parse a case file. `name` is the file stem used in reports and
+    /// `answers_match` references.
+    pub fn parse(name: &str, text: &str) -> Result<CaseFile, String> {
+        const MARKER: &str = "[expect]\n";
+        let (preamble, expect) = match locate_expect(text) {
+            Some(pos) => {
+                let split = pos + MARKER.len();
+                (text[..split].to_string(), text[split..].to_string())
+            }
+            None => (text.to_string(), String::new()),
+        };
+
+        let mut spec = CaseSpec::default();
+        let mut saw_table = false;
+        let mut saw_sql = false;
+        let mut fault = FaultKnobs::default();
+        let mut saw_fault = false;
+        let mut stratify_column: Option<String> = None;
+        let mut stratify_rows: usize = 0;
+
+        for raw in preamble.lines() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') || line == "[case]" || line == "[expect]" {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("{name}: not a `key = value` line: {line:?}"))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "table" => {
+                    spec.table = match value {
+                        "sessions" => TableKind::Sessions,
+                        "events" => TableKind::Events,
+                        _ => return Err(format!("{name}: unknown table {value:?}")),
+                    };
+                    saw_table = true;
+                }
+                "rows" => spec.rows = parse_num(key, value)?,
+                "partitions" => spec.partitions = parse_num(key, value)?,
+                "table_seed" => spec.table_seed = parse_num(key, value)?,
+                "sample_rows" => spec.sample_rows = parse_num(key, value)?,
+                "sample_seed" => spec.sample_seed = parse_num(key, value)?,
+                "stratify_column" => stratify_column = Some(value.to_string()),
+                "stratify_rows" => stratify_rows = parse_num(key, value)?,
+                "seed" => spec.seed = parse_num(key, value)?,
+                "bootstrap_k" => spec.bootstrap_k = parse_num(key, value)?,
+                "diagnostic_p" => spec.diagnostic_p = parse_num(key, value)?,
+                "diagnostics" => spec.diagnostics = parse_bool(key, value)?,
+                "confidence" => spec.confidence = parse_num(key, value)?,
+                "audit" => spec.audit = parse_bool(key, value)?,
+                "answers_match" => spec.answers_match = Some(value.to_string()),
+                "sql" => {
+                    spec.sql = value.to_string();
+                    saw_sql = true;
+                }
+                "fault_seed" => {
+                    fault.seed = parse_num(key, value)?;
+                    saw_fault = true;
+                }
+                "fault_worker_death" => {
+                    fault.worker_death = parse_num(key, value)?;
+                    saw_fault = true;
+                }
+                "fault_transient" => {
+                    fault.transient = parse_num(key, value)?;
+                    saw_fault = true;
+                }
+                "fault_corruption" => {
+                    fault.corruption = parse_num(key, value)?;
+                    saw_fault = true;
+                }
+                "fault_truncation" => {
+                    fault.truncation = parse_num(key, value)?;
+                    saw_fault = true;
+                }
+                "fault_truncation_keep" => {
+                    fault.truncation_keep = parse_num(key, value)?;
+                    saw_fault = true;
+                }
+                "fault_straggler" => {
+                    fault.straggler = parse_num(key, value)?;
+                    saw_fault = true;
+                }
+                "fault_max_retries" => {
+                    fault.max_retries = parse_num(key, value)?;
+                    saw_fault = true;
+                }
+                "fault_max_lost_fraction" => {
+                    fault.max_lost_fraction = parse_num(key, value)?;
+                    saw_fault = true;
+                }
+                "fault_speculative" => {
+                    fault.speculative = parse_bool(key, value)?;
+                    saw_fault = true;
+                }
+                _ => return Err(format!("{name}: unknown key {key:?}")),
+            }
+        }
+
+        if !saw_table {
+            return Err(format!("{name}: missing `table`"));
+        }
+        if !saw_sql || spec.sql.is_empty() {
+            return Err(format!("{name}: missing `sql`"));
+        }
+        match (stratify_column, stratify_rows) {
+            (Some(col), n) if n > 0 => spec.stratify = Some((col, n)),
+            (None, 0) => {}
+            _ => {
+                return Err(format!(
+                    "{name}: stratify_column and stratify_rows must be set together"
+                ))
+            }
+        }
+        if saw_fault {
+            spec.fault = Some(fault);
+        }
+
+        Ok(CaseFile { name: name.to_string(), preamble, spec, expect })
+    }
+
+    /// The full file bytes for this case with `expect` as the body —
+    /// exactly what bless writes.
+    pub fn render_with_expect(&self, expect: &str) -> String {
+        let mut out = self.preamble.clone();
+        if !out.ends_with('\n') {
+            out.push('\n');
+        }
+        if !out.ends_with("[expect]\n") {
+            out.push_str("[expect]\n");
+        }
+        out.push_str(expect);
+        out
+    }
+}
+
+/// Byte offset of the `[expect]` line, honoring only a line that is
+/// exactly `[expect]` (start of file or preceded by a newline).
+fn locate_expect(text: &str) -> Option<usize> {
+    let mut at = 0;
+    for line in text.split_inclusive('\n') {
+        if line == "[expect]\n" || line == "[expect]" {
+            return Some(at);
+        }
+        at += line.len();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "# a comment\n[case]\ntable = sessions\nsample_rows = 100\nsql = SELECT AVG(bitrate) FROM sessions\n[expect]\nmode = Approximate\n";
+
+    #[test]
+    fn parses_preamble_and_expect() {
+        let c = CaseFile::parse("t", SAMPLE).unwrap();
+        assert_eq!(c.spec.table, TableKind::Sessions);
+        assert_eq!(c.spec.sample_rows, 100);
+        assert_eq!(c.spec.sql, "SELECT AVG(bitrate) FROM sessions");
+        assert_eq!(c.expect, "mode = Approximate\n");
+        assert!(c.preamble.ends_with("[expect]\n"));
+    }
+
+    #[test]
+    fn round_trips_bytes() {
+        let c = CaseFile::parse("t", SAMPLE).unwrap();
+        assert_eq!(c.render_with_expect(&c.expect), SAMPLE);
+    }
+
+    #[test]
+    fn unblessed_case_has_empty_expect() {
+        let c = CaseFile::parse("t", "table = events\nsql = SELECT COUNT(*) FROM events\n")
+            .unwrap();
+        assert!(c.expect.is_empty());
+        assert!(c
+            .render_with_expect("mode = Exact\n")
+            .ends_with("[expect]\nmode = Exact\n"));
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        let err = CaseFile::parse("t", "table = sessions\nsampel_rows = 3\nsql = x\n");
+        assert!(err.unwrap_err().contains("unknown key"));
+    }
+
+    #[test]
+    fn fault_keys_enable_fault_config() {
+        let c = CaseFile::parse(
+            "t",
+            "table = sessions\nfault_seed = 3\nfault_truncation = 0.5\nsql = SELECT COUNT(*) FROM sessions\n",
+        )
+        .unwrap();
+        let f = c.spec.fault.expect("fault block");
+        assert_eq!(f.seed, 3);
+        assert_eq!(f.truncation, 0.5);
+        // Untouched knobs keep executor defaults.
+        assert_eq!(f.max_retries, 2);
+    }
+
+    #[test]
+    fn sql_may_contain_equals_signs() {
+        let c = CaseFile::parse(
+            "t",
+            "table = sessions\nsql = SELECT AVG(time) FROM sessions WHERE city = 'NYC'\n",
+        )
+        .unwrap();
+        assert_eq!(c.spec.sql, "SELECT AVG(time) FROM sessions WHERE city = 'NYC'");
+    }
+}

@@ -1,0 +1,35 @@
+//! Golden query-conformance corpus (DESIGN §17, ROADMAP item 5).
+//!
+//! Every behavior the paper's "knows when it's wrong" claim rests on —
+//! estimates, CI half-widths, diagnostic verdicts, fallback and
+//! degradation decisions — is pinned bit-for-bit in declarative
+//! `tests/corpus/*.case` files before the vectorized rewrite replaces
+//! the row-at-a-time scan path. A case file has two sections:
+//!
+//! * an authored `[case]` preamble (`key = value` lines plus free-form
+//!   `#` comments) describing the table, sample, seeds, fault
+//!   injection, audit setting, and SQL, and
+//! * a machine-written `[expect]` body holding the canonical rendering
+//!   of the answer: mode, plan shape (the `;`-path idiom from
+//!   `aqp-prof`), per-group estimates / CI bounds / verdicts as exact
+//!   f64 bit patterns (the `introspect`-smoke idiom), degraded-scan
+//!   outcomes, the differential oracle's exact answer, and the nonzero
+//!   `aqp.*` counter deltas the query produced.
+//!
+//! `verify` re-executes every case and byte-compares the re-rendered
+//! `[expect]` body against the committed one; `bless` rewrites the
+//! `[expect]` body in place (preserving the authored preamble), so a
+//! re-bless of an up-to-date corpus is a zero diff. The differential
+//! oracle re-executes every case exactly (same table, no samples, no
+//! faults) and checks each claimed-reliable CI contains the exact
+//! answer, aggregating empirical coverage across the corpus against
+//! the nominal confidence.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod case;
+pub mod runner;
+
+pub use case::{CaseFile, CaseSpec, TableKind};
+pub use runner::{run_corpus, CaseOutcome, CorpusMode, CorpusReport, TableCache};

@@ -100,4 +100,62 @@ mod tests {
         assert_eq!(r.classify("SELECT 1 FROM SESSIONS"), DEFAULT_CLASS);
         assert_eq!(r.classify("SELECT 1 FROM sessions"), "dash");
     }
+
+    #[test]
+    fn overlapping_substrings_resolve_by_registration_order() {
+        // "AVG(" is a strict substring of "AVG(time)": whichever rule is
+        // registered first claims queries matching both. Pin both
+        // orderings so a future "longest match wins" change cannot land
+        // silently.
+        let broad_first =
+            ClassRouter::new().with_rule("broad", "AVG(").with_rule("narrow", "AVG(time)");
+        assert_eq!(broad_first.classify("SELECT AVG(time) FROM s"), "broad");
+        let narrow_first =
+            ClassRouter::new().with_rule("narrow", "AVG(time)").with_rule("broad", "AVG(");
+        assert_eq!(narrow_first.classify("SELECT AVG(time) FROM s"), "narrow");
+        // A query matching only the broad pattern still falls through
+        // the narrow rule to the broad one.
+        assert_eq!(narrow_first.classify("SELECT AVG(bytes) FROM s"), "broad");
+    }
+
+    #[test]
+    fn empty_substring_rule_matches_every_query() {
+        // An empty needle is contained in every haystack: such a rule
+        // is a catch-all and shadows everything registered after it.
+        let r = ClassRouter::new().with_rule("all", "").with_rule("never", "SELECT");
+        assert_eq!(r.classify("SELECT 1"), "all");
+        assert_eq!(r.classify(""), "all");
+    }
+
+    #[test]
+    fn duplicate_class_names_keep_first_match_semantics() {
+        // Two rules may route to the same class; the router never
+        // deduplicates or reorders.
+        let r = ClassRouter::new()
+            .with_rule("reports", "GROUP BY city")
+            .with_rule("interactive", "AVG(")
+            .with_rule("reports", "GROUP BY site");
+        assert_eq!(r.classify("SELECT site, AVG(b) FROM s GROUP BY site"), "interactive");
+        assert_eq!(r.classify("SELECT city, SUM(b) FROM s GROUP BY city"), "reports");
+        assert_eq!(r.classify("SELECT site, SUM(b) FROM s GROUP BY site"), "reports");
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn class_miss_routes_to_default_even_with_many_rules() {
+        let mut r = ClassRouter::new();
+        for i in 0..32 {
+            r.push_rule(&format!("class{i}"), &format!("NEEDLE_{i}"));
+        }
+        assert!(!r.is_empty());
+        assert_eq!(r.classify("SELECT COUNT(*) FROM t"), DEFAULT_CLASS);
+        // A late rule still beats the default when nothing earlier
+        // matches...
+        assert_eq!(r.classify("SELECT NEEDLE_9"), "class9");
+        // ...but substring semantics mean "NEEDLE_31" is claimed by the
+        // earlier "NEEDLE_3" rule, not the exact "NEEDLE_31" one —
+        // routing tables must order specific needles before their
+        // prefixes (see overlapping_substrings_resolve_by_registration_order).
+        assert_eq!(r.classify("SELECT NEEDLE_31"), "class3");
+    }
 }

@@ -248,6 +248,87 @@ mod tests {
     }
 
     #[test]
+    fn rotation_counts_every_line_of_multiline_files() {
+        let p = tmp("dropped_multi.jsonl");
+        for i in 1..4 {
+            let _ = std::fs::remove_file(rotated(&p, i));
+        }
+        let _ = std::fs::remove_file(&p);
+        let reg = crate::MetricsRegistry::new();
+        let c = reg.counter(crate::name::OBS_SINK_DROPPED_LINES);
+        // Budget fits exactly two 8-byte lines per file; one rotation
+        // kept, so each destroyed .1 carries TWO lines.
+        let mut s = JsonlSink::open(&p, 16, 1).unwrap().with_dropped_lines_counter(c.clone());
+        for i in 0..4 {
+            s.append(&format!("line00{i}")).unwrap();
+        }
+        // Files: live = {2,3}, .1 = {0,1}; nothing destroyed yet.
+        assert_eq!(c.get(), 0);
+        s.append("line004").unwrap(); // rotation destroys .1's two lines
+        assert_eq!(c.get(), 2);
+        for i in 5..7 {
+            s.append(&format!("line00{i}")).unwrap();
+        }
+        assert_eq!(c.get(), 4);
+    }
+
+    #[test]
+    fn partial_trailing_line_counts_as_lost() {
+        let p = tmp("dropped_partial.jsonl");
+        for i in 1..3 {
+            let _ = std::fs::remove_file(rotated(&p, i));
+        }
+        let _ = std::fs::remove_file(&p);
+        // A pre-existing oldest rotation holding one full line plus a
+        // trailing partial (interrupted write): both are real data the
+        // next rotation destroys.
+        std::fs::write(rotated(&p, 1), "full-line\npartial-without-newline").unwrap();
+        let reg = crate::MetricsRegistry::new();
+        let c = reg.counter(crate::name::OBS_SINK_DROPPED_LINES);
+        let mut s = JsonlSink::open(&p, 8, 1).unwrap().with_dropped_lines_counter(c.clone());
+        s.append("line001").unwrap(); // live
+        s.append("line002").unwrap(); // rotates: destroys the stale .1
+        assert_eq!(c.get(), 2, "one full + one partial line destroyed");
+    }
+
+    #[test]
+    fn oversized_line_accounting_under_truncation() {
+        let p = tmp("dropped_oversize.jsonl");
+        let _ = std::fs::remove_file(&p);
+        let reg = crate::MetricsRegistry::new();
+        let c = reg.counter(crate::name::OBS_SINK_DROPPED_LINES);
+        let mut s = JsonlSink::open(&p, 8, 0).unwrap().with_dropped_lines_counter(c.clone());
+        // The oversized line is written whole (never split, never lost
+        // on the way in)...
+        s.append("a-very-long-line-beyond-budget").unwrap();
+        s.flush().unwrap();
+        assert_eq!(c.get(), 0);
+        assert_eq!(
+            std::fs::read_to_string(&p).unwrap(),
+            "a-very-long-line-beyond-budget\n"
+        );
+        // ...and counts exactly once when truncation later destroys it.
+        s.append("next").unwrap();
+        assert_eq!(c.get(), 1);
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "next\n");
+    }
+
+    #[test]
+    fn no_counter_configured_means_silent_rotation() {
+        let p = tmp("dropped_unwired.jsonl");
+        let _ = std::fs::remove_file(&p);
+        let _ = std::fs::remove_file(rotated(&p, 1));
+        let reg = crate::MetricsRegistry::new();
+        let mut s = JsonlSink::open(&p, 8, 0).unwrap();
+        s.append("line001").unwrap();
+        s.append("line002").unwrap(); // truncates; no counter attached
+        drop(s);
+        // Absence-is-data: the registry never saw the metric at all.
+        let snap = reg.snapshot();
+        assert!(snap.counter(crate::name::OBS_SINK_DROPPED_LINES).is_none());
+    }
+
+    #[test]
     fn oversized_line_is_still_written() {
         let p = tmp("oversize.jsonl");
         let _ = std::fs::remove_file(&p);

@@ -14,6 +14,11 @@
 //!   JSON; `--check-budget` fails when `lint.toml` budgets grew
 //!   relative to `crates/xtask/lint-budget.baseline` (refresh the
 //!   baseline with `--update-budget-baseline` when budgets shrink).
+//! * `corpus` — run the golden query-conformance corpus driver
+//!   (`crates/conformance`): `verify` re-runs every `tests/corpus/*.case`
+//!   and byte-compares the re-rendered `[expect]` body, `bless`
+//!   re-records it, `drift` re-records under `target/corpus-rebless`
+//!   and fails on any byte difference against the committed corpus.
 //! * `bench-compare` — diff two `BENCH_aqp.json` trajectory documents
 //!   and fail on latency/coverage regressions beyond a threshold.
 //! * `metrics-inventory` — regenerate (or `--check`) `docs/METRICS.md`
@@ -46,6 +51,7 @@ fn main() -> ExitCode {
     match args.split_first() {
         Some((cmd, rest)) => match cmd.as_str() {
             "analyze" | "lint" => analyze_cmd(rest),
+            "corpus" => corpus_cmd(rest),
             "bench-compare" => bench_compare::run(rest),
             "metrics-inventory" => metrics_inventory::run(rest),
             "lints-inventory" => lints_inventory::run(rest),
@@ -147,10 +153,30 @@ fn usage() -> ExitCode {
     eprintln!("commands:");
     eprintln!("  analyze [--root PATH] [--config PATH] [--report PATH]");
     eprintln!("          [--check-budget] [--update-budget-baseline]   (alias: lint)");
+    eprintln!("  corpus <verify|bless|drift> [--dir DIR] [--out DIR] [--report PATH]");
     eprintln!("  bench-compare <old.json> <new.json> [--threshold FRAC] [--warn-only]");
     eprintln!("  metrics-inventory [--root PATH] [--check]");
     eprintln!("  lints-inventory [--root PATH] [--check]");
     ExitCode::from(2)
+}
+
+/// Run the golden-corpus driver (`crates/conformance`). Delegated to a
+/// release-mode `cargo run` so xtask itself stays a leaf crate that
+/// builds without the AQP engine (keeping `cargo xtask analyze` fast).
+fn corpus_cmd(args: &[String]) -> ExitCode {
+    let status = std::process::Command::new(env!("CARGO"))
+        .current_dir(default_root())
+        .args(["run", "--release", "-q", "-p", "aqp-conformance", "--bin", "corpus", "--"])
+        .args(args)
+        .status();
+    match status {
+        Ok(s) if s.success() => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("xtask corpus: failed to launch cargo: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// The repo root when run via `cargo run -p xtask`.

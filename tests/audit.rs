@@ -237,3 +237,78 @@ fn audit_overhead_is_bounded_at_ten_percent_sampling() {
         overhead * 100.0
     );
 }
+
+/// `aqp.obs.sink_dropped_lines` is absence-is-data: a session auditing
+/// without a log sink must never even register the metric, and with a
+/// rotating log it must account for every destroyed line exactly —
+/// lines written equals lines surviving on disk plus lines counted
+/// dropped.
+#[test]
+fn sink_dropped_lines_absent_without_log_and_exact_with_rotation() {
+    use reliable_aqp::audit::AuditLogConfig;
+
+    let dir = std::env::temp_dir().join(format!("aqp-audit-sink-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let run = |log: Option<AuditLogConfig>| {
+        let obs = ObsHandle::isolated(Clock::mock());
+        let s = AqpSession::new(SessionConfig {
+            seed: 5,
+            threads: 1,
+            diagnostic_p: 50,
+            obs: obs.clone(),
+            audit: Some(AuditConfig { sample_rate: 1.0, seed: 3, log, ..Default::default() }),
+            ..Default::default()
+        });
+        s.register_table(conviva_sessions_table(20_000, 4, 5)).unwrap();
+        s.build_samples("sessions", &[4_000], 9).unwrap();
+        for _ in 0..12 {
+            s.execute("SELECT AVG(bitrate) FROM sessions").unwrap();
+        }
+        drop(s); // flush the audit log
+        obs.metrics.snapshot()
+    };
+
+    // No log configured: auditing runs, but the counter is never
+    // registered — silence here must mean "no sink", not "no losses".
+    let snap = run(None);
+    assert!(snap.counter(name::AUDIT_AUDITED).unwrap_or(0) >= 12);
+    assert_eq!(
+        snap.counter(name::OBS_SINK_DROPPED_LINES),
+        None,
+        "dropped-lines counter registered without a log sink"
+    );
+
+    // Control: a roomy log loses nothing; count total audit lines.
+    let roomy = dir.join("roomy.jsonl");
+    let _ = std::fs::remove_file(&roomy);
+    let snap = run(Some(AuditLogConfig::at(&roomy)));
+    assert_eq!(snap.counter(name::OBS_SINK_DROPPED_LINES), Some(0));
+    let count_lines = |p: &std::path::Path| -> u64 {
+        std::fs::read_to_string(p).map(|s| s.lines().count() as u64).unwrap_or(0)
+    };
+    let total_lines = count_lines(&roomy);
+    assert!(total_lines >= 12, "each audited query appends a line ({total_lines})");
+
+    // Tiny budget, one rotation: the same deterministic workload now
+    // destroys lines, and the counter must balance the books exactly.
+    let tiny = dir.join("tiny.jsonl");
+    let _ = std::fs::remove_file(&tiny);
+    let tiny1 = std::path::PathBuf::from(format!("{}.1", tiny.display()));
+    let _ = std::fs::remove_file(&tiny1);
+    let snap = run(Some(AuditLogConfig {
+        path: tiny.clone(),
+        max_bytes: 256,
+        max_rotations: 1,
+    }));
+    let dropped = snap
+        .counter(name::OBS_SINK_DROPPED_LINES)
+        .expect("counter registered when a log is configured");
+    let surviving = count_lines(&tiny) + count_lines(&tiny1);
+    assert!(dropped > 0, "a 256-byte budget over {total_lines} lines must rotate losses");
+    assert_eq!(
+        dropped + surviving,
+        total_lines,
+        "dropped ({dropped}) + surviving ({surviving}) must equal lines written ({total_lines})"
+    );
+}

@@ -1,0 +1,78 @@
+//! Tier-1 gate for the golden conformance corpus (DESIGN §17).
+//!
+//! Runs the same verification `cargo xtask corpus verify` performs, in
+//! process: every committed `tests/corpus/*.case` must re-render its
+//! `[expect]` body byte-identically, every `answers_match` invariant
+//! must hold, the differential oracle's corpus-wide CI coverage must
+//! sit within tolerance of nominal, and a re-record (bless) into a
+//! scratch directory must reproduce the committed bytes exactly.
+
+use std::path::{Path, PathBuf};
+
+use aqp_conformance::{run_corpus, CorpusMode};
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+/// The ISSUE's floor: the corpus must stay at least this large so the
+/// vectorized rewrite is verified against the full behavior matrix.
+const MIN_CASES: usize = 60;
+
+#[test]
+fn corpus_verifies_bit_identically() {
+    let report = run_corpus(&corpus_dir(), &CorpusMode::Verify).expect("corpus loads");
+    assert!(
+        report.cases.len() >= MIN_CASES,
+        "corpus shrank to {} cases (< {MIN_CASES})",
+        report.cases.len()
+    );
+    for c in &report.cases {
+        assert!(c.pass, "case {} drifted: {}", c.name, c.detail);
+    }
+    for (a, b, ok) in &report.matches {
+        assert!(ok, "answers_match violated: {a} != {b}");
+    }
+    assert!(report.pass, "corpus report failed:\n{}", report.render());
+}
+
+#[test]
+fn oracle_coverage_is_within_tolerance_of_nominal() {
+    let report = run_corpus(&corpus_dir(), &CorpusMode::Verify).expect("corpus loads");
+    assert!(report.oracle.reliable >= 50, "oracle starved: only {} claimed-reliable CIs", report.oracle.reliable);
+    let dev = (report.empirical - report.nominal).abs();
+    assert!(
+        dev <= aqp_conformance::runner::COVERAGE_TOLERANCE + 1e-12,
+        "empirical coverage {:.4} deviates {:.4} from nominal {:.4}",
+        report.empirical,
+        dev,
+        report.nominal
+    );
+}
+
+#[test]
+fn bless_reproduces_committed_corpus_byte_for_byte() {
+    let dir = corpus_dir();
+    let scratch = Path::new(env!("CARGO_MANIFEST_DIR")).join("target/corpus-rebless-test");
+    if scratch.exists() {
+        std::fs::remove_dir_all(&scratch).expect("clear scratch");
+    }
+    let report =
+        run_corpus(&dir, &CorpusMode::Bless { out: Some(scratch.clone()) }).expect("bless runs");
+    assert!(report.pass, "bless-mode report failed:\n{}", report.render());
+    for entry in std::fs::read_dir(&dir).expect("read corpus dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().map(|e| e == "case").unwrap_or(false) {
+            let name = path.file_name().expect("file name");
+            let committed = std::fs::read(&path).expect("read committed");
+            let reblessed =
+                std::fs::read(scratch.join(name)).expect("re-record exists for every case");
+            assert_eq!(
+                committed,
+                reblessed,
+                "bless drift in {:?}: re-recorded bytes differ from committed",
+                name
+            );
+        }
+    }
+}

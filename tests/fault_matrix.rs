@@ -13,7 +13,6 @@
 //! The CI `fault-smoke` job re-runs [`dump_trace_for_ci_smoke`] under
 //! `FAULT_MATRIX_SEED` and diffs the emitted traces across processes.
 
-use reliable_aqp::exec::engine::MethodChoice;
 use reliable_aqp::exec::{execute_approx, execute_exact, ApproxOptions, ExecError, UdfRegistry};
 use reliable_aqp::faults::{FaultConfig, RecoveryPolicy, StragglerDelay};
 use reliable_aqp::obs::{Clock, ObsHandle};
@@ -175,37 +174,10 @@ fn matrix_liveness_and_determinism() {
     }
 }
 
-/// A quiescent fault config must be answer-identical to no config at
-/// all: the injection plumbing itself may not perturb the pipeline.
-#[test]
-fn quiescent_faults_match_fault_free_bit_for_bit() {
-    let table = sample_table(3);
-    let registry = UdfRegistry::default();
-    for sql in AGGREGATES {
-        let plan = plan_for(sql, &table);
-        let off = execute_approx(&plan, &table, POPULATION_ROWS, &registry, &opts_with(None, 5))
-            .unwrap();
-        let quiet = execute_approx(
-            &plan,
-            &table,
-            POPULATION_ROWS,
-            &registry,
-            &opts_with(Some(FaultConfig::quiescent(99)), 5),
-        )
-        .unwrap();
-        assert!(quiet.degraded.is_none(), "{sql}: quiescent run reported degradation");
-        for (go, gq) in off.groups.iter().zip(&quiet.groups) {
-            for (o, q) in go.aggs.iter().zip(&gq.aggs) {
-                assert_eq!(o.estimate.to_bits(), q.estimate.to_bits(), "{sql}");
-                assert_eq!(
-                    o.ci.map(|c| c.half_width.to_bits()),
-                    q.ci.map(|c| c.half_width.to_bits()),
-                    "{sql}"
-                );
-            }
-        }
-    }
-}
+// `quiescent_faults_match_fault_free_bit_for_bit` migrated to the
+// conformance corpus: tests/corpus/quiescent_matches_clean.case pins a
+// quiescent-fault session bit-identical to the fault-free
+// avg_uniform_clean_audit.case via its `answers_match` invariant.
 
 /// Degraded error bars must never be narrower than fault-free ones
 /// computed with the same query seed.
@@ -328,30 +300,10 @@ fn degraded_coverage_tracks_fault_free_coverage() {
     );
 }
 
-/// A mixed-fault run is forced through a `MethodChoice::Bootstrap` path
-/// too: the widening rule applies to bootstrap intervals the same way.
-#[test]
-fn bootstrap_intervals_widen_too() {
-    let table = sample_table(21);
-    let registry = UdfRegistry::default();
-    let plan = plan_for("SELECT AVG(bitrate) FROM sessions", &table);
-    let boot = |faults: Option<FaultConfig>| {
-        let opts = ApproxOptions {
-            method: MethodChoice::Bootstrap,
-            bootstrap_k: 60,
-            ..opts_with(faults, 17)
-        };
-        execute_approx(&plan, &table, POPULATION_ROWS, &registry, &opts).unwrap()
-    };
-    let clean_hw = boot(None).scalar().unwrap().ci.unwrap().half_width;
-    let mut cfg = FaultConfig::quiescent(4);
-    cfg.truncation_prob = 0.8;
-    cfg.truncation_keep = 0.4;
-    let degraded = boot(Some(cfg));
-    assert!(degraded.degraded.is_some());
-    let hw = degraded.scalar().unwrap().ci.unwrap().half_width;
-    assert!(hw >= clean_hw, "bootstrap degraded hw {hw} < clean {clean_hw}");
-}
+// `bootstrap_intervals_widen_too` migrated to the conformance corpus:
+// tests/corpus/trimmed_mean_degraded.case forces a UDF aggregate through
+// the bootstrap error-estimation path under heavy truncation and pins
+// the degraded widen factor (and the widened CI bits) in its [expect].
 
 /// Hook for the CI `fault-smoke` job: when `FAULT_MATRIX_SEED` is set,
 /// run one mixed-fault query and dump its JSONL trace to

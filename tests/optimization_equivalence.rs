@@ -113,42 +113,8 @@ fn bootstrap_interval_statistically_consistent_across_seeds() {
     }
 }
 
-#[test]
-fn weighted_aggregation_matches_physical_duplication_through_the_engine() {
-    // COUNT through the engine with a forced bootstrap: the replicate
-    // mean should track the scaled sample size (weights behave like
-    // duplicated tuples).
-    let (pop, sample) = setup(40_000, 8_000, 4);
-    let registry = UdfRegistry::default();
-    // Unfiltered COUNT: sampling n rows always yields n rows, so the
-    // size-centered Poissonized COUNT is deterministic at N.
-    let q = parse_query("SELECT COUNT(*) FROM sessions").unwrap();
-    let plan = plan_query(&q, pop.schema()).unwrap();
-    let opts = ApproxOptions {
-        seed: 5,
-        method: MethodChoice::Bootstrap,
-        bootstrap_k: 200,
-        threads: 2,
-        ..Default::default()
-    };
-    let r = execute_approx(&plan, &sample, pop.num_rows(), &registry, &opts).unwrap();
-    let res = r.scalar().unwrap();
-    assert_eq!(res.estimate, 40_000.0); // exact scaling of the full sample
-    assert!(res.ci.unwrap().half_width < 1e-6, "unfiltered COUNT must have ~0 error");
-
-    // Filtered COUNT: replicates follow the binomial sampling law,
-    // sd ≈ scale·sqrt(n·q(1−q)).
-    let q = parse_query("SELECT COUNT(*) FROM sessions WHERE city = 'NYC'").unwrap();
-    let plan = plan_query(&q, pop.schema()).unwrap();
-    let r = execute_approx(&plan, &sample, pop.num_rows(), &registry, &opts).unwrap();
-    let res = r.scalar().unwrap();
-    let m = res.estimate / 5.0; // matching sample rows (scale = 5)
-    let qsel = m / 8_000.0;
-    let expected_hw = 1.96 * 5.0 * (8_000.0 * qsel * (1.0 - qsel)).sqrt();
-    let ci = res.ci.unwrap();
-    assert!(
-        (ci.half_width - expected_hw).abs() / expected_hw < 0.35,
-        "hw {} vs binomial {expected_hw}",
-        ci.half_width
-    );
-}
+// `weighted_aggregation_matches_physical_duplication_through_the_engine`
+// migrated to the conformance corpus: count_star_pinned_clean.case pins
+// the unfiltered COUNT(*) at exactly the population size with a ~zero
+// half-width, and count_filtered_city_audit.case pins the binomial
+// half-width of a filtered COUNT — both as exact bit patterns.

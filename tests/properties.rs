@@ -530,3 +530,65 @@ fn quantile_bounds_are_order_statistics() {
     assert_eq!(quantile(&xs, 0.0), Some(0.0));
     assert_eq!(quantile(&xs, 1.0), Some(499.5));
 }
+
+// Explicit replays of the shrunk inputs recorded in
+// `tests/properties.proptest-regressions`. The vendored proptest derives
+// its seeds from the test name and does NOT read that file, so each
+// persisted entry is backed by a plain #[test] here that re-runs the
+// exact shrunk input against the current code. If one of these starts
+// failing, the historical bug has returned; if a persisted entry loses
+// its replay test, prune it from the regressions file.
+
+/// Replay of `cc 821f12…` (`weighted_aggregates_equal_expansion`,
+/// shrinks to `pairs = [(0.0, 0)]`): a single value with weight zero
+/// expands to the empty multiset, so MIN/MAX see an empty resample and
+/// both paths must agree on the ±infinity sentinels instead of
+/// disagreeing (the original failure: weighted path returned the raw
+/// value, expansion returned the empty-set identity).
+#[test]
+fn regression_weighted_aggregates_empty_expansion() {
+    let values = [0.0f64];
+    let weights = [0u32];
+    let expanded = Udf::expand(&values, &weights);
+    assert!(expanded.is_empty(), "weight 0 must expand to nothing");
+    let ctx = SampleContext::new(values.len(), values.len() * 10);
+    for agg in [Aggregate::Avg, Aggregate::Variance, Aggregate::Min, Aggregate::Max] {
+        let w = agg.estimate_weighted(&values, &weights, &ctx);
+        let e = agg.estimate(&expanded, &ctx);
+        assert!(
+            w == e || (w - e).abs() <= 1e-6 * e.abs().max(1.0) || (w.is_nan() && e.is_nan()),
+            "{agg}: weighted {w} vs expanded {e} on the empty expansion"
+        );
+    }
+}
+
+/// Replay of `cc 9af2e6…` (`simulator_naive_dominates_optimized`,
+/// shrinks to `sample_gb = 4.0, selectivity = 0.005, agg_cpu = 0.5,
+/// closed_form = true, seed = 0`): the smallest closed-form query,
+/// where the consolidated error-estimation pass's fixed reduce cost can
+/// exceed the trivial naive subquery. The optimized plan must still win
+/// on diagnostics and stay inside the Fig. 8(a) ~1x band on error
+/// estimation.
+#[test]
+fn regression_simulator_tiny_closed_form_query() {
+    use reliable_aqp::cluster::{
+        simulate_query, ClusterConfig, PhysicalTuning, PlanMode, QueryProfile,
+    };
+    let profile = QueryProfile {
+        sample_mb: 4.0 * 1000.0,
+        selectivity: 0.005,
+        scan_cpu_ms_per_mb: 0.5,
+        agg_cpu_ms_per_mb: 0.5,
+        closed_form: true,
+        bootstrap_k: 100,
+        diag_p: 100,
+        diag_subsample_mb: vec![50.0, 100.0, 200.0],
+    };
+    let cfg = ClusterConfig::default();
+    let tuning = PhysicalTuning::untuned(&cfg);
+    let naive = simulate_query(&profile, PlanMode::Naive, &tuning, &cfg, 0);
+    let opt = simulate_query(&profile, PlanMode::Optimized, &tuning, &cfg, 0);
+    assert!(opt.diag_s <= naive.diag_s);
+    assert!(opt.error_s <= naive.error_s * 2.0 + 0.1);
+    assert!(naive.total() >= opt.total() * 0.9);
+}
